@@ -1,0 +1,42 @@
+//! Criterion bench: the same kernel across all runtimes (figure 2's engine
+//! axis) plus the native baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_core::exec::Linker;
+use lb_core::{BoundsStrategy, MemoryConfig};
+use lb_harness::EngineSel;
+use lb_polybench::{by_name, common::Dataset};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_kernel");
+    group.sample_size(10);
+    let bench = by_name("gemm", Dataset::Small).unwrap();
+
+    // Native baseline.
+    let mut native = (bench.native)();
+    native.init();
+    group.bench_function(BenchmarkId::new("gemm", "native"), |b| {
+        b.iter(|| native.kernel())
+    });
+
+    for sel in EngineSel::WASM_RUNTIMES {
+        let engine = sel.engine().unwrap();
+        let loaded = engine.load(&bench.module).unwrap();
+        let config = MemoryConfig::new(BoundsStrategy::Mprotect, 0, 512).with_reserve(256 << 20);
+        let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+        inst.invoke("init", &[]).unwrap();
+        if sel == EngineSel::Interp {
+            // One warm call is enough; the interpreter needs no tiering.
+            group.sample_size(10);
+        }
+        group.bench_function(BenchmarkId::new("gemm", sel.name()), |b| {
+            b.iter(|| {
+                inst.invoke("kernel", &[]).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion bench: memory-subsystem ablations behind figures 3-5 and the
+//! design choices DESIGN.md calls out:
+//!
+//! * isolate lifecycle (reserve→commit→teardown) per strategy — the churn
+//!   that serializes on mmap_lock;
+//! * uffd SIGBUS-mode fault service vs poll-mode (the paper's footnote 2);
+//! * the hazard-pointer arena registry vs a mutexed map (paper §4.2.1);
+//! * trap machinery: catch_traps entry and a full hardware-trap round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_core::registry::{ArenaDesc, HazardRegistry};
+use lb_core::signals::catch_traps;
+use lb_core::{BoundsStrategy, LinearMemory, MemoryConfig};
+use std::sync::atomic::{AtomicI32, AtomicUsize};
+
+fn bench_isolate_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isolate_lifecycle");
+    group.sample_size(20);
+    for s in BoundsStrategy::ALL {
+        if s == BoundsStrategy::Uffd && !lb_core::uffd::sigbus_mode_available() {
+            continue;
+        }
+        // 16 committed wasm pages per isolate, 64 MiB reservation.
+        let config = MemoryConfig::new(s, 16, 64).with_reserve(64 << 20);
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, _| {
+            b.iter(|| {
+                let m = LinearMemory::new(&config).unwrap();
+                // Touch one page like a warm function would.
+                catch_traps(|| m.store::<u64>(128, 0, 42)).unwrap();
+                drop(m);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_uffd_fault_service(c: &mut Criterion) {
+    if !lb_core::uffd::sigbus_mode_available() {
+        return;
+    }
+    let mut group = c.benchmark_group("uffd_fault");
+    group.sample_size(20);
+    // SIGBUS mode: first touch of each page is a signal + UFFDIO_ZEROPAGE.
+    group.bench_function("sigbus_first_touch_page", |b| {
+        b.iter_with_setup(
+            || LinearMemory::new(&MemoryConfig::new(BoundsStrategy::Uffd, 64, 64).with_reserve(8 << 20)).unwrap(),
+            |m| {
+                catch_traps(|| {
+                    for page in 0..16u32 {
+                        m.store::<u8>(page * 65536, 0, 1)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+                drop(m);
+            },
+        )
+    });
+    // mprotect-backed minor faults for comparison.
+    group.bench_function("mprotect_first_touch_page", |b| {
+        b.iter_with_setup(
+            || LinearMemory::new(&MemoryConfig::new(BoundsStrategy::Mprotect, 64, 64).with_reserve(8 << 20)).unwrap(),
+            |m| {
+                catch_traps(|| {
+                    for page in 0..16u32 {
+                        m.store::<u8>(page * 65536, 0, 1)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+                drop(m);
+            },
+        )
+    });
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_registry");
+    // Hazard-pointer registry (the paper's design).
+    let reg: HazardRegistry<ArenaDesc> = HazardRegistry::new();
+    let (slot, ptr) = reg.register(Box::new(ArenaDesc {
+        base: 0x10000,
+        len: 0x10000,
+        committed: AtomicUsize::new(0x10000),
+        strategy: BoundsStrategy::Uffd,
+        uffd_fd: AtomicI32::new(-1),
+    }));
+    let h = reg.claim_hazard();
+    group.bench_function("hazard_lookup", |b| {
+        b.iter(|| reg.find_with(h, |d| d.contains(0x18000), |d| d.base))
+    });
+    // Mutexed map for comparison (what a lock-based runtime would do).
+    let map = parking_lot::Mutex::new(vec![(0x10000usize, 0x20000usize)]);
+    group.bench_function("mutex_lookup", |b| {
+        b.iter(|| {
+            let g = map.lock();
+            g.iter()
+                .find(|(lo, hi)| 0x18000 >= *lo && 0x18000 < *hi)
+                .map(|x| x.0)
+        })
+    });
+    reg.release_hazard(h);
+    reg.unregister(slot, ptr);
+    group.finish();
+}
+
+fn bench_trap_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trap_machinery");
+    group.bench_function("catch_traps_entry", |b| {
+        b.iter(|| catch_traps(|| Ok::<_, lb_core::Trap>(criterion::black_box(1)+1)))
+    });
+    // A full hardware OOB round trip: SIGSEGV → handler → classified trap.
+    let config = MemoryConfig::new(BoundsStrategy::Mprotect, 1, 1).with_reserve(4 << 20);
+    let m = LinearMemory::new(&config).unwrap();
+    group.bench_function("hardware_oob_roundtrip", |b| {
+        b.iter(|| {
+            let e = catch_traps(|| m.load::<u8>(2 * 65536, 0)).unwrap_err();
+            criterion::black_box(e);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_isolate_lifecycle,
+    bench_uffd_fault_service,
+    bench_registry,
+    bench_trap_machinery
+);
+criterion_main!(benches);

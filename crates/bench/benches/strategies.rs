@@ -1,0 +1,39 @@
+//! Criterion bench: per-strategy kernel execution cost on the WAVM-profile
+//! engine (the microbenchmark behind figures 1 and 2's strategy axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_core::exec::{Engine, Linker};
+use lb_core::{BoundsStrategy, MemoryConfig};
+use lb_jit::{JitEngine, JitProfile};
+use lb_polybench::{by_name, common::Dataset};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_kernel");
+    group.sample_size(10);
+    for kernel in ["gemm", "jacobi-2d", "atax"] {
+        let bench = by_name(kernel, Dataset::Small).unwrap();
+        let engine = JitEngine::new(JitProfile::wavm());
+        let loaded = engine.load(&bench.module).unwrap();
+        for s in BoundsStrategy::ALL {
+            if s == BoundsStrategy::Uffd && !lb_core::uffd::sigbus_mode_available() {
+                continue;
+            }
+            let config = MemoryConfig::new(s, 0, 512).with_reserve(256 << 20);
+            let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+            inst.invoke("init", &[]).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(kernel, s.name()),
+                &s,
+                |b, _| {
+                    b.iter(|| {
+                        inst.invoke("kernel", &[]).unwrap();
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! **Figure 1** — Cost of bounds-checking strategies in a WebAssembly
+//! runtime: per-benchmark execution time under each strategy, normalized
+//! to *none* (no bounds checks), on the V8-profile engine — the setup the
+//! paper uses for its motivating figure.
+//!
+//! ```text
+//! cargo run --release -p lb-bench --bin fig1 -- --dataset small
+//! ```
+
+use lb_bench::{emit, Args};
+use lb_core::BoundsStrategy;
+use lb_harness::{run_benchmark, stats, EngineSel, RunSpec, Table};
+
+fn main() {
+    let args = Args::parse();
+    let strategies = available_strategies();
+    let mut table = Table::new(&["suite", "benchmark", "none", "clamp", "trap", "mprotect", "uffd"]);
+
+    for bench in args.benchmarks() {
+        let mut medians = Vec::new();
+        for &s in &strategies {
+            let mut spec = RunSpec::new(EngineSel::V8, s);
+            spec.warmup_iters = args.warmup;
+            spec.measured_iters = args.iters;
+            let r = run_benchmark(&bench, &spec);
+            assert!(r.checksum_ok, "{} checksum mismatch under {s}", bench.name);
+            medians.push(r.median());
+        }
+        let base = medians[0];
+        let mut row = vec![bench.suite.to_string(), bench.name.clone()];
+        for (i, s) in strategies.iter().enumerate() {
+            let _ = s;
+            if i < medians.len() {
+                row.push(format!("{:.3}", stats::ratio(medians[i], base)));
+            }
+        }
+        while row.len() < 7 {
+            row.push("n/a".into()); // uffd unavailable in this environment
+        }
+        table.row(row);
+        eprintln!("  measured {}", bench.name);
+    }
+
+    println!("\nFigure 1: execution time normalized to `none`, V8-profile engine\n");
+    emit(&table, &args.csv);
+}
+
+fn available_strategies() -> Vec<BoundsStrategy> {
+    let mut v = vec![
+        BoundsStrategy::None,
+        BoundsStrategy::Clamp,
+        BoundsStrategy::Trap,
+        BoundsStrategy::Mprotect,
+    ];
+    if lb_core::uffd::sigbus_mode_available() {
+        v.push(BoundsStrategy::Uffd);
+    }
+    v
+}

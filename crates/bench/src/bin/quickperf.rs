@@ -1,0 +1,36 @@
+//! Scratch performance sanity check.
+use lb_core::exec::{Engine, Linker};
+use lb_core::{BoundsStrategy, MemoryConfig};
+use lb_interp::InterpEngine;
+use lb_jit::{JitEngine, JitProfile};
+use lb_polybench::{by_name, common::Dataset};
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gemm".into());
+    let bench = by_name(&name, Dataset::Small).unwrap();
+    let mut k = (bench.native)();
+    k.init();
+    k.kernel();
+    let t = Instant::now();
+    let iters = 30;
+    for _ in 0..iters { k.kernel(); }
+    println!("native:   {:?}", t.elapsed() / iters);
+    let config = MemoryConfig::new(BoundsStrategy::Mprotect, 1, 256).with_reserve(512 << 16);
+    for (label, engine) in [
+        ("wavm", Box::new(JitEngine::new(JitProfile::wavm())) as Box<dyn Engine>),
+        ("wasmtime", Box::new(JitEngine::new(JitProfile::wasmtime()))),
+        ("v8", Box::new(JitEngine::new(JitProfile::v8()))),
+        ("interp", Box::new(InterpEngine::new())),
+    ] {
+        let loaded = engine.load(&bench.module).unwrap();
+        let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+        inst.invoke("init", &[]).unwrap();
+        inst.invoke("kernel", &[]).unwrap();
+        inst.invoke("kernel", &[]).unwrap();
+        let iters = if label == "interp" { 3 } else { 30 };
+        let t = Instant::now();
+        for _ in 0..iters { inst.invoke("kernel", &[]).unwrap(); }
+        println!("{label:9} {:?}", t.elapsed() / iters);
+    }
+}

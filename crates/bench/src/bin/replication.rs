@@ -1,0 +1,88 @@
+//! **§4.4 replication** — the paper's comparisons to prior work:
+//!
+//! * Titzer 2022: Wasm3 ≈ 6–11× slower than V8-TurboFan on PolyBench —
+//!   here: interp vs the V8-profile JIT;
+//! * Rossberg et al. 2017: V8 within 2× of native for most PolyBench;
+//! * Jangda et al. 2019: ≈1.55–1.76× geomean SPEC slowdown on V8;
+//! * this paper: WAVM within 8–20% of native on x86_64 (our baseline JIT
+//!   is farther from native — a documented substitution — but the engine
+//!   *ordering* WAVM < Wasmtime < V8 < interp is reproduced).
+//!
+//! ```text
+//! cargo run --release -p lb-bench --bin replication -- --dataset small
+//! ```
+
+use lb_bench::{emit, Args};
+use lb_core::BoundsStrategy;
+use lb_harness::{run_benchmark, stats, EngineSel, RunSpec, Table};
+use std::collections::HashMap;
+
+fn main() {
+    let args = Args::parse();
+    let benches = args.benchmarks();
+
+    let mut medians: HashMap<(String, &'static str), f64> = HashMap::new();
+    for engine in [
+        EngineSel::Native,
+        EngineSel::Wavm,
+        EngineSel::Wasmtime,
+        EngineSel::V8,
+        EngineSel::Interp,
+    ] {
+        for b in &benches {
+            // Skip the interpreter on big SPEC proxies at large datasets.
+            let mut spec = RunSpec::new(engine, BoundsStrategy::Mprotect);
+            spec.warmup_iters = args.warmup;
+            spec.measured_iters = args.iters;
+            let r = run_benchmark(b, &spec);
+            assert!(r.checksum_ok, "{} on {}", b.name, engine.name());
+            medians.insert((b.name.clone(), engine.name()), r.median().as_secs_f64());
+        }
+        eprintln!("  measured {}", engine.name());
+    }
+
+    let geo = |suite: &str, num: &'static str, den: &'static str| -> f64 {
+        let ratios: Vec<f64> = benches
+            .iter()
+            .filter(|b| b.suite == suite)
+            .map(|b| medians[&(b.name.clone(), num)] / medians[&(b.name.clone(), den)])
+            .collect();
+        stats::geomean_ratios(&ratios)
+    };
+
+    let mut t = Table::new(&["claim", "paper", "this reproduction"]);
+    if benches.iter().any(|b| b.suite == "polybench") {
+        t.row(vec![
+            "Wasm3 vs V8-TurboFan (PolyBench)".into(),
+            "6x-11x slower".into(),
+            format!("{:.1}x slower", geo("polybench", "interp", "v8")),
+        ]);
+        t.row(vec![
+            "V8 vs native (PolyBench)".into(),
+            "most within 2x (Rossberg'17)".into(),
+            format!("{:.2}x geomean", geo("polybench", "v8", "native")),
+        ]);
+        t.row(vec![
+            "WAVM vs native (PolyBench)".into(),
+            "1.08x-1.2x geomean".into(),
+            format!("{:.2}x geomean (baseline JIT)", geo("polybench", "wavm", "native")),
+        ]);
+        let order_ok = geo("polybench", "wavm", "native") <= geo("polybench", "wasmtime", "native")
+            && geo("polybench", "wasmtime", "native") <= geo("polybench", "v8", "native")
+            && geo("polybench", "v8", "native") < geo("polybench", "interp", "native");
+        t.row(vec![
+            "Engine ordering wavm<=wasmtime<=v8<interp".into(),
+            "holds".into(),
+            if order_ok { "holds" } else { "VIOLATED" }.into(),
+        ]);
+    }
+    if benches.iter().any(|b| b.suite == "spec") {
+        t.row(vec![
+            "V8 vs native (SPEC)".into(),
+            "1.69x geomean (x86_64)".into(),
+            format!("{:.2}x geomean (proxies)", geo("spec", "v8", "native")),
+        ]);
+    }
+    println!("\nSection 4.4 replication of prior results\n");
+    emit(&t, &args.csv);
+}

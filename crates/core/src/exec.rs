@@ -1,0 +1,266 @@
+//! The engine-neutral execution API: every runtime in this reproduction
+//! (interpreter, JIT profiles) implements these traits, so the benchmark
+//! harness can drive them uniformly — like the paper's C++ harness drives
+//! WAVM/Wasmtime/Wasm3/V8 through their C APIs.
+
+use crate::memory::LinearMemory;
+use crate::strategy::MemoryConfig;
+use crate::trap::Trap;
+use lb_wasm::{Module, ValidateError, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors loading or instantiating a module.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The module failed validation.
+    Validate(ValidateError),
+    /// The module uses a construct this engine does not support.
+    Unsupported(String),
+    /// An imported function was not provided by the linker.
+    MissingImport(String, String),
+    /// Code generation failed.
+    Compile(String),
+    /// Linear memory could not be created.
+    Memory(crate::memory::MemoryError),
+    /// Instantiation trapped (start function or segment initialization).
+    Start(Trap),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Validate(e) => write!(f, "validation failed: {e}"),
+            LoadError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            LoadError::MissingImport(m, n) => write!(f, "missing import {m}.{n}"),
+            LoadError::Compile(m) => write!(f, "compilation failed: {m}"),
+            LoadError::Memory(e) => write!(f, "memory: {e}"),
+            LoadError::Start(t) => write!(f, "instantiation trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<ValidateError> for LoadError {
+    fn from(e: ValidateError) -> LoadError {
+        LoadError::Validate(e)
+    }
+}
+
+impl From<crate::memory::MemoryError> for LoadError {
+    fn from(e: crate::memory::MemoryError) -> LoadError {
+        LoadError::Memory(e)
+    }
+}
+
+/// Context passed to host functions.
+pub struct HostCtx<'a> {
+    /// The instance's linear memory, if it has one.
+    pub memory: Option<&'a LinearMemory>,
+}
+
+/// A host function callable from wasm.
+pub type HostFn =
+    Arc<dyn Fn(&mut HostCtx<'_>, &[Value]) -> Result<Option<Value>, Trap> + Send + Sync>;
+
+/// Resolves module imports to host functions.
+#[derive(Clone, Default)]
+pub struct Linker {
+    funcs: HashMap<(String, String), HostFn>,
+}
+
+impl Linker {
+    /// An empty linker.
+    pub fn new() -> Linker {
+        Linker::default()
+    }
+
+    /// Provide a host function for `module.name`.
+    pub fn func(
+        &mut self,
+        module: &str,
+        name: &str,
+        f: impl Fn(&mut HostCtx<'_>, &[Value]) -> Result<Option<Value>, Trap>
+            + Send
+            + Sync
+            + 'static,
+    ) -> &mut Self {
+        self.funcs
+            .insert((module.to_string(), name.to_string()), Arc::new(f));
+        self
+    }
+
+    /// Look up a host function.
+    pub fn resolve(&self, module: &str, name: &str) -> Option<HostFn> {
+        self.funcs
+            .get(&(module.to_string(), name.to_string()))
+            .cloned()
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+impl fmt::Debug for Linker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Linker")
+            .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// A wasm execution engine (one of the paper's "runtimes").
+pub trait Engine: Send + Sync {
+    /// Engine name, as shown in reports (e.g. `"interp"`, `"wavm"`).
+    fn name(&self) -> &str;
+
+    /// Validate and prepare a module for instantiation (compiling it, for
+    /// JIT engines — the paper's AOT engines compile here, its tiered
+    /// engine compiles a baseline here and re-optimizes in the background).
+    ///
+    /// # Errors
+    /// Validation or compilation failures.
+    fn load(&self, module: &Module) -> Result<Arc<dyn LoadedModule>, LoadError>;
+}
+
+/// A loaded (validated/compiled) module, shareable across threads; the
+/// harness loads once and instantiates per worker thread, like the paper's
+/// isolate-per-thread setup.
+pub trait LoadedModule: Send + Sync {
+    /// Create a fresh instance with its own linear memory.
+    ///
+    /// # Errors
+    /// Memory setup, missing imports, or a trapping start function.
+    fn instantiate(
+        &self,
+        config: &MemoryConfig,
+        linker: &Linker,
+    ) -> Result<Box<dyn Instance>, LoadError>;
+}
+
+/// A live wasm instance.
+pub trait Instance: Send {
+    /// Invoke an exported function.
+    ///
+    /// # Errors
+    /// Any wasm trap, including hardware-delivered bounds traps.
+    fn invoke(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, Trap>;
+
+    /// The instance's linear memory, if the module declares one.
+    fn memory(&self) -> Option<&LinearMemory>;
+}
+
+/// Shared, engine-neutral instance state: memory, globals (as raw bits),
+/// the function table, and resolved host imports. Both the interpreter and
+/// the JIT build on this, so instantiation semantics (limits resolution,
+/// segment initialization) are identical across engines.
+pub struct InstanceParts {
+    /// The instance's linear memory, if the module declares one.
+    pub memory: Option<LinearMemory>,
+    /// Global values by index, stored as raw 64-bit patterns.
+    pub globals: Vec<u64>,
+    /// Function table: `Some(function index)` for initialized slots.
+    pub table: Vec<Option<u32>>,
+    /// Resolved host functions, indexed like the module's imports.
+    pub host: Vec<HostFn>,
+}
+
+/// Build the shared instance state for `module`.
+///
+/// Memory limits resolve as: initial = the module's declared minimum;
+/// maximum = the smaller of the module's declared maximum (if any) and
+/// `config.max_pages`. `config.initial_pages` acts as a floor so harnesses
+/// can pre-grow memories.
+///
+/// # Errors
+/// Missing imports, memory creation failures, or out-of-range segments.
+pub fn build_instance_parts(
+    module: &Module,
+    config: &MemoryConfig,
+    linker: &Linker,
+) -> Result<InstanceParts, LoadError> {
+    let memory = match module.memory {
+        Some(mt) => {
+            let initial = mt.limits.min.max(config.initial_pages);
+            let max = mt
+                .limits
+                .max
+                .unwrap_or(config.max_pages)
+                .min(config.max_pages)
+                .max(initial);
+            let mc = MemoryConfig {
+                strategy: config.strategy,
+                initial_pages: initial,
+                max_pages: max,
+                reserve_bytes: config.reserve_bytes,
+            };
+            Some(LinearMemory::new(&mc)?)
+        }
+        None => None,
+    };
+
+    let globals: Vec<u64> = module.globals.iter().map(|g| g.init.to_bits()).collect();
+
+    let mut table: Vec<Option<u32>> =
+        vec![None; module.table.map(|t| t.limits.min as usize).unwrap_or(0)];
+    for seg in &module.elems {
+        for (i, &f) in seg.funcs.iter().enumerate() {
+            table[seg.offset as usize + i] = Some(f);
+        }
+    }
+
+    let mut host = Vec::with_capacity(module.imports.len());
+    for imp in &module.imports {
+        let f = linker
+            .resolve(&imp.module, &imp.name)
+            .ok_or_else(|| LoadError::MissingImport(imp.module.clone(), imp.name.clone()))?;
+        host.push(f);
+    }
+
+    if let Some(mem) = &memory {
+        for seg in &module.data {
+            mem.write_bytes(seg.offset, &seg.bytes)
+                .map_err(LoadError::Start)?;
+        }
+    }
+
+    Ok(InstanceParts {
+        memory,
+        globals,
+        table,
+        host,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linker_resolves() {
+        let mut l = Linker::new();
+        assert!(l.is_empty());
+        l.func("env", "f", |_, _| Ok(None));
+        assert_eq!(l.len(), 1);
+        assert!(l.resolve("env", "f").is_some());
+        assert!(l.resolve("env", "g").is_none());
+        let mut ctx = HostCtx { memory: None };
+        let f = l.resolve("env", "f").unwrap();
+        assert_eq!(f(&mut ctx, &[]).unwrap(), None);
+    }
+
+    #[test]
+    fn load_error_display() {
+        let e = LoadError::MissingImport("env".into(), "x".into());
+        assert!(e.to_string().contains("env.x"));
+    }
+}

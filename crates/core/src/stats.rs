@@ -1,0 +1,121 @@
+//! Global counters for the virtual-memory syscalls issued by the memory
+//! subsystem. The benchmark harness snapshots these to attribute kernel
+//! work to bounds-checking strategies (paper §4.1.1/§4.2.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of memory-management activity.
+#[derive(Debug, Default)]
+pub struct VmCounters {
+    mmap: AtomicU64,
+    munmap: AtomicU64,
+    mprotect: AtomicU64,
+    uffd_register: AtomicU64,
+    uffd_zeropage: AtomicU64,
+    grows: AtomicU64,
+    signal_traps: AtomicU64,
+}
+
+static COUNTERS: VmCounters = VmCounters {
+    mmap: AtomicU64::new(0),
+    munmap: AtomicU64::new(0),
+    mprotect: AtomicU64::new(0),
+    uffd_register: AtomicU64::new(0),
+    uffd_zeropage: AtomicU64::new(0),
+    grows: AtomicU64::new(0),
+    signal_traps: AtomicU64::new(0),
+};
+
+/// A point-in-time snapshot of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VmSnapshot {
+    /// `mmap(2)` calls (reservation creation).
+    pub mmap: u64,
+    /// `munmap(2)` calls (reservation teardown).
+    pub munmap: u64,
+    /// `mprotect(2)` calls (mprotect-strategy grows).
+    pub mprotect: u64,
+    /// `UFFDIO_REGISTER` ioctls.
+    pub uffd_register: u64,
+    /// `UFFDIO_ZEROPAGE` ioctls resolved in the SIGBUS handler.
+    pub uffd_zeropage: u64,
+    /// `memory.grow` operations across all strategies.
+    pub grows: u64,
+    /// Wasm traps delivered through the signal path.
+    pub signal_traps: u64,
+}
+
+impl VmSnapshot {
+    /// Difference `self - earlier`, saturating at zero.
+    pub fn delta(&self, earlier: &VmSnapshot) -> VmSnapshot {
+        VmSnapshot {
+            mmap: self.mmap.saturating_sub(earlier.mmap),
+            munmap: self.munmap.saturating_sub(earlier.munmap),
+            mprotect: self.mprotect.saturating_sub(earlier.mprotect),
+            uffd_register: self.uffd_register.saturating_sub(earlier.uffd_register),
+            uffd_zeropage: self.uffd_zeropage.saturating_sub(earlier.uffd_zeropage),
+            grows: self.grows.saturating_sub(earlier.grows),
+            signal_traps: self.signal_traps.saturating_sub(earlier.signal_traps),
+        }
+    }
+}
+
+/// Snapshot the global counters.
+pub fn snapshot() -> VmSnapshot {
+    VmSnapshot {
+        mmap: COUNTERS.mmap.load(Ordering::Relaxed),
+        munmap: COUNTERS.munmap.load(Ordering::Relaxed),
+        mprotect: COUNTERS.mprotect.load(Ordering::Relaxed),
+        uffd_register: COUNTERS.uffd_register.load(Ordering::Relaxed),
+        uffd_zeropage: COUNTERS.uffd_zeropage.load(Ordering::Relaxed),
+        grows: COUNTERS.grows.load(Ordering::Relaxed),
+        signal_traps: COUNTERS.signal_traps.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn count_mmap() {
+    COUNTERS.mmap.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_munmap() {
+    COUNTERS.munmap.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_mprotect() {
+    COUNTERS.mprotect.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_uffd_register() {
+    COUNTERS.uffd_register.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Called from the SIGBUS handler: must stay async-signal-safe (it is —
+/// a relaxed atomic increment).
+pub(crate) fn count_uffd_zeropage() {
+    COUNTERS.uffd_zeropage.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_grow() {
+    COUNTERS.grows.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_signal_trap() {
+    COUNTERS.signal_traps.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_subtract() {
+        let before = snapshot();
+        count_mprotect();
+        count_mprotect();
+        count_grow();
+        let after = snapshot();
+        let d = after.delta(&before);
+        assert!(d.mprotect >= 2);
+        assert!(d.grows >= 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Bounds-checking strategies and linear-memory configuration.
+//!
+//! These are the five mechanisms evaluated by the paper (§3.1).
+
+use std::fmt;
+
+/// How out-of-bounds linear-memory accesses are prevented or detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundsStrategy {
+    /// **none** — the entire reservation is read-write mapped and no checks
+    /// are performed. Unsafe; used as the baseline "no bounds checks" point.
+    None,
+    /// **clamp** — every access passes through a conditional select that
+    /// clamps the effective address to the end of memory. Out-of-bounds
+    /// accesses silently hit the last valid bytes instead of trapping.
+    Clamp,
+    /// **trap** — every access is preceded by an explicit compare-and-branch
+    /// to a trap (the JIT branches to a `ud2` stub, reproducing the paper's
+    /// SIGILL-based implementation; the interpreter returns a [`crate::Trap`]).
+    Trap,
+    /// **mprotect** — the reservation starts `PROT_NONE`; growing memory
+    /// calls `mprotect(2)` to enable pages, and illegal accesses raise
+    /// SIGSEGV. This is the default strategy of WAVM/Wasmtime/V8 and the
+    /// one whose VMA-lock contention the paper analyses.
+    Mprotect,
+    /// **uffd** — the reservation is lazily read-write mapped and registered
+    /// with `userfaultfd(2)` in SIGBUS mode; the committed size is a plain
+    /// atomic, legal faults are resolved with `UFFDIO_ZEROPAGE` from the
+    /// SIGBUS handler, and illegal ones become wasm traps. This is the
+    /// paper's proposed mitigation for mprotect's poor multithreaded scaling.
+    Uffd,
+}
+
+impl BoundsStrategy {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [BoundsStrategy; 5] = [
+        BoundsStrategy::None,
+        BoundsStrategy::Clamp,
+        BoundsStrategy::Trap,
+        BoundsStrategy::Mprotect,
+        BoundsStrategy::Uffd,
+    ];
+
+    /// Whether this strategy relies on virtual-memory hardware (guard pages
+    /// / fault handling) rather than inline software checks.
+    pub fn is_guard_based(self) -> bool {
+        matches!(
+            self,
+            BoundsStrategy::None | BoundsStrategy::Mprotect | BoundsStrategy::Uffd
+        )
+    }
+
+    /// Whether the generated code contains inline software checks.
+    pub fn is_software(self) -> bool {
+        matches!(self, BoundsStrategy::Clamp | BoundsStrategy::Trap)
+    }
+
+    /// The short lowercase name used in reports (matches the paper).
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundsStrategy::None => "none",
+            BoundsStrategy::Clamp => "clamp",
+            BoundsStrategy::Trap => "trap",
+            BoundsStrategy::Mprotect => "mprotect",
+            BoundsStrategy::Uffd => "uffd",
+        }
+    }
+
+    /// Parse a strategy name as used on bench binary command lines.
+    pub fn parse(s: &str) -> Option<BoundsStrategy> {
+        Some(match s {
+            "none" => BoundsStrategy::None,
+            "clamp" => BoundsStrategy::Clamp,
+            "trap" => BoundsStrategy::Trap,
+            "mprotect" => BoundsStrategy::Mprotect,
+            "uffd" => BoundsStrategy::Uffd,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BoundsStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Default reservation: 8 GiB, covering every address reachable by
+/// `u32 base + u32 offset` (paper §2.3).
+pub const DEFAULT_RESERVE_BYTES: usize = 8 << 30;
+
+/// Configuration for creating a [`crate::LinearMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// The bounds-checking strategy.
+    pub strategy: BoundsStrategy,
+    /// Initial size in 64 KiB wasm pages.
+    pub initial_pages: u32,
+    /// Maximum size in wasm pages `memory.grow` may reach.
+    pub max_pages: u32,
+    /// Virtual reservation size in bytes (default 8 GiB). Tests may shrink
+    /// it; it is always rounded up to at least `max_pages` of backing plus
+    /// one guard page.
+    pub reserve_bytes: usize,
+}
+
+impl MemoryConfig {
+    /// A config with the given strategy and sizes and the default 8 GiB
+    /// reservation.
+    pub fn new(strategy: BoundsStrategy, initial_pages: u32, max_pages: u32) -> MemoryConfig {
+        MemoryConfig {
+            strategy,
+            initial_pages,
+            max_pages,
+            reserve_bytes: DEFAULT_RESERVE_BYTES,
+        }
+    }
+
+    /// Same, but with a smaller virtual reservation (useful in tests and
+    /// for the guard-region-size ablation).
+    pub fn with_reserve(mut self, bytes: usize) -> MemoryConfig {
+        self.reserve_bytes = bytes;
+        self
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> MemoryConfig {
+        MemoryConfig::new(BoundsStrategy::Mprotect, 1, 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for s in BoundsStrategy::ALL {
+            assert_eq!(BoundsStrategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(BoundsStrategy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(BoundsStrategy::Mprotect.is_guard_based());
+        assert!(BoundsStrategy::Uffd.is_guard_based());
+        assert!(BoundsStrategy::None.is_guard_based());
+        assert!(BoundsStrategy::Clamp.is_software());
+        assert!(BoundsStrategy::Trap.is_software());
+        for s in BoundsStrategy::ALL {
+            assert_ne!(s.is_software(), s.is_guard_based());
+        }
+    }
+
+    #[test]
+    fn default_reserve_is_8gib() {
+        assert_eq!(DEFAULT_RESERVE_BYTES, 8 * 1024 * 1024 * 1024);
+        let c = MemoryConfig::new(BoundsStrategy::None, 1, 16);
+        assert_eq!(c.reserve_bytes, DEFAULT_RESERVE_BYTES);
+        assert_eq!(c.with_reserve(1 << 20).reserve_bytes, 1 << 20);
+    }
+}

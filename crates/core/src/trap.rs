@@ -1,0 +1,198 @@
+//! Wasm trap representation, shared by all engines and the signal machinery.
+
+use std::fmt;
+
+/// Why a wasm computation trapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrapKind {
+    /// A linear-memory access was outside the current bounds.
+    OutOfBounds,
+    /// The `unreachable` instruction executed.
+    Unreachable,
+    /// Integer division or remainder by zero.
+    IntegerDivByZero,
+    /// `INT_MIN / -1` style signed overflow.
+    IntegerOverflow,
+    /// A float-to-int truncation had no representable result.
+    InvalidConversion,
+    /// `call_indirect` signature mismatch.
+    IndirectCallTypeMismatch,
+    /// `call_indirect` through a null/uninitialized table slot.
+    UninitializedElement,
+    /// `call_indirect` index beyond the table.
+    TableOutOfBounds,
+    /// The wasm call stack exceeded its limit.
+    StackOverflow,
+    /// Execution was interrupted (e.g. by the engine's pauser) and aborted.
+    Interrupted,
+    /// A host function reported an error.
+    Host(String),
+}
+
+impl TrapKind {
+    /// Numeric code used to carry the trap through the signal path
+    /// (written into the ud2 payload by the JIT, and into `RAX` by the
+    /// signal handler when resuming the recovery frame).
+    pub fn code(&self) -> u32 {
+        match self {
+            TrapKind::OutOfBounds => 1,
+            TrapKind::Unreachable => 2,
+            TrapKind::IntegerDivByZero => 3,
+            TrapKind::IntegerOverflow => 4,
+            TrapKind::InvalidConversion => 5,
+            TrapKind::IndirectCallTypeMismatch => 6,
+            TrapKind::UninitializedElement => 7,
+            TrapKind::TableOutOfBounds => 8,
+            TrapKind::StackOverflow => 9,
+            TrapKind::Interrupted => 10,
+            TrapKind::Host(_) => 11,
+        }
+    }
+
+    /// Inverse of [`TrapKind::code`].
+    pub fn from_code(code: u32) -> TrapKind {
+        match code {
+            1 => TrapKind::OutOfBounds,
+            2 => TrapKind::Unreachable,
+            3 => TrapKind::IntegerDivByZero,
+            4 => TrapKind::IntegerOverflow,
+            5 => TrapKind::InvalidConversion,
+            6 => TrapKind::IndirectCallTypeMismatch,
+            7 => TrapKind::UninitializedElement,
+            8 => TrapKind::TableOutOfBounds,
+            9 => TrapKind::StackOverflow,
+            10 => TrapKind::Interrupted,
+            _ => TrapKind::Host(format!("unknown trap code {code}")),
+        }
+    }
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapKind::OutOfBounds => write!(f, "out of bounds memory access"),
+            TrapKind::Unreachable => write!(f, "unreachable executed"),
+            TrapKind::IntegerDivByZero => write!(f, "integer divide by zero"),
+            TrapKind::IntegerOverflow => write!(f, "integer overflow"),
+            TrapKind::InvalidConversion => write!(f, "invalid conversion to integer"),
+            TrapKind::IndirectCallTypeMismatch => write!(f, "indirect call type mismatch"),
+            TrapKind::UninitializedElement => write!(f, "uninitialized table element"),
+            TrapKind::TableOutOfBounds => write!(f, "undefined table element"),
+            TrapKind::StackOverflow => write!(f, "call stack exhausted"),
+            TrapKind::Interrupted => write!(f, "execution interrupted"),
+            TrapKind::Host(msg) => write!(f, "host error: {msg}"),
+        }
+    }
+}
+
+/// A wasm trap, optionally annotated with the faulting address (for
+/// guard-page out-of-bounds traps caught via SIGSEGV/SIGBUS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trap {
+    kind: TrapKind,
+    fault_addr: Option<usize>,
+}
+
+impl Trap {
+    /// A trap of the given kind.
+    pub fn new(kind: TrapKind) -> Trap {
+        Trap {
+            kind,
+            fault_addr: None,
+        }
+    }
+
+    /// An out-of-bounds trap recording the faulting virtual address.
+    pub fn oob_at(addr: usize) -> Trap {
+        Trap {
+            kind: TrapKind::OutOfBounds,
+            fault_addr: Some(addr),
+        }
+    }
+
+    /// Shorthand for a plain out-of-bounds trap.
+    pub fn oob() -> Trap {
+        Trap::new(TrapKind::OutOfBounds)
+    }
+
+    /// The trap kind.
+    pub fn kind(&self) -> &TrapKind {
+        &self.kind
+    }
+
+    /// The faulting address, for hardware-caught OOB traps.
+    pub fn fault_addr(&self) -> Option<usize> {
+        self.fault_addr
+    }
+
+    /// Reconstruct a trap from the signal path's numeric code.
+    pub fn from_signal(code: u32, fault_addr: usize) -> Trap {
+        Trap {
+            kind: TrapKind::from_code(code),
+            fault_addr: if fault_addr != 0 {
+                Some(fault_addr)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wasm trap: {}", self.kind)?;
+        if let Some(a) = self.fault_addr {
+            write!(f, " (fault address 0x{a:x})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<TrapKind> for Trap {
+    fn from(kind: TrapKind) -> Trap {
+        Trap::new(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        let kinds = [
+            TrapKind::OutOfBounds,
+            TrapKind::Unreachable,
+            TrapKind::IntegerDivByZero,
+            TrapKind::IntegerOverflow,
+            TrapKind::InvalidConversion,
+            TrapKind::IndirectCallTypeMismatch,
+            TrapKind::UninitializedElement,
+            TrapKind::TableOutOfBounds,
+            TrapKind::StackOverflow,
+            TrapKind::Interrupted,
+        ];
+        for k in kinds {
+            assert_eq!(TrapKind::from_code(k.code()), k);
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trap::oob_at(0xdeadbeef);
+        let s = t.to_string();
+        assert!(s.contains("out of bounds"));
+        assert!(s.contains("0xdeadbeef"));
+    }
+
+    #[test]
+    fn signal_reconstruction() {
+        let t = Trap::from_signal(1, 0x1000);
+        assert_eq!(*t.kind(), TrapKind::OutOfBounds);
+        assert_eq!(t.fault_addr(), Some(0x1000));
+        let t2 = Trap::from_signal(2, 0);
+        assert_eq!(t2.fault_addr(), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! # lb-dsl — a typed kernel-authoring DSL lowering to wasm
+//!
+//! The paper compiles C benchmarks (PolyBench/C, SPEC) to wasm with Clang.
+//! No C→wasm toolchain is available to this reproduction, so benchmark
+//! kernels are authored once in this small typed DSL and lowered to
+//! `lb-wasm` bytecode; their native twins are the same kernels in plain
+//! Rust (see [`kernel::Benchmark`]). The DSL covers what the C kernels
+//! need: typed scalars, 1/2/3-D row-major arrays over linear memory,
+//! counted loops, conditionals, and function calls.
+//!
+//! ## Example: a dot-product kernel
+//!
+//! ```rust
+//! use lb_dsl::expr::i32 as ci;
+//! use lb_dsl::func::DslFunc;
+//! use lb_dsl::layout::Layout;
+//! use lb_dsl::module::KernelModule;
+//! use lb_wasm::types::ValType;
+//!
+//! let n = 64u32;
+//! let mut layout = Layout::new();
+//! let a = layout.array_f64(n);
+//! let b = layout.array_f64(n);
+//!
+//! let mut f = DslFunc::new("dot", &[], Some(ValType::F64));
+//! let i = f.local_i32();
+//! let acc = f.local_f64();
+//! f.for_i32(i, ci(0), ci(n as i32), |f| {
+//!     f.assign(acc, acc.get() + a.at(i.get()) * b.at(i.get()));
+//! });
+//! f.ret(acc.get());
+//!
+//! let mut km = KernelModule::new();
+//! km.memory(layout.pages(), Some(layout.pages()));
+//! km.add_exported(f);
+//! let module = km.finish();
+//! assert!(lb_wasm::validate(&module).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod func;
+pub mod kernel;
+pub mod layout;
+pub mod module;
+
+pub use expr::Expr;
+pub use func::{DslFunc, Var};
+pub use kernel::{Benchmark, NativeFactory, NativeKernel};
+pub use layout::{Arr, Arr2, Arr3, Layout};
+pub use module::{call, call_stmt, FnRef, KernelModule};

@@ -1,0 +1,205 @@
+//! Assembling DSL functions into a wasm [`Module`].
+
+use crate::expr::Expr;
+use crate::func::DslFunc;
+use lb_wasm::builder::ModuleBuilder;
+use lb_wasm::instr::Instr;
+use lb_wasm::types::{FuncType, ValType};
+use lb_wasm::Module;
+
+/// A reference to a declared function, usable for `call`s before the body
+/// is defined (enabling mutual recursion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnRef {
+    idx: u32,
+    result: Option<ValType>,
+}
+
+impl FnRef {
+    /// The function index this reference will have in the final module.
+    pub fn index(&self) -> u32 {
+        self.idx
+    }
+}
+
+/// Builder assembling a kernel module from DSL functions.
+#[derive(Debug, Default)]
+pub struct KernelModule {
+    sigs: Vec<(Vec<ValType>, Option<ValType>)>,
+    names: Vec<String>,
+    bodies: Vec<Option<DslFunc>>,
+    exports: Vec<(String, u32)>,
+    pages: u32,
+    max_pages: Option<u32>,
+}
+
+impl KernelModule {
+    /// An empty kernel module with no memory.
+    pub fn new() -> KernelModule {
+        KernelModule::default()
+    }
+
+    /// Declare the module's linear memory.
+    pub fn memory(&mut self, pages: u32, max_pages: Option<u32>) -> &mut Self {
+        self.pages = pages;
+        self.max_pages = max_pages;
+        self
+    }
+
+    /// Declare a function signature, returning a callable reference.
+    pub fn declare(&mut self, name: &str, params: &[ValType], result: Option<ValType>) -> FnRef {
+        self.sigs.push((params.to_vec(), result));
+        self.names.push(name.to_string());
+        self.bodies.push(None);
+        FnRef {
+            idx: (self.sigs.len() - 1) as u32,
+            result,
+        }
+    }
+
+    /// Define the body of a declared function.
+    ///
+    /// # Panics
+    /// Panics if the signature differs from the declaration or the body
+    /// was already defined.
+    pub fn define(&mut self, fr: FnRef, f: DslFunc) {
+        let (params, result) = &self.sigs[fr.idx as usize];
+        assert_eq!(&f.params, params, "define: parameter mismatch for {}", f.name);
+        assert_eq!(&f.result, result, "define: result mismatch for {}", f.name);
+        let slot = &mut self.bodies[fr.idx as usize];
+        assert!(slot.is_none(), "function {} defined twice", f.name);
+        *slot = Some(f);
+    }
+
+    /// Declare + define + export in one step.
+    pub fn add_exported(&mut self, f: DslFunc) -> FnRef {
+        let fr = self.declare(&f.name.clone(), &f.params.clone(), f.result);
+        let name = f.name.clone();
+        self.define(fr, f);
+        self.exports.push((name, fr.idx));
+        fr
+    }
+
+    /// Declare + define without exporting.
+    pub fn add(&mut self, f: DslFunc) -> FnRef {
+        let fr = self.declare(&f.name.clone(), &f.params.clone(), f.result);
+        self.define(fr, f);
+        fr
+    }
+
+    /// Export a declared function under its declared name.
+    pub fn export(&mut self, fr: FnRef) {
+        self.exports
+            .push((self.names[fr.idx as usize].clone(), fr.idx));
+    }
+
+    /// Build the final module.
+    ///
+    /// # Panics
+    /// Panics if any declared function lacks a body.
+    pub fn finish(self) -> Module {
+        let mut mb = ModuleBuilder::new();
+        if self.pages > 0 {
+            mb.memory(self.pages, self.max_pages);
+        }
+        let mut ids = Vec::new();
+        for (i, body) in self.bodies.into_iter().enumerate() {
+            let f = body.unwrap_or_else(|| panic!("function {} never defined", self.names[i]));
+            let id = mb.begin_func(
+                &f.name,
+                FuncType::new(f.params.clone(), f.result.into_iter().collect()),
+            );
+            {
+                let mut fb = mb.func_mut(id);
+                for ty in &f.locals {
+                    fb.local(*ty);
+                }
+                fb.emit_all(f.body);
+            }
+            ids.push(id);
+        }
+        for (name, idx) in self.exports {
+            mb.export_func(&name, ids[idx as usize]);
+        }
+        mb.finish()
+    }
+}
+
+/// A call expression `fr(args...)` producing the callee's result value.
+///
+/// # Panics
+/// Panics if the callee returns no value (use [`DslFunc::stmt`]-style
+/// [`call_stmt`] for void calls).
+pub fn call(fr: FnRef, args: Vec<Expr>) -> Expr {
+    let result = fr
+        .result
+        .expect("call() requires a result; use call_stmt for void functions");
+    let mut code = Vec::new();
+    for a in args {
+        code.extend(a.into_code());
+    }
+    code.push(Instr::Call(fr.idx));
+    Expr::from_raw(code, result)
+}
+
+/// Emit a void call statement on `f`.
+///
+/// # Panics
+/// Panics if the callee returns a value (it would corrupt the stack).
+pub fn call_stmt(f: &mut DslFunc, fr: FnRef, args: Vec<Expr>) {
+    assert!(
+        fr.result.is_none(),
+        "call_stmt on a function returning a value"
+    );
+    let mut code = Vec::new();
+    for a in args {
+        code.extend(a.into_code());
+    }
+    code.push(Instr::Call(fr.idx));
+    f.stmt(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::i32 as ci32;
+    use lb_wasm::validate::validate;
+
+    #[test]
+    fn build_and_validate_mutually_recursive() {
+        let mut km = KernelModule::new();
+        let is_even = km.declare("is_even", &[ValType::I32], Some(ValType::I32));
+        let is_odd = km.declare("is_odd", &[ValType::I32], Some(ValType::I32));
+
+        let mut fe = DslFunc::new("is_even", &[ValType::I32], Some(ValType::I32));
+        {
+            let n = fe.param(0);
+            fe.if_then(n.get().eqz(), |f| f.ret(ci32(1)));
+            fe.ret(call(is_odd, vec![n.get() - ci32(1)]));
+            fe.raw([Instr::Unreachable]);
+        }
+        km.define(is_even, fe);
+
+        let mut fo = DslFunc::new("is_odd", &[ValType::I32], Some(ValType::I32));
+        {
+            let n = fo.param(0);
+            fo.if_then(n.get().eqz(), |f| f.ret(ci32(0)));
+            fo.ret(call(is_even, vec![n.get() - ci32(1)]));
+            fo.raw([Instr::Unreachable]);
+        }
+        km.define(is_odd, fo);
+        km.export(is_even);
+
+        let m = km.finish();
+        validate(&m).expect("module should validate");
+        assert!(m.exported_func("is_even").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "never defined")]
+    fn undefined_function_panics() {
+        let mut km = KernelModule::new();
+        km.declare("ghost", &[], None);
+        let _ = km.finish();
+    }
+}

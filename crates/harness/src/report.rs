@@ -1,0 +1,138 @@
+//! Plain-text tables and CSV output for the figure-regeneration binaries.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Write as CSV.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a ratio with 3 decimals.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.3}")
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}us")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.3}s", us / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["gemm".into(), "1.234".into()]);
+        t.row(vec!["jacobi-2d".into(), "0.9".into()]);
+        let s = t.render();
+        assert!(s.contains("gemm"));
+        assert!(s.contains("jacobi-2d"));
+        assert!(s.lines().count() == 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let p = std::env::temp_dir().join(format!("lb-csv-{}.csv", std::process::id()));
+        t.write_csv(&p).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+    }
+}

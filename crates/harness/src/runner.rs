@@ -1,0 +1,361 @@
+//! The benchmark runner, reproducing the paper's harness (§3.5):
+//!
+//! * the module is loaded (compiled) once per runtime;
+//! * each worker thread, pinned to a CPU, executes *isolate instances* of
+//!   the module in a timed loop — one instantiation (fresh linear memory),
+//!   `init`, `kernel`, tear-down per iteration, which is exactly the
+//!   allocate/run/free churn the paper says "stresses the virtual memory
+//!   management subsystem";
+//! * warm-up iterations precede the timed window, and threads that finish
+//!   keep running cool-down iterations until all threads are done, so the
+//!   machine stays uniformly busy throughout every measurement.
+
+use crate::procstat::{pin_to_cpu, Sampler, SysStats};
+use lb_core::exec::{Engine, Linker};
+use lb_core::stats::{snapshot, VmSnapshot};
+use lb_core::{BoundsStrategy, MemoryConfig};
+use lb_dsl::{Benchmark, NativeKernel};
+use lb_interp::InterpEngine;
+use lb_jit::{JitEngine, JitProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Which execution environment to measure (the paper's six environments
+/// collapse to five here: one native baseline — rustc — plus four wasm
+/// runtimes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineSel {
+    /// The native baseline (plain Rust, the "native Clang" stand-in).
+    Native,
+    /// The Wasm3-style interpreter.
+    Interp,
+    /// JIT with the WAVM profile.
+    Wavm,
+    /// JIT with the Wasmtime profile.
+    Wasmtime,
+    /// JIT with the V8 profile (tiered + GC pauses).
+    V8,
+}
+
+impl EngineSel {
+    /// All wasm runtimes (everything but the native baseline).
+    pub const WASM_RUNTIMES: [EngineSel; 4] = [
+        EngineSel::Interp,
+        EngineSel::Wavm,
+        EngineSel::Wasmtime,
+        EngineSel::V8,
+    ];
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineSel::Native => "native",
+            EngineSel::Interp => "interp",
+            EngineSel::Wavm => "wavm",
+            EngineSel::Wasmtime => "wasmtime",
+            EngineSel::V8 => "v8",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<EngineSel> {
+        Some(match s {
+            "native" => EngineSel::Native,
+            "interp" | "wasm3" => EngineSel::Interp,
+            "wavm" => EngineSel::Wavm,
+            "wasmtime" => EngineSel::Wasmtime,
+            "v8" => EngineSel::V8,
+            _ => return None,
+        })
+    }
+
+    /// Build the engine (None for the native baseline).
+    pub fn engine(self) -> Option<Arc<dyn Engine>> {
+        match self {
+            EngineSel::Native => None,
+            EngineSel::Interp => Some(Arc::new(InterpEngine::new())),
+            EngineSel::Wavm => Some(Arc::new(JitEngine::new(JitProfile::wavm()))),
+            EngineSel::Wasmtime => Some(Arc::new(JitEngine::new(JitProfile::wasmtime()))),
+            EngineSel::V8 => Some(Arc::new(JitEngine::new(JitProfile::v8()))),
+        }
+    }
+}
+
+/// One measurement configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Which runtime.
+    pub engine: EngineSel,
+    /// Bounds-checking strategy (ignored by the native baseline).
+    pub strategy: BoundsStrategy,
+    /// Worker-thread (isolate) count: the paper uses 1, 4 and 16.
+    pub threads: usize,
+    /// Untimed warm-up iterations per thread.
+    pub warmup_iters: u32,
+    /// Timed iterations per thread.
+    pub measured_iters: u32,
+    /// Virtual reservation per memory (8 GiB default; smaller in tests).
+    pub reserve_bytes: usize,
+    /// Maximum pages a memory may grow to.
+    pub max_pages: u32,
+    /// Sample /proc during the run.
+    pub sample_system: bool,
+}
+
+impl RunSpec {
+    /// A reasonable default spec for quick runs.
+    pub fn new(engine: EngineSel, strategy: BoundsStrategy) -> RunSpec {
+        RunSpec {
+            engine,
+            strategy,
+            threads: 1,
+            warmup_iters: 2,
+            measured_iters: 10,
+            reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES,
+            max_pages: 4096,
+            sample_system: false,
+        }
+    }
+}
+
+/// The outcome of one (benchmark, spec) measurement.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Timed iteration durations, per worker thread.
+    pub iter_times: Vec<Vec<Duration>>,
+    /// Whether the wasm checksum matched the native twin.
+    pub checksum_ok: bool,
+    /// Delta of memory-subsystem counters over the run.
+    pub vm: VmSnapshot,
+    /// System statistics (when `sample_system`).
+    pub sys: Option<SysStats>,
+    /// Wall-clock time of the whole measured region.
+    pub wall: Duration,
+}
+
+impl RunResult {
+    /// Median over all threads' iterations pooled together.
+    pub fn median(&self) -> Duration {
+        let all: Vec<Duration> = self.iter_times.iter().flatten().copied().collect();
+        crate::stats::median(&all)
+    }
+
+    /// Aggregate throughput: total iterations / wall time.
+    pub fn iters_per_sec(&self) -> f64 {
+        let n: usize = self.iter_times.iter().map(|v| v.len()).sum();
+        n as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Run one benchmark under one spec.
+///
+/// # Panics
+/// Panics if the module fails to load — the suites are known-good.
+pub fn run_benchmark(bench: &Benchmark, spec: &RunSpec) -> RunResult {
+    let expected = bench.native_checksum();
+    let vm_before = snapshot();
+    let sampler = spec
+        .sample_system
+        .then(|| Sampler::start(Duration::from_millis(20)));
+
+    let result = match spec.engine.engine() {
+        None => run_native(bench, spec, expected),
+        Some(engine) => run_wasm(bench, spec, engine, expected),
+    };
+
+    let sys = sampler.map(Sampler::stop);
+    let vm = snapshot().delta(&vm_before);
+    RunResult {
+        iter_times: result.0,
+        checksum_ok: result.1,
+        vm,
+        sys,
+        wall: result.2,
+    }
+}
+
+type ThreadTimes = (Vec<Vec<Duration>>, bool, Duration);
+
+fn run_native(bench: &Benchmark, spec: &RunSpec, expected: f64) -> ThreadTimes {
+    let barrier = Arc::new(Barrier::new(spec.threads));
+    let remaining = Arc::new(AtomicUsize::new(spec.threads));
+    let t0 = Instant::now();
+    let times: Vec<(Vec<Duration>, bool)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for tid in 0..spec.threads {
+            let barrier = Arc::clone(&barrier);
+            let remaining = Arc::clone(&remaining);
+            let native = &bench.native;
+            handles.push(s.spawn(move || {
+                pin_to_cpu(tid);
+                let one_iter = || {
+                    let mut k: Box<dyn NativeKernel> = native();
+                    k.init();
+                    k.kernel();
+                    k
+                };
+                for _ in 0..spec.warmup_iters {
+                    one_iter();
+                }
+                barrier.wait();
+                let mut times = Vec::with_capacity(spec.measured_iters as usize);
+                let mut last = None;
+                for _ in 0..spec.measured_iters {
+                    let t = Instant::now();
+                    let k = one_iter();
+                    times.push(t.elapsed());
+                    last = Some(k);
+                }
+                let ok = last
+                    .map(|k| lb_dsl::kernel::checksums_match(k.checksum(), expected))
+                    .unwrap_or(true);
+                // Cool-down: keep the CPU busy until everyone is done.
+                remaining.fetch_sub(1, Ordering::AcqRel);
+                while remaining.load(Ordering::Acquire) > 0 {
+                    one_iter();
+                }
+                (times, ok)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+    let wall = t0.elapsed();
+    let ok = times.iter().all(|(_, ok)| *ok);
+    (times.into_iter().map(|(t, _)| t).collect(), ok, wall)
+}
+
+fn run_wasm(
+    bench: &Benchmark,
+    spec: &RunSpec,
+    engine: Arc<dyn Engine>,
+    expected: f64,
+) -> ThreadTimes {
+    let loaded = engine.load(&bench.module).expect("benchmark module loads");
+    let config = MemoryConfig {
+        strategy: spec.strategy,
+        initial_pages: 0,
+        max_pages: spec.max_pages,
+        reserve_bytes: spec.reserve_bytes,
+    };
+    let linker = Linker::new();
+    let barrier = Arc::new(Barrier::new(spec.threads));
+    let remaining = Arc::new(AtomicUsize::new(spec.threads));
+    let t0 = Instant::now();
+    let results: Vec<(Vec<Duration>, bool)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for tid in 0..spec.threads {
+            let loaded = Arc::clone(&loaded);
+            let linker = linker.clone();
+            let barrier = Arc::clone(&barrier);
+            let remaining = Arc::clone(&remaining);
+            handles.push(s.spawn(move || {
+                pin_to_cpu(tid);
+                // One isolate instantiation + run per iteration: the
+                // allocate/free churn the paper measures.
+                let one_iter = || {
+                    let mut inst = loaded
+                        .instantiate(&config, &linker)
+                        .expect("instantiate isolate");
+                    inst.invoke("init", &[]).expect("init");
+                    inst.invoke("kernel", &[]).expect("kernel");
+                    inst
+                };
+                for _ in 0..spec.warmup_iters {
+                    one_iter();
+                }
+                barrier.wait();
+                let mut times = Vec::with_capacity(spec.measured_iters as usize);
+                let mut ok = true;
+                for i in 0..spec.measured_iters {
+                    let t = Instant::now();
+                    let mut inst = one_iter();
+                    times.push(t.elapsed());
+                    if i == spec.measured_iters - 1 {
+                        let cs = inst
+                            .invoke("checksum", &[])
+                            .expect("checksum")
+                            .and_then(|v| v.as_f64())
+                            .unwrap_or(f64::NAN);
+                        ok = lb_dsl::kernel::checksums_match(cs, expected);
+                    }
+                }
+                remaining.fetch_sub(1, Ordering::AcqRel);
+                while remaining.load(Ordering::Acquire) > 0 {
+                    one_iter();
+                }
+                (times, ok)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+    let wall = t0.elapsed();
+    let ok = results.iter().all(|(_, ok)| *ok);
+    (results.into_iter().map(|(t, _)| t).collect(), ok, wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_polybench::{by_name, common::Dataset};
+
+    fn quick_spec(engine: EngineSel) -> RunSpec {
+        RunSpec {
+            engine,
+            strategy: BoundsStrategy::Mprotect,
+            threads: 1,
+            warmup_iters: 1,
+            measured_iters: 3,
+            reserve_bytes: 64 << 20,
+            max_pages: 512,
+            sample_system: false,
+        }
+    }
+
+    #[test]
+    fn native_run_produces_times() {
+        let b = by_name("gemm", Dataset::Mini).unwrap();
+        let r = run_benchmark(&b, &quick_spec(EngineSel::Native));
+        assert!(r.checksum_ok);
+        assert_eq!(r.iter_times.len(), 1);
+        assert_eq!(r.iter_times[0].len(), 3);
+    }
+
+    #[test]
+    fn wasm_run_produces_times_and_validates() {
+        let b = by_name("atax", Dataset::Mini).unwrap();
+        for e in [EngineSel::Interp, EngineSel::Wavm] {
+            let r = run_benchmark(&b, &quick_spec(e));
+            assert!(r.checksum_ok, "{}", e.name());
+            assert!(r.median() > Duration::ZERO);
+            assert!(r.vm.mmap >= 3, "one reservation per isolate iteration");
+        }
+    }
+
+    #[test]
+    fn multithreaded_run_works() {
+        let b = by_name("trisolv", Dataset::Mini).unwrap();
+        let mut spec = quick_spec(EngineSel::Wasmtime);
+        spec.threads = 4;
+        let r = run_benchmark(&b, &spec);
+        assert!(r.checksum_ok);
+        assert_eq!(r.iter_times.len(), 4);
+        assert!(r.iters_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn mprotect_strategy_issues_mprotect_calls() {
+        let b = by_name("jacobi-1d", Dataset::Mini).unwrap();
+        let mut spec = quick_spec(EngineSel::Wavm);
+        spec.strategy = BoundsStrategy::Mprotect;
+        let r1 = run_benchmark(&b, &spec);
+        spec.strategy = BoundsStrategy::Trap;
+        let r2 = run_benchmark(&b, &spec);
+        assert!(
+            r1.vm.mprotect > r2.vm.mprotect,
+            "mprotect strategy must call mprotect more ({} vs {})",
+            r1.vm.mprotect,
+            r2.vm.mprotect
+        );
+    }
+}

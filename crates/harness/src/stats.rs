@@ -1,0 +1,102 @@
+//! Statistics used by the paper's evaluation: per-benchmark medians and
+//! the Fleming–Wallace geometric mean of ratios (the paper cites [4],
+//! "How Not To Lie With Statistics", for exactly this aggregation).
+
+use std::time::Duration;
+
+/// Median of a sample (averaging the middle pair for even sizes).
+pub fn median(samples: &[Duration]) -> Duration {
+    assert!(!samples.is_empty(), "median of empty sample");
+    let mut v: Vec<Duration> = samples.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(samples: &[Duration]) -> Duration {
+    assert!(!samples.is_empty(), "mean of empty sample");
+    let total: Duration = samples.iter().sum();
+    total / samples.len() as u32
+}
+
+/// The p-th percentile (nearest-rank), p in [0, 100].
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    assert!(!samples.is_empty(), "percentile of empty sample");
+    let mut v: Vec<Duration> = samples.to_vec();
+    v.sort_unstable();
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Geometric mean of ratios (Fleming–Wallace): the correct way to average
+/// normalized execution times across benchmarks.
+pub fn geomean_ratios(ratios: &[f64]) -> f64 {
+    assert!(!ratios.is_empty(), "geomean of empty sample");
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+/// Ratio of two durations as f64.
+pub fn ratio(a: Duration, b: Duration) -> f64 {
+    a.as_secs_f64() / b.as_secs_f64()
+}
+
+/// Coefficient of variation (stddev/mean) — used to report run stability.
+pub fn cv(samples: &[Duration]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples).as_secs_f64();
+    let var: f64 = samples
+        .iter()
+        .map(|s| {
+            let d = s.as_secs_f64() - m;
+            d * d
+        })
+        .sum::<f64>()
+        / (samples.len() - 1) as f64;
+    var.sqrt() / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[ms(3), ms(1), ms(2)]), ms(2));
+        assert_eq!(median(&[ms(1), ms(2), ms(3), ms(4)]), ms(2) + ms(1) / 2);
+    }
+
+    #[test]
+    fn geomean_is_fleming_wallace() {
+        // geomean(2, 0.5) == 1 — a speedup and equal slowdown cancel.
+        let g = geomean_ratios(&[2.0, 0.5]);
+        assert!((g - 1.0).abs() < 1e-12);
+        let g = geomean_ratios(&[1.0, 8.0]);
+        assert!((g - 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let s = [ms(1), ms(2), ms(3), ms(4), ms(5)];
+        assert_eq!(percentile(&s, 0.0), ms(1));
+        assert_eq!(percentile(&s, 100.0), ms(5));
+        assert_eq!(percentile(&s, 50.0), ms(3));
+    }
+
+    #[test]
+    fn cv_zero_for_constant() {
+        assert_eq!(cv(&[ms(5), ms(5), ms(5)]), 0.0);
+        assert!(cv(&[ms(1), ms(9)]) > 0.5);
+    }
+}

@@ -1,0 +1,45 @@
+//! # lb-interp — an in-place WebAssembly interpreter
+//!
+//! The reproduction's analog of **Wasm3**, the interpreter runtime the
+//! paper benchmarks: a straightforward fetch/execute loop over validated
+//! bytecode with precomputed branch side-tables, a shared untyped value
+//! stack, and software bounds checks performed by
+//! [`lb_core::LinearMemory`]'s accessors.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use lb_interp::InterpEngine;
+//! use lb_core::exec::{Engine, Linker};
+//! use lb_core::{BoundsStrategy, MemoryConfig};
+//! use lb_wasm::builder::ModuleBuilder;
+//! use lb_wasm::types::{FuncType, ValType};
+//! use lb_wasm::{Instr, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new();
+//! let f = mb.begin_func("add1", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+//! {
+//!     let mut b = mb.func_mut(f);
+//!     b.emit(Instr::LocalGet(0)).emit(Instr::I32Const(1)).emit(Instr::I32Add);
+//! }
+//! mb.export_func("add1", f);
+//! let module = mb.finish();
+//!
+//! let engine = InterpEngine::new();
+//! let loaded = engine.load(&module)?;
+//! let config = MemoryConfig::new(BoundsStrategy::Trap, 0, 0);
+//! let mut inst = loaded.instantiate(&config, &Linker::new())?;
+//! let out = inst.invoke("add1", &[Value::I32(41)])?;
+//! assert_eq!(out, Some(Value::I32(42)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod run;
+
+pub use engine::{InterpEngine, InterpInstance, InterpModule};
+pub use run::MAX_CALL_DEPTH;

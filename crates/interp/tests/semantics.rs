@@ -1,0 +1,511 @@
+//! Interpreter semantics tests: control flow, arithmetic edge cases,
+//! memory instructions under every bounds-checking strategy, indirect
+//! calls, and host imports.
+
+use lb_core::exec::{Engine, Linker};
+use lb_core::{BoundsStrategy, MemoryConfig, TrapKind};
+use lb_interp::InterpEngine;
+use lb_wasm::builder::{FuncId, ModuleBuilder};
+use lb_wasm::instr::{Instr, MemArg};
+use lb_wasm::types::{BlockType, FuncType, Mutability, ValType};
+use lb_wasm::{Module, Value};
+
+fn run1(module: &Module, func: &str, args: &[Value]) -> Option<Value> {
+    try_run(module, func, args).unwrap()
+}
+
+fn try_run(
+    module: &Module,
+    func: &str,
+    args: &[Value],
+) -> Result<Option<Value>, lb_core::Trap> {
+    let engine = InterpEngine::new();
+    let loaded = engine.load(module).expect("load");
+    let config = MemoryConfig::new(BoundsStrategy::Trap, 0, 64).with_reserve(1 << 24);
+    let mut inst = loaded.instantiate(&config, &Linker::new()).expect("inst");
+    inst.invoke(func, args)
+}
+
+fn i32_module(name: &str, params: usize, body: Vec<Instr>) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func(
+        name,
+        FuncType::new(vec![ValType::I32; params], vec![ValType::I32]),
+    );
+    mb.func_mut(f).emit_all(body);
+    mb.export_func(name, f);
+    mb.finish()
+}
+
+#[test]
+fn fib_recursive() {
+    // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+    let mut mb = ModuleBuilder::new();
+    let fib = mb.begin_func("fib", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(fib);
+        let n = b.param(0);
+        b.get(n).i32_const(2).emit(Instr::I32LtS);
+        b.if_else(
+            BlockType::Value(ValType::I32),
+            |b| {
+                b.get(n);
+            },
+            |b| {
+                b.get(n).i32_const(1).emit(Instr::I32Sub).call(fib);
+                b.get(n).i32_const(2).emit(Instr::I32Sub).call(fib);
+                b.emit(Instr::I32Add);
+            },
+        );
+    }
+    mb.export_func("fib", fib);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "fib", &[Value::I32(10)]), Some(Value::I32(55)));
+    assert_eq!(run1(&m, "fib", &[Value::I32(20)]), Some(Value::I32(6765)));
+}
+
+#[test]
+fn loop_sum_1_to_n() {
+    // sum = 0; i = n; loop { sum += i; i -= 1; br_if i != 0 } return sum
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("sum", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let n = b.param(0);
+        let sum = b.local(ValType::I32);
+        b.loop_(BlockType::Empty, |b| {
+            b.get(sum).get(n).emit(Instr::I32Add).set(sum);
+            b.get(n).i32_const(1).emit(Instr::I32Sub).tee(n);
+            b.br_if(0);
+        });
+        b.get(sum);
+    }
+    mb.export_func("sum", f);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "sum", &[Value::I32(100)]), Some(Value::I32(5050)));
+}
+
+#[test]
+fn division_edge_cases() {
+    let div = i32_module(
+        "div",
+        2,
+        vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32DivS],
+    );
+    assert_eq!(
+        run1(&div, "div", &[Value::I32(-7), Value::I32(2)]),
+        Some(Value::I32(-3))
+    );
+    let e = try_run(&div, "div", &[Value::I32(1), Value::I32(0)]).unwrap_err();
+    assert_eq!(*e.kind(), TrapKind::IntegerDivByZero);
+    let e = try_run(&div, "div", &[Value::I32(i32::MIN), Value::I32(-1)]).unwrap_err();
+    assert_eq!(*e.kind(), TrapKind::IntegerOverflow);
+
+    let rem = i32_module(
+        "rem",
+        2,
+        vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32RemS],
+    );
+    assert_eq!(
+        run1(&rem, "rem", &[Value::I32(i32::MIN), Value::I32(-1)]),
+        Some(Value::I32(0))
+    );
+}
+
+#[test]
+fn unreachable_traps() {
+    let m = i32_module("f", 0, vec![Instr::Unreachable]);
+    let e = try_run(&m, "f", &[]).unwrap_err();
+    assert_eq!(*e.kind(), TrapKind::Unreachable);
+}
+
+#[test]
+fn br_table_selects() {
+    // br_table mapping 0→10, 1→20, default→99
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("sel", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let n = b.param(0);
+        b.block(BlockType::Empty, |b| {
+            b.block(BlockType::Empty, |b| {
+                b.block(BlockType::Empty, |b| {
+                    b.get(n);
+                    b.br_table(vec![0, 1], 2);
+                });
+                b.i32_const(10);
+                b.emit(Instr::Return);
+            });
+            b.i32_const(20);
+            b.emit(Instr::Return);
+        });
+        b.i32_const(99);
+    }
+    mb.export_func("sel", f);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "sel", &[Value::I32(0)]), Some(Value::I32(10)));
+    assert_eq!(run1(&m, "sel", &[Value::I32(1)]), Some(Value::I32(20)));
+    assert_eq!(run1(&m, "sel", &[Value::I32(7)]), Some(Value::I32(99)));
+}
+
+#[test]
+fn select_and_globals() {
+    let mut mb = ModuleBuilder::new();
+    let g = mb.global(Mutability::Var, Value::I32(5));
+    let f = mb.begin_func("f", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let p = b.param(0);
+        // g = select(p, g*2, g+1); return g
+        b.emit(Instr::GlobalGet(g.0)).i32_const(2).emit(Instr::I32Mul);
+        b.emit(Instr::GlobalGet(g.0)).i32_const(1).emit(Instr::I32Add);
+        b.get(p);
+        b.emit(Instr::Select);
+        b.emit(Instr::GlobalSet(g.0));
+        b.emit(Instr::GlobalGet(g.0));
+    }
+    mb.export_func("f", f);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "f", &[Value::I32(1)]), Some(Value::I32(10)));
+    assert_eq!(run1(&m, "f", &[Value::I32(0)]), Some(Value::I32(6)));
+}
+
+#[test]
+fn call_indirect_dispatch_and_traps() {
+    let mut mb = ModuleBuilder::new();
+    mb.table(3);
+    let ty = FuncType::new(vec![ValType::I32], vec![ValType::I32]);
+    let double = mb.begin_func("double", ty.clone());
+    {
+        let mut b = mb.func_mut(double);
+        let p = b.param(0);
+        b.get(p).get(p).emit(Instr::I32Add);
+    }
+    let square = mb.begin_func("square", ty.clone());
+    {
+        let mut b = mb.func_mut(square);
+        let p = b.param(0);
+        b.get(p).get(p).emit(Instr::I32Mul);
+    }
+    // A function with a different signature, to trigger the sig check.
+    let wrong = mb.begin_func("wrong", FuncType::new(vec![], vec![]));
+    {
+        mb.func_mut(wrong).emit(Instr::Nop);
+    }
+    let disp = mb.begin_func(
+        "disp",
+        FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
+    );
+    {
+        let mut b = mb.func_mut(disp);
+        let x = b.param(1);
+        let which = b.param(0);
+        b.get(x).get(which);
+        // type index of `ty` is what the two i32→i32 funcs use
+        b.emit(Instr::CallIndirect(0));
+    }
+    mb.elems(0, vec![double, square, wrong]);
+    mb.export_func("disp", disp);
+    let m = mb.finish();
+
+    assert_eq!(
+        run1(&m, "disp", &[Value::I32(0), Value::I32(21)]),
+        Some(Value::I32(42))
+    );
+    assert_eq!(
+        run1(&m, "disp", &[Value::I32(1), Value::I32(7)]),
+        Some(Value::I32(49))
+    );
+    let e = try_run(&m, "disp", &[Value::I32(2), Value::I32(7)]).unwrap_err();
+    assert_eq!(*e.kind(), TrapKind::IndirectCallTypeMismatch);
+    let e = try_run(&m, "disp", &[Value::I32(9), Value::I32(7)]).unwrap_err();
+    assert_eq!(*e.kind(), TrapKind::TableOutOfBounds);
+}
+
+#[test]
+fn memory_ops_under_every_strategy() {
+    // store f64s, load them back summed; also sub-width int ops.
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(4));
+    let f = mb.begin_func("go", FuncType::new(vec![], vec![ValType::F64]));
+    {
+        let mut b = mb.func_mut(f);
+        b.i32_const(8).f64_const(1.25).f64_store(0);
+        b.i32_const(16).f64_const(2.5).f64_store(0);
+        // i32.store8 / load8_u roundtrip
+        b.i32_const(100).i32_const(0x1FF).emit(Instr::I32Store8(MemArg::offset(0)));
+        b.i32_const(8).f64_load(0);
+        b.i32_const(16).f64_load(0);
+        b.emit(Instr::F64Add);
+        b.i32_const(100).emit(Instr::I32Load8U(MemArg::offset(0)));
+        b.emit(Instr::F64ConvertI32U);
+        b.emit(Instr::F64Add); // 1.25 + 2.5 + 255
+    }
+    mb.export_func("go", f);
+    let m = mb.finish();
+
+    for s in BoundsStrategy::ALL {
+        if s == BoundsStrategy::Uffd && !lb_core::uffd::sigbus_mode_available() {
+            continue;
+        }
+        let engine = InterpEngine::new();
+        let loaded = engine.load(&m).unwrap();
+        let config = MemoryConfig::new(s, 1, 4).with_reserve(1 << 24);
+        let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+        let out = inst.invoke("go", &[]).unwrap();
+        assert_eq!(out, Some(Value::F64(258.75)), "strategy {s}");
+    }
+}
+
+#[test]
+fn oob_traps_under_checking_strategies() {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(2));
+    let f = mb.begin_func("poke", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        b.get(b.param(0)).i32_load(0);
+    }
+    mb.export_func("poke", f);
+    let m = mb.finish();
+
+    let mut strategies = vec![BoundsStrategy::Trap, BoundsStrategy::Mprotect];
+    if lb_core::uffd::sigbus_mode_available() {
+        strategies.push(BoundsStrategy::Uffd);
+    }
+    for s in strategies {
+        let engine = InterpEngine::new();
+        let loaded = engine.load(&m).unwrap();
+        let config = MemoryConfig::new(s, 1, 2).with_reserve(1 << 24);
+        let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+        // in bounds
+        assert_eq!(
+            inst.invoke("poke", &[Value::I32(100)]).unwrap(),
+            Some(Value::I32(0)),
+            "strategy {s}"
+        );
+        // out of bounds (beyond the 1 committed page)
+        let e = inst.invoke("poke", &[Value::I32(65536 + 10)]).unwrap_err();
+        assert_eq!(*e.kind(), TrapKind::OutOfBounds, "strategy {s}");
+        // instance still alive after the trap
+        assert!(inst.invoke("poke", &[Value::I32(0)]).is_ok());
+    }
+}
+
+#[test]
+fn memory_grow_and_size() {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(3));
+    let f = mb.begin_func("grow", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        b.get(b.param(0)).emit(Instr::MemoryGrow);
+        // return old_pages * 100 + new_size
+        b.i32_const(100).emit(Instr::I32Mul);
+        b.emit(Instr::MemorySize).emit(Instr::I32Add);
+    }
+    mb.export_func("grow", f);
+    let m = mb.finish();
+
+    let engine = InterpEngine::new();
+    let loaded = engine.load(&m).unwrap();
+    let config = MemoryConfig::new(BoundsStrategy::Mprotect, 1, 3).with_reserve(1 << 24);
+    let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+    // grow 1: old=1, size=2 → 102
+    assert_eq!(inst.invoke("grow", &[Value::I32(1)]).unwrap(), Some(Value::I32(102)));
+    // grow 5: fails → -1*100 + 2 = -98
+    assert_eq!(inst.invoke("grow", &[Value::I32(5)]).unwrap(), Some(Value::I32(-98)));
+}
+
+#[test]
+fn host_imports_are_callable() {
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    let mut mb = ModuleBuilder::new();
+    let tick = mb.import_func("env", "tick", FuncType::new(vec![ValType::I64], vec![ValType::I64]));
+    let f = mb.begin_func("f", FuncType::new(vec![ValType::I64], vec![ValType::I64]));
+    {
+        let mut b = mb.func_mut(f);
+        b.get(b.param(0)).call(tick).call(tick);
+    }
+    mb.export_func("f", f);
+    let m = mb.finish();
+
+    let total = Arc::new(AtomicI64::new(0));
+    let t2 = Arc::clone(&total);
+    let mut linker = Linker::new();
+    linker.func("env", "tick", move |_, args| {
+        let v = args[0].as_i64().unwrap();
+        t2.fetch_add(v, Ordering::Relaxed);
+        Ok(Some(Value::I64(v + 1)))
+    });
+
+    let engine = InterpEngine::new();
+    let loaded = engine.load(&m).unwrap();
+    let config = MemoryConfig::new(BoundsStrategy::Trap, 0, 0);
+    let mut inst = loaded.instantiate(&config, &linker).unwrap();
+    let out = inst.invoke("f", &[Value::I64(10)]).unwrap();
+    assert_eq!(out, Some(Value::I64(12)));
+    assert_eq!(total.load(Ordering::Relaxed), 21); // 10 + 11
+}
+
+#[test]
+fn missing_import_is_load_error() {
+    let mut mb = ModuleBuilder::new();
+    mb.import_func("env", "nope", FuncType::new(vec![], vec![]));
+    let f = mb.begin_func("f", FuncType::new(vec![], vec![]));
+    mb.func_mut(f).emit(Instr::Nop);
+    mb.export_func("f", f);
+    let m = mb.finish();
+
+    let engine = InterpEngine::new();
+    let loaded = engine.load(&m).unwrap();
+    let r = loaded.instantiate(&MemoryConfig::new(BoundsStrategy::Trap, 0, 0), &Linker::new());
+    assert!(matches!(r, Err(lb_core::LoadError::MissingImport(..))));
+}
+
+#[test]
+fn deep_recursion_overflows_cleanly() {
+    // f(n) = n == 0 ? 0 : f(n - 1)
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("f", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let n = b.param(0);
+        b.get(n);
+        b.if_else(
+            BlockType::Value(ValType::I32),
+            |b| {
+                b.get(n).i32_const(1).emit(Instr::I32Sub).call(f);
+            },
+            |b| {
+                b.i32_const(0);
+            },
+        );
+    }
+    mb.export_func("f", f);
+    let m = mb.finish();
+    // Shallow is fine.
+    assert_eq!(run1(&m, "f", &[Value::I32(100)]), Some(Value::I32(0)));
+    // Deep overflows with a trap, not a crash.
+    let e = try_run(&m, "f", &[Value::I32(1_000_000)]).unwrap_err();
+    assert_eq!(*e.kind(), TrapKind::StackOverflow);
+}
+
+#[test]
+fn float_semantics() {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func(
+        "minmax",
+        FuncType::new(vec![ValType::F64, ValType::F64], vec![ValType::F64]),
+    );
+    {
+        let mut b = mb.func_mut(f);
+        let (p0, p1) = (b.param(0), b.param(1));
+        b.get(p0).get(p1).emit(Instr::F64Min);
+        b.get(p0).get(p1).emit(Instr::F64Max);
+        b.emit(Instr::F64Add);
+    }
+    mb.export_func("minmax", f);
+    let m = mb.finish();
+    assert_eq!(
+        run1(&m, "minmax", &[Value::F64(3.0), Value::F64(-1.0)]),
+        Some(Value::F64(2.0))
+    );
+    // NaN propagates.
+    let out = run1(&m, "minmax", &[Value::F64(f64::NAN), Value::F64(1.0)]).unwrap();
+    assert!(out.as_f64().unwrap().is_nan());
+}
+
+#[test]
+fn trunc_conversion_traps() {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("t", FuncType::new(vec![ValType::F64], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        b.get(b.param(0)).emit(Instr::I32TruncF64S);
+    }
+    mb.export_func("t", f);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "t", &[Value::F64(-3.99)]), Some(Value::I32(-3)));
+    let e = try_run(&m, "t", &[Value::F64(1e10)]).unwrap_err();
+    assert_eq!(*e.kind(), TrapKind::InvalidConversion);
+    let e = try_run(&m, "t", &[Value::F64(f64::NAN)]).unwrap_err();
+    assert_eq!(*e.kind(), TrapKind::InvalidConversion);
+}
+
+#[test]
+fn data_segments_initialize_memory() {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(1));
+    mb.data(32, vec![0x11, 0x22, 0x33, 0x44]);
+    let f = mb.begin_func("read", FuncType::new(vec![], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        b.i32_const(32).i32_load(0);
+    }
+    mb.export_func("read", f);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "read", &[]), Some(Value::I32(0x44332211)));
+}
+
+#[test]
+fn start_function_runs() {
+    let mut mb = ModuleBuilder::new();
+    let g = mb.global(Mutability::Var, Value::I32(0));
+    let init = mb.begin_func("init", FuncType::new(vec![], vec![]));
+    {
+        let mut b = mb.func_mut(init);
+        b.i32_const(77).emit(Instr::GlobalSet(g.0));
+    }
+    let read = mb.begin_func("read", FuncType::new(vec![], vec![ValType::I32]));
+    {
+        mb.func_mut(read).emit(Instr::GlobalGet(g.0));
+    }
+    mb.start(init);
+    mb.export_func("read", read);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "read", &[]), Some(Value::I32(77)));
+}
+
+#[test]
+fn module_survives_binary_roundtrip_and_still_runs() {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("f", FuncType::new(vec![ValType::I64], vec![ValType::I64]));
+    {
+        let mut b = mb.func_mut(f);
+        b.get(b.param(0)).emit(Instr::I64Popcnt);
+    }
+    mb.export_func("f", f);
+    let m = mb.finish();
+    let bytes = lb_wasm::binary::encode(&m);
+    let m2 = lb_wasm::binary::decode(&bytes).unwrap();
+    assert_eq!(
+        run1(&m2, "f", &[Value::I64(0xFF00FF)]),
+        Some(Value::I64(16))
+    );
+}
+
+/// Wrong argument types are a host error, not UB.
+#[test]
+fn invoke_validates_arguments() {
+    let m = i32_module("f", 1, vec![Instr::LocalGet(0)]);
+    let e = try_run(&m, "f", &[Value::F64(1.0)]).unwrap_err();
+    assert!(matches!(e.kind(), TrapKind::Host(_)));
+    let e = try_run(&m, "f", &[]).unwrap_err();
+    assert!(matches!(e.kind(), TrapKind::Host(_)));
+    let e = try_run(&m, "missing", &[]).unwrap_err();
+    assert!(matches!(e.kind(), TrapKind::Host(_)));
+}
+
+/// FuncId ordering sanity for the builder-based tests above.
+#[test]
+fn builder_func_ids_are_stable() {
+    let mut mb = ModuleBuilder::new();
+    let a = mb.begin_func("a", FuncType::new(vec![], vec![]));
+    let b = mb.begin_func("b", FuncType::new(vec![], vec![]));
+    mb.func_mut(a).emit(Instr::Nop);
+    mb.func_mut(b).emit(Instr::Nop);
+    assert_eq!((a, b), (FuncId(0), FuncId(1)));
+}

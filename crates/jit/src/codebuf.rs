@@ -1,0 +1,146 @@
+//! Executable code memory: W→X mapped buffers registered with the trap
+//! machinery so SIGILL/SIGFPE inside generated code resolve to wasm traps.
+
+use lb_core::registry::{CodeDesc, SlotId, CODE_REGIONS};
+use std::io;
+
+/// An executable code buffer holding one compilation's output.
+#[derive(Debug)]
+pub struct CodeBuf {
+    base: *mut u8,
+    len: usize,
+    slot: Option<(SlotId, *const CodeDesc)>,
+}
+
+// SAFETY: the mapping is immutable (RX) after construction.
+unsafe impl Send for CodeBuf {}
+unsafe impl Sync for CodeBuf {}
+
+impl CodeBuf {
+    /// Map `code` into fresh executable memory (RW while copying, then RX)
+    /// and register it with the signal handler's code registry.
+    ///
+    /// # Errors
+    /// Propagates mmap/mprotect failures.
+    pub fn publish(code: &[u8]) -> io::Result<CodeBuf> {
+        assert!(!code.is_empty(), "empty code buffer");
+        let len = (code.len() + 4095) & !4095;
+        // SAFETY: fresh anonymous mapping.
+        let p = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if p == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        let base = p as *mut u8;
+        // SAFETY: freshly mapped RW region of at least code.len() bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(code.as_ptr(), base, code.len());
+            if libc::mprotect(p, len, libc::PROT_READ | libc::PROT_EXEC) != 0 {
+                let e = io::Error::last_os_error();
+                libc::munmap(p, len);
+                return Err(e);
+            }
+        }
+        let desc = Box::new(CodeDesc {
+            base: base as usize,
+            len,
+        });
+        let (slot, ptr) = CODE_REGIONS.register(desc);
+        Ok(CodeBuf {
+            base,
+            len,
+            slot: Some((slot, ptr)),
+        })
+    }
+
+    /// Base address of the executable mapping.
+    pub fn base(&self) -> *const u8 {
+        self.base
+    }
+
+    /// Address of `offset` within the buffer.
+    ///
+    /// # Panics
+    /// Panics if `offset` is out of range.
+    pub fn addr(&self, offset: usize) -> usize {
+        assert!(offset < self.len);
+        self.base as usize + offset
+    }
+
+    /// Mapping length (page-rounded).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never true; buffers are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for CodeBuf {
+    fn drop(&mut self) {
+        if let Some((slot, ptr)) = self.slot.take() {
+            CODE_REGIONS.unregister(slot, ptr);
+        }
+        // SAFETY: we own the mapping.
+        unsafe {
+            libc::munmap(self.base as *mut libc::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_simple_code() {
+        // mov eax, 42; ret
+        let code = [0xB8, 42, 0, 0, 0, 0xC3];
+        let buf = CodeBuf::publish(&code).unwrap();
+        let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(buf.base()) };
+        assert_eq!(f(), 42);
+    }
+
+    #[test]
+    fn ud2_in_registered_code_is_a_wasm_trap() {
+        // ud2; .byte 2  (Unreachable)
+        let code = [0x0F, 0x0B, 0x02];
+        let buf = CodeBuf::publish(&code).unwrap();
+        let f: extern "C" fn() = unsafe { std::mem::transmute(buf.base()) };
+        let e = lb_core::catch_traps(|| -> Result<(), lb_core::Trap> {
+            f();
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(*e.kind(), lb_core::TrapKind::Unreachable);
+    }
+
+    #[test]
+    fn trap_code_payload_selects_kind() {
+        for (payload, kind) in [
+            (1u8, lb_core::TrapKind::OutOfBounds),
+            (3, lb_core::TrapKind::IntegerDivByZero),
+            (9, lb_core::TrapKind::StackOverflow),
+        ] {
+            let code = [0x0F, 0x0B, payload];
+            let buf = CodeBuf::publish(&code).unwrap();
+            let f: extern "C" fn() = unsafe { std::mem::transmute(buf.base()) };
+            let e = lb_core::catch_traps(|| -> Result<(), lb_core::Trap> {
+                f();
+                Ok(())
+            })
+            .unwrap_err();
+            assert_eq!(*e.kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! End-to-end JIT execution tests: semantics, traps, strategies, calls,
+//! tiering — everything runs real generated x86-64 code.
+
+use lb_core::exec::{Engine, Linker};
+use lb_core::{BoundsStrategy, MemoryConfig, TrapKind};
+use lb_jit::{JitEngine, JitProfile};
+use lb_wasm::builder::ModuleBuilder;
+use lb_wasm::instr::{Instr, MemArg};
+use lb_wasm::types::{BlockType, FuncType, Mutability, ValType};
+use lb_wasm::{Module, Value};
+
+fn engines() -> Vec<JitEngine> {
+    vec![
+        JitEngine::new(JitProfile::wavm()),
+        JitEngine::new(JitProfile::wasmtime()),
+        JitEngine::new(JitProfile::v8()),
+    ]
+}
+
+fn run_with(
+    engine: &JitEngine,
+    module: &Module,
+    strategy: BoundsStrategy,
+    func: &str,
+    args: &[Value],
+) -> Result<Option<Value>, lb_core::Trap> {
+    let loaded = engine.load(module).expect("load");
+    let config = MemoryConfig::new(strategy, 0, 64).with_reserve(1 << 24);
+    let mut inst = loaded.instantiate(&config, &Linker::new()).expect("inst");
+    inst.invoke(func, args)
+}
+
+fn run1(module: &Module, func: &str, args: &[Value]) -> Option<Value> {
+    run_with(
+        &JitEngine::new(JitProfile::wavm()),
+        module,
+        BoundsStrategy::Trap,
+        func,
+        args,
+    )
+    .unwrap()
+}
+
+fn i32_module(name: &str, params: usize, body: Vec<Instr>) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func(
+        name,
+        FuncType::new(vec![ValType::I32; params], vec![ValType::I32]),
+    );
+    mb.func_mut(f).emit_all(body);
+    mb.export_func(name, f);
+    mb.finish()
+}
+
+#[test]
+fn constant_and_add() {
+    let m = i32_module(
+        "f",
+        2,
+        vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32Add],
+    );
+    for e in engines() {
+        let r = run_with(&e, &m, BoundsStrategy::Trap, "f", &[19.into(), 23.into()]).unwrap();
+        assert_eq!(r, Some(Value::I32(42)), "engine {}", e.name());
+    }
+}
+
+#[test]
+fn loop_sum() {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("sum", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let n = b.param(0);
+        let acc = b.local(ValType::I32);
+        b.loop_(BlockType::Empty, |b| {
+            b.get(acc).get(n).emit(Instr::I32Add).set(acc);
+            b.get(n).i32_const(1).emit(Instr::I32Sub).tee(n);
+            b.br_if(0);
+        });
+        b.get(acc);
+    }
+    mb.export_func("sum", f);
+    let m = mb.finish();
+    for e in engines() {
+        let r = run_with(&e, &m, BoundsStrategy::Trap, "sum", &[Value::I32(1000)]).unwrap();
+        assert_eq!(r, Some(Value::I32(500500)), "engine {}", e.name());
+    }
+}
+
+#[test]
+fn fib_recursion_and_calls() {
+    let mut mb = ModuleBuilder::new();
+    let fib = mb.begin_func("fib", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(fib);
+        let n = b.param(0);
+        b.get(n).i32_const(2).emit(Instr::I32LtS);
+        b.if_else(
+            BlockType::Value(ValType::I32),
+            |b| {
+                b.get(n);
+            },
+            |b| {
+                b.get(n).i32_const(1).emit(Instr::I32Sub).call(fib);
+                b.get(n).i32_const(2).emit(Instr::I32Sub).call(fib);
+                b.emit(Instr::I32Add);
+            },
+        );
+    }
+    mb.export_func("fib", fib);
+    let m = mb.finish();
+    for e in engines() {
+        let r = run_with(&e, &m, BoundsStrategy::Trap, "fib", &[Value::I32(15)]).unwrap();
+        assert_eq!(r, Some(Value::I32(610)), "engine {}", e.name());
+    }
+}
+
+#[test]
+fn float_math() {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func(
+        "quad",
+        FuncType::new(vec![ValType::F64, ValType::F64], vec![ValType::F64]),
+    );
+    {
+        let mut b = mb.func_mut(f);
+        let (x, y) = (b.param(0), b.param(1));
+        // sqrt(x*x + y*y)
+        b.get(x).get(x).emit(Instr::F64Mul);
+        b.get(y).get(y).emit(Instr::F64Mul);
+        b.emit(Instr::F64Add).emit(Instr::F64Sqrt);
+    }
+    mb.export_func("quad", f);
+    let m = mb.finish();
+    let r = run1(&m, "quad", &[Value::F64(3.0), Value::F64(4.0)]);
+    assert_eq!(r, Some(Value::F64(5.0)));
+}
+
+#[test]
+fn division_semantics() {
+    let div = i32_module(
+        "div",
+        2,
+        vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32DivS],
+    );
+    assert_eq!(
+        run1(&div, "div", &[Value::I32(-7), Value::I32(2)]),
+        Some(Value::I32(-3))
+    );
+    let e = JitEngine::new(JitProfile::wavm());
+    let t = run_with(&e, &div, BoundsStrategy::Trap, "div", &[1.into(), 0.into()]).unwrap_err();
+    assert_eq!(*t.kind(), TrapKind::IntegerDivByZero);
+    let t = run_with(
+        &e,
+        &div,
+        BoundsStrategy::Trap,
+        "div",
+        &[i32::MIN.into(), Value::I32(-1)],
+    )
+    .unwrap_err();
+    assert_eq!(*t.kind(), TrapKind::IntegerOverflow);
+
+    let rem = i32_module(
+        "rem",
+        2,
+        vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32RemS],
+    );
+    assert_eq!(
+        run1(&rem, "rem", &[i32::MIN.into(), Value::I32(-1)]),
+        Some(Value::I32(0))
+    );
+}
+
+fn memory_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(4));
+    let f = mb.begin_func("poke", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let p = b.param(0);
+        b.get(p).i32_load(0);
+    }
+    mb.export_func("poke", f);
+    let g = mb.begin_func("store", FuncType::new(vec![ValType::I32, ValType::I32], vec![]));
+    {
+        let mut b = mb.func_mut(g);
+        let (a, v) = (b.param(0), b.param(1));
+        b.get(a).get(v).i32_store(0);
+    }
+    mb.export_func("store", g);
+    mb.finish()
+}
+
+#[test]
+fn memory_roundtrip_all_strategies() {
+    let m = memory_module();
+    for e in engines() {
+        for s in BoundsStrategy::ALL {
+            if s == BoundsStrategy::Uffd && !lb_core::uffd::sigbus_mode_available() {
+                continue;
+            }
+            let loaded = e.load(&m).unwrap();
+            let config = MemoryConfig::new(s, 1, 4).with_reserve(1 << 24);
+            let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+            inst.invoke("store", &[Value::I32(1000), Value::I32(0x5A5A)])
+                .unwrap();
+            let r = inst.invoke("poke", &[Value::I32(1000)]).unwrap();
+            assert_eq!(r, Some(Value::I32(0x5A5A)), "{} {}", e.name(), s);
+        }
+    }
+}
+
+#[test]
+fn oob_traps_under_checking_strategies() {
+    let m = memory_module();
+    let mut strategies = vec![BoundsStrategy::Trap, BoundsStrategy::Mprotect];
+    if lb_core::uffd::sigbus_mode_available() {
+        strategies.push(BoundsStrategy::Uffd);
+    }
+    for e in engines() {
+        for &s in &strategies {
+            let loaded = e.load(&m).unwrap();
+            let config = MemoryConfig::new(s, 1, 4).with_reserve(1 << 24);
+            let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+            let t = inst.invoke("poke", &[Value::I32(65536 + 8)]).unwrap_err();
+            assert_eq!(*t.kind(), TrapKind::OutOfBounds, "{} {}", e.name(), s);
+            // Instance is still usable after the trap.
+            assert!(inst.invoke("poke", &[Value::I32(0)]).is_ok());
+        }
+    }
+}
+
+#[test]
+fn clamp_strategy_redirects() {
+    let m = memory_module();
+    let e = JitEngine::new(JitProfile::wavm());
+    let loaded = e.load(&m).unwrap();
+    let config = MemoryConfig::new(BoundsStrategy::Clamp, 1, 1).with_reserve(1 << 24);
+    let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+    inst.invoke("store", &[Value::I32(65536 - 4), Value::I32(77)])
+        .unwrap();
+    // OOB read clamps to the last word.
+    let r = inst.invoke("poke", &[Value::I32(1 << 20)]).unwrap();
+    assert_eq!(r, Some(Value::I32(77)));
+}
+
+#[test]
+fn memory_grow_and_size() {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(3));
+    let f = mb.begin_func("grow", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let p = b.param(0);
+        b.get(p).emit(Instr::MemoryGrow);
+        b.i32_const(100).emit(Instr::I32Mul);
+        b.emit(Instr::MemorySize).emit(Instr::I32Add);
+    }
+    mb.export_func("grow", f);
+    let m = mb.finish();
+    for s in [BoundsStrategy::Mprotect, BoundsStrategy::Trap] {
+        let e = JitEngine::new(JitProfile::wavm());
+        let loaded = e.load(&m).unwrap();
+        let config = MemoryConfig::new(s, 1, 3).with_reserve(1 << 24);
+        let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+        assert_eq!(
+            inst.invoke("grow", &[Value::I32(1)]).unwrap(),
+            Some(Value::I32(102)),
+            "{s}"
+        );
+        assert_eq!(
+            inst.invoke("grow", &[Value::I32(5)]).unwrap(),
+            Some(Value::I32(-98)),
+            "{s}"
+        );
+    }
+}
+
+#[test]
+fn call_indirect_dispatch_and_traps() {
+    let mut mb = ModuleBuilder::new();
+    mb.table(3);
+    let ty = FuncType::new(vec![ValType::I32], vec![ValType::I32]);
+    let double = mb.begin_func("double", ty.clone());
+    {
+        let mut b = mb.func_mut(double);
+        let p = b.param(0);
+        b.get(p).get(p).emit(Instr::I32Add);
+    }
+    let square = mb.begin_func("square", ty.clone());
+    {
+        let mut b = mb.func_mut(square);
+        let p = b.param(0);
+        b.get(p).get(p).emit(Instr::I32Mul);
+    }
+    let wrong = mb.begin_func("wrong", FuncType::new(vec![], vec![]));
+    mb.func_mut(wrong).emit(Instr::Nop);
+    let disp = mb.begin_func(
+        "disp",
+        FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
+    );
+    {
+        let mut b = mb.func_mut(disp);
+        let which = b.param(0);
+        let x = b.param(1);
+        b.get(x).get(which);
+        b.emit(Instr::CallIndirect(0));
+    }
+    mb.elems(0, vec![double, square, wrong]);
+    mb.export_func("disp", disp);
+    let m = mb.finish();
+
+    for e in engines() {
+        let loaded = e.load(&m).unwrap();
+        let config = MemoryConfig::new(BoundsStrategy::Trap, 0, 0);
+        let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+        assert_eq!(
+            inst.invoke("disp", &[Value::I32(0), Value::I32(21)]).unwrap(),
+            Some(Value::I32(42)),
+            "{}",
+            e.name()
+        );
+        assert_eq!(
+            inst.invoke("disp", &[Value::I32(1), Value::I32(7)]).unwrap(),
+            Some(Value::I32(49))
+        );
+        let t = inst.invoke("disp", &[Value::I32(2), Value::I32(7)]).unwrap_err();
+        assert_eq!(*t.kind(), TrapKind::IndirectCallTypeMismatch);
+        let t = inst.invoke("disp", &[Value::I32(9), Value::I32(7)]).unwrap_err();
+        assert_eq!(*t.kind(), TrapKind::TableOutOfBounds);
+    }
+}
+
+#[test]
+fn br_table_and_select() {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("sel", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let n = b.param(0);
+        b.block(BlockType::Empty, |b| {
+            b.block(BlockType::Empty, |b| {
+                b.block(BlockType::Empty, |b| {
+                    b.get(n);
+                    b.br_table(vec![0, 1], 2);
+                });
+                b.i32_const(10);
+                b.emit(Instr::Return);
+            });
+            b.i32_const(20);
+            b.emit(Instr::Return);
+        });
+        // select(99, 100, n == 7)
+        b.i32_const(99).i32_const(100);
+        b.get(n).i32_const(7).emit(Instr::I32Eq);
+        b.emit(Instr::Select);
+    }
+    mb.export_func("sel", f);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "sel", &[Value::I32(0)]), Some(Value::I32(10)));
+    assert_eq!(run1(&m, "sel", &[Value::I32(1)]), Some(Value::I32(20)));
+    assert_eq!(run1(&m, "sel", &[Value::I32(7)]), Some(Value::I32(99)));
+    assert_eq!(run1(&m, "sel", &[Value::I32(9)]), Some(Value::I32(100)));
+}
+
+#[test]
+fn globals_and_host_imports() {
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    let mut mb = ModuleBuilder::new();
+    let tick = mb.import_func(
+        "env",
+        "tick",
+        FuncType::new(vec![ValType::I64], vec![ValType::I64]),
+    );
+    let g = mb.global(Mutability::Var, Value::I64(5));
+    let f = mb.begin_func("f", FuncType::new(vec![ValType::I64], vec![ValType::I64]));
+    {
+        let mut b = mb.func_mut(f);
+        // g = g + tick(x); return g
+        b.emit(Instr::GlobalGet(g.0));
+        let p = b.param(0);
+        b.get(p).call(tick);
+        b.emit(Instr::I64Add);
+        b.emit(Instr::GlobalSet(g.0));
+        b.emit(Instr::GlobalGet(g.0));
+    }
+    mb.export_func("f", f);
+    let m = mb.finish();
+
+    let total = Arc::new(AtomicI64::new(0));
+    let t2 = Arc::clone(&total);
+    let mut linker = Linker::new();
+    linker.func("env", "tick", move |_, args| {
+        let v = args[0].as_i64().unwrap();
+        t2.fetch_add(v, Ordering::Relaxed);
+        Ok(Some(Value::I64(v * 10)))
+    });
+
+    for e in engines() {
+        total.store(0, Ordering::Relaxed);
+        let loaded = e.load(&m).unwrap();
+        let config = MemoryConfig::new(BoundsStrategy::Trap, 0, 0);
+        let mut inst = loaded.instantiate(&config, &linker).unwrap();
+        let out = inst.invoke("f", &[Value::I64(7)]).unwrap();
+        assert_eq!(out, Some(Value::I64(75)), "{}", e.name());
+        assert_eq!(total.load(Ordering::Relaxed), 7);
+    }
+}
+
+#[test]
+fn unreachable_and_stack_overflow() {
+    let m = i32_module("f", 0, vec![Instr::Unreachable]);
+    let e = JitEngine::new(JitProfile::wavm());
+    let t = run_with(&e, &m, BoundsStrategy::Trap, "f", &[]).unwrap_err();
+    assert_eq!(*t.kind(), TrapKind::Unreachable);
+
+    // Infinite recursion must hit the stack check, not crash.
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("f", FuncType::new(vec![], vec![]));
+    {
+        let mut b = mb.func_mut(f);
+        b.call(f);
+    }
+    mb.export_func("f", f);
+    let m = mb.finish();
+    let t = run_with(&e, &m, BoundsStrategy::Trap, "f", &[]).unwrap_err();
+    assert_eq!(*t.kind(), TrapKind::StackOverflow);
+}
+
+#[test]
+fn float_comparisons_and_nan() {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func(
+        "lt",
+        FuncType::new(vec![ValType::F64, ValType::F64], vec![ValType::I32]),
+    );
+    {
+        let mut b = mb.func_mut(f);
+        let (p0, p1) = (b.param(0), b.param(1));
+        b.get(p0).get(p1).emit(Instr::F64Lt);
+    }
+    mb.export_func("lt", f);
+    let m = mb.finish();
+    assert_eq!(
+        run1(&m, "lt", &[Value::F64(1.0), Value::F64(2.0)]),
+        Some(Value::I32(1))
+    );
+    assert_eq!(
+        run1(&m, "lt", &[Value::F64(2.0), Value::F64(1.0)]),
+        Some(Value::I32(0))
+    );
+    assert_eq!(
+        run1(&m, "lt", &[Value::F64(f64::NAN), Value::F64(1.0)]),
+        Some(Value::I32(0))
+    );
+}
+
+#[test]
+fn conversions() {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("t", FuncType::new(vec![ValType::F64], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let p = b.param(0);
+        b.get(p).emit(Instr::I32TruncF64S);
+    }
+    mb.export_func("t", f);
+    let g = mb.begin_func("c", FuncType::new(vec![ValType::I32], vec![ValType::F64]));
+    {
+        let mut b = mb.func_mut(g);
+        let p = b.param(0);
+        b.get(p).emit(Instr::F64ConvertI32S);
+    }
+    mb.export_func("c", g);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "t", &[Value::F64(-3.99)]), Some(Value::I32(-3)));
+    assert_eq!(run1(&m, "c", &[Value::I32(-5)]), Some(Value::F64(-5.0)));
+    let e = JitEngine::new(JitProfile::wavm());
+    let t = run_with(&e, &m, BoundsStrategy::Trap, "t", &[Value::F64(1e99)]).unwrap_err();
+    assert_eq!(*t.kind(), TrapKind::InvalidConversion);
+}
+
+#[test]
+fn sub_width_memory_ops() {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(1));
+    let f = mb.begin_func("go", FuncType::new(vec![], vec![ValType::I64]));
+    {
+        let mut b = mb.func_mut(f);
+        b.i32_const(10).i32_const(0x1FF).emit(Instr::I32Store8(MemArg::offset(0)));
+        b.i32_const(20).i64_const(-2).emit(Instr::I64Store16(MemArg::offset(0)));
+        // load8_u(10) + load16_s(20 as i64)
+        b.i32_const(10).emit(Instr::I32Load8U(MemArg::offset(0)));
+        b.emit(Instr::I64ExtendI32U);
+        b.i32_const(20).emit(Instr::I64Load16S(MemArg::offset(0)));
+        b.emit(Instr::I64Add);
+    }
+    mb.export_func("go", f);
+    let m = mb.finish();
+    assert_eq!(run1(&m, "go", &[]), Some(Value::I64(0xFF - 2)));
+}
+
+#[test]
+fn v8_profile_tiers_up_and_keeps_answering() {
+    // Hammer an export on the tiered engine long enough for the background
+    // optimizer to swap code in; results must stay correct throughout.
+    let mut mb = ModuleBuilder::new();
+    let f = mb.begin_func("sq", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    {
+        let mut b = mb.func_mut(f);
+        let p = b.param(0);
+        b.get(p).get(p).emit(Instr::I32Mul);
+    }
+    mb.export_func("sq", f);
+    let m = mb.finish();
+    let e = JitEngine::new(JitProfile::v8());
+    let loaded = e.load(&m).unwrap();
+    let config = MemoryConfig::new(BoundsStrategy::Mprotect, 0, 0);
+    let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+    let start = std::time::Instant::now();
+    let mut i = 0i32;
+    while start.elapsed() < std::time::Duration::from_millis(200) {
+        let v = (i % 1000) + 1;
+        let r = inst.invoke("sq", &[Value::I32(v)]).unwrap();
+        assert_eq!(r, Some(Value::I32(v * v)));
+        i += 1;
+    }
+    assert!(i > 100);
+}

@@ -1,0 +1,287 @@
+//! Data-mining PolyBench kernels: correlation, covariance.
+
+use crate::common::{
+    assemble, checksum_fn, checksum_slices, init_val, init_val_expr, ClosureKernel, Dataset,
+};
+use lb_dsl::expr::{f64 as cf, i32 as ci};
+use lb_dsl::{Benchmark, DslFunc, Layout};
+
+/// `covariance`: covariance matrix of an N×M data set.
+pub fn covariance(d: Dataset) -> Benchmark {
+    let m = d.pick(10, 80, 240) as i32; // variables
+    let n = d.pick(12, 100, 260) as i32; // observations
+
+    let mut l = Layout::new();
+    let data = l.array2_f64(n as u32, m as u32);
+    let cov = l.array2_f64(m as u32, m as u32);
+    let mean = l.array_f64(m as u32);
+
+    let mut fi = DslFunc::new("init", &[], None);
+    {
+        let i = fi.local_i32();
+        let j = fi.local_i32();
+        fi.for_i32(i, ci(0), ci(n), |f| {
+            f.for_i32(j, ci(0), ci(m), |f| {
+                data.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+            });
+        });
+    }
+
+    let mut fk = DslFunc::new("kernel", &[], None);
+    {
+        let i = fk.local_i32();
+        let j = fk.local_i32();
+        let k = fk.local_i32();
+        let float_n = n as f64;
+        fk.for_i32(j, ci(0), ci(m), |f| {
+            mean.set(f, j.get(), cf(0.0));
+            f.for_i32(i, ci(0), ci(n), |f| {
+                mean.set(f, j.get(), mean.at(j.get()) + data.at(i.get(), j.get()));
+            });
+            mean.set(f, j.get(), mean.at(j.get()).fdiv(cf(float_n)));
+        });
+        fk.for_i32(i, ci(0), ci(n), |f| {
+            f.for_i32(j, ci(0), ci(m), |f| {
+                data.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    data.at(i.get(), j.get()) - mean.at(j.get()),
+                );
+            });
+        });
+        fk.for_i32(i, ci(0), ci(m), |f| {
+            f.for_i32_step(j, i.get(), ci(m), 1, |f| {
+                cov.set(f, i.get(), j.get(), cf(0.0));
+                f.for_i32(k, ci(0), ci(n), |f| {
+                    cov.set(
+                        f,
+                        i.get(),
+                        j.get(),
+                        cov.at(i.get(), j.get())
+                            + data.at(k.get(), i.get()) * data.at(k.get(), j.get()),
+                    );
+                });
+                cov.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    cov.at(i.get(), j.get()).fdiv(cf(float_n - 1.0)),
+                );
+                cov.set(f, j.get(), i.get(), cov.at(i.get(), j.get()));
+            });
+        });
+    }
+
+    let module = assemble(&l, fi, fk, checksum_fn(&[cov.flat()]));
+
+    struct St {
+        m: usize,
+        n: usize,
+        data: Vec<f64>,
+        cov: Vec<f64>,
+        mean: Vec<f64>,
+    }
+    let (m_, n_) = (m as usize, n as usize);
+    let native = Box::new(move || {
+        Box::new(ClosureKernel {
+            state: St {
+                m: m_,
+                n: n_,
+                data: vec![0.0; n_ * m_],
+                cov: vec![0.0; m_ * m_],
+                mean: vec![0.0; m_],
+            },
+            init: |s: &mut St| {
+                for i in 0..s.n {
+                    for j in 0..s.m {
+                        s.data[i * s.m + j] = init_val(i as i64, 3, j as i64, 1, 100);
+                    }
+                }
+            },
+            kernel: |s: &mut St| {
+                let (m, n) = (s.m, s.n);
+                let float_n = n as f64;
+                for j in 0..m {
+                    s.mean[j] = 0.0;
+                    for i in 0..n {
+                        s.mean[j] += s.data[i * m + j];
+                    }
+                    s.mean[j] /= float_n;
+                }
+                for i in 0..n {
+                    for j in 0..m {
+                        s.data[i * m + j] -= s.mean[j];
+                    }
+                }
+                for i in 0..m {
+                    for j in i..m {
+                        s.cov[i * m + j] = 0.0;
+                        for k in 0..n {
+                            s.cov[i * m + j] += s.data[k * m + i] * s.data[k * m + j];
+                        }
+                        s.cov[i * m + j] /= float_n - 1.0;
+                        s.cov[j * m + i] = s.cov[i * m + j];
+                    }
+                }
+            },
+            checksum: |s: &St| checksum_slices(&[&s.cov]),
+        }) as Box<dyn lb_dsl::NativeKernel>
+    });
+
+    Benchmark::new("covariance", "polybench", module, native)
+}
+
+/// `correlation`: correlation matrix of an N×M data set.
+pub fn correlation(d: Dataset) -> Benchmark {
+    let m = d.pick(10, 80, 240) as i32;
+    let n = d.pick(12, 100, 260) as i32;
+    const EPS: f64 = 0.1;
+
+    let mut l = Layout::new();
+    let data = l.array2_f64(n as u32, m as u32);
+    let corr = l.array2_f64(m as u32, m as u32);
+    let mean = l.array_f64(m as u32);
+    let stddev = l.array_f64(m as u32);
+
+    let mut fi = DslFunc::new("init", &[], None);
+    {
+        let i = fi.local_i32();
+        let j = fi.local_i32();
+        fi.for_i32(i, ci(0), ci(n), |f| {
+            f.for_i32(j, ci(0), ci(m), |f| {
+                data.set(f, i.get(), j.get(), init_val_expr(i.get(), 7, j.get(), 2, 93));
+            });
+        });
+    }
+
+    let mut fk = DslFunc::new("kernel", &[], None);
+    {
+        let i = fk.local_i32();
+        let j = fk.local_i32();
+        let k = fk.local_i32();
+        let float_n = n as f64;
+        fk.for_i32(j, ci(0), ci(m), |f| {
+            mean.set(f, j.get(), cf(0.0));
+            f.for_i32(i, ci(0), ci(n), |f| {
+                mean.set(f, j.get(), mean.at(j.get()) + data.at(i.get(), j.get()));
+            });
+            mean.set(f, j.get(), mean.at(j.get()).fdiv(cf(float_n)));
+        });
+        fk.for_i32(j, ci(0), ci(m), |f| {
+            stddev.set(f, j.get(), cf(0.0));
+            f.for_i32(i, ci(0), ci(n), |f| {
+                let dv = data.at(i.get(), j.get()) - mean.at(j.get());
+                stddev.set(f, j.get(), stddev.at(j.get()) + dv.clone() * dv);
+            });
+            stddev.set(f, j.get(), stddev.at(j.get()).fdiv(cf(float_n)).sqrt());
+            // Guard near-zero variance (PolyBench's exact rule).
+            stddev.set(
+                f,
+                j.get(),
+                cf(1.0).select(stddev.at(j.get()), stddev.at(j.get()).le(cf(EPS))),
+            );
+        });
+        fk.for_i32(i, ci(0), ci(n), |f| {
+            f.for_i32(j, ci(0), ci(m), |f| {
+                data.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    (data.at(i.get(), j.get()) - mean.at(j.get()))
+                        .fdiv(cf(float_n.sqrt()) * stddev.at(j.get())),
+                );
+            });
+        });
+        fk.for_i32(i, ci(0), ci(m) - ci(1), |f| {
+            corr.set(f, i.get(), i.get(), cf(1.0));
+            f.for_i32_step(j, i.get() + ci(1), ci(m), 1, |f| {
+                corr.set(f, i.get(), j.get(), cf(0.0));
+                f.for_i32(k, ci(0), ci(n), |f| {
+                    corr.set(
+                        f,
+                        i.get(),
+                        j.get(),
+                        corr.at(i.get(), j.get())
+                            + data.at(k.get(), i.get()) * data.at(k.get(), j.get()),
+                    );
+                });
+                corr.set(f, j.get(), i.get(), corr.at(i.get(), j.get()));
+            });
+        });
+        corr.set(&mut fk, ci(m - 1), ci(m - 1), cf(1.0));
+    }
+
+    let module = assemble(&l, fi, fk, checksum_fn(&[corr.flat()]));
+
+    struct St {
+        m: usize,
+        n: usize,
+        data: Vec<f64>,
+        corr: Vec<f64>,
+        mean: Vec<f64>,
+        stddev: Vec<f64>,
+    }
+    let (m_, n_) = (m as usize, n as usize);
+    let native = Box::new(move || {
+        Box::new(ClosureKernel {
+            state: St {
+                m: m_,
+                n: n_,
+                data: vec![0.0; n_ * m_],
+                corr: vec![0.0; m_ * m_],
+                mean: vec![0.0; m_],
+                stddev: vec![0.0; m_],
+            },
+            init: |s: &mut St| {
+                for i in 0..s.n {
+                    for j in 0..s.m {
+                        s.data[i * s.m + j] = init_val(i as i64, 7, j as i64, 2, 93);
+                    }
+                }
+            },
+            kernel: |s: &mut St| {
+                let (m, n) = (s.m, s.n);
+                let float_n = n as f64;
+                for j in 0..m {
+                    s.mean[j] = 0.0;
+                    for i in 0..n {
+                        s.mean[j] += s.data[i * m + j];
+                    }
+                    s.mean[j] /= float_n;
+                }
+                for j in 0..m {
+                    s.stddev[j] = 0.0;
+                    for i in 0..n {
+                        let dv = s.data[i * m + j] - s.mean[j];
+                        s.stddev[j] += dv * dv;
+                    }
+                    s.stddev[j] = (s.stddev[j] / float_n).sqrt();
+                    if s.stddev[j] <= EPS {
+                        s.stddev[j] = 1.0;
+                    }
+                }
+                for i in 0..n {
+                    for j in 0..m {
+                        s.data[i * m + j] =
+                            (s.data[i * m + j] - s.mean[j]) / (float_n.sqrt() * s.stddev[j]);
+                    }
+                }
+                for i in 0..m - 1 {
+                    s.corr[i * m + i] = 1.0;
+                    for j in i + 1..m {
+                        s.corr[i * m + j] = 0.0;
+                        for k in 0..n {
+                            s.corr[i * m + j] += s.data[k * m + i] * s.data[k * m + j];
+                        }
+                        s.corr[j * m + i] = s.corr[i * m + j];
+                    }
+                }
+                s.corr[(m - 1) * m + (m - 1)] = 1.0;
+            },
+            checksum: |s: &St| checksum_slices(&[&s.corr]),
+        }) as Box<dyn lb_dsl::NativeKernel>
+    });
+
+    Benchmark::new("correlation", "polybench", module, native)
+}

@@ -1,0 +1,105 @@
+//! # lb-polybench — the PolyBench/C 4.2 kernels
+//!
+//! All 30 PolyBench/C benchmarks (the suite the paper evaluates in its
+//! MEDIUM configuration), each authored once in the `lb-dsl` kernel DSL
+//! (lowered to wasm) and once in plain Rust (the native baseline). The two
+//! implementations perform identical IEEE-754 operations in identical
+//! order, so their checksums agree exactly — the differential tests and
+//! the harness's correctness gate rely on this.
+//!
+//! ```rust
+//! use lb_polybench::{by_name, Dataset};
+//! let bench = by_name("gemm", Dataset::Mini).unwrap();
+//! assert_eq!(bench.suite, "polybench");
+//! let checksum = bench.native_checksum();
+//! assert!(checksum.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+mod data;
+mod linalg1;
+mod linalg2;
+mod medley;
+mod solvers;
+mod stencils;
+
+pub use common::Dataset;
+pub use lb_dsl::Benchmark;
+
+/// Construct every PolyBench benchmark at the given dataset size.
+pub fn all(d: Dataset) -> Vec<Benchmark> {
+    NAMES.iter().map(|n| by_name(n, d).expect("known name")).collect()
+}
+
+/// The benchmark names, in PolyBench's customary order.
+pub const NAMES: [&str; 30] = [
+    "2mm",
+    "3mm",
+    "adi",
+    "atax",
+    "bicg",
+    "cholesky",
+    "correlation",
+    "covariance",
+    "deriche",
+    "doitgen",
+    "durbin",
+    "fdtd-2d",
+    "floyd-warshall",
+    "gemm",
+    "gemver",
+    "gesummv",
+    "gramschmidt",
+    "heat-3d",
+    "jacobi-1d",
+    "jacobi-2d",
+    "lu",
+    "ludcmp",
+    "mvt",
+    "nussinov",
+    "seidel-2d",
+    "symm",
+    "syr2k",
+    "syrk",
+    "trisolv",
+    "trmm",
+];
+
+/// Construct one benchmark by name.
+pub fn by_name(name: &str, d: Dataset) -> Option<Benchmark> {
+    Some(match name {
+        "gemm" => linalg1::gemm(d),
+        "2mm" => linalg1::two_mm(d),
+        "3mm" => linalg1::three_mm(d),
+        "mvt" => linalg1::mvt(d),
+        "atax" => linalg1::atax(d),
+        "bicg" => linalg1::bicg(d),
+        "gesummv" => linalg1::gesummv(d),
+        "gemver" => linalg1::gemver(d),
+        "doitgen" => linalg1::doitgen(d),
+        "symm" => linalg2::symm(d),
+        "syrk" => linalg2::syrk(d),
+        "syr2k" => linalg2::syr2k(d),
+        "trmm" => linalg2::trmm(d),
+        "trisolv" => linalg2::trisolv(d),
+        "cholesky" => solvers::cholesky(d),
+        "durbin" => solvers::durbin(d),
+        "gramschmidt" => solvers::gramschmidt(d),
+        "lu" => solvers::lu(d),
+        "ludcmp" => solvers::ludcmp(d),
+        "correlation" => data::correlation(d),
+        "covariance" => data::covariance(d),
+        "jacobi-1d" => stencils::jacobi_1d(d),
+        "jacobi-2d" => stencils::jacobi_2d(d),
+        "fdtd-2d" => stencils::fdtd_2d(d),
+        "heat-3d" => stencils::heat_3d(d),
+        "seidel-2d" => stencils::seidel_2d(d),
+        "adi" => stencils::adi(d),
+        "deriche" => medley::deriche(d),
+        "floyd-warshall" => medley::floyd_warshall(d),
+        "nussinov" => medley::nussinov(d),
+        _ => return None,
+    })
+}

@@ -1,0 +1,491 @@
+//! Triangular/symmetric BLAS PolyBench kernels: symm, syrk, syr2k, trmm,
+//! trisolv.
+
+use crate::common::{
+    assemble, checksum_fn, checksum_slices, init_val, init_val_expr, ClosureKernel, Dataset,
+};
+use lb_dsl::expr::{f64 as cf, i32 as ci};
+use lb_dsl::{Benchmark, DslFunc, Layout};
+
+const ALPHA: f64 = 1.5;
+const BETA: f64 = 1.2;
+
+/// `syrk`: C = alpha·A·Aᵀ + beta·C (lower triangle).
+pub fn syrk(d: Dataset) -> Benchmark {
+    let m = d.pick(8, 60, 200) as i32;
+    let n = d.pick(10, 80, 240) as i32;
+
+    let mut l = Layout::new();
+    let a = l.array2_f64(n as u32, m as u32);
+    let c = l.array2_f64(n as u32, n as u32);
+
+    let mut fi = DslFunc::new("init", &[], None);
+    {
+        let i = fi.local_i32();
+        let j = fi.local_i32();
+        fi.for_i32(i, ci(0), ci(n), |f| {
+            f.for_i32(j, ci(0), ci(m), |f| {
+                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+            });
+            f.for_i32(j, ci(0), ci(n), |f| {
+                c.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 2, 99));
+            });
+        });
+    }
+
+    let mut fk = DslFunc::new("kernel", &[], None);
+    {
+        let i = fk.local_i32();
+        let j = fk.local_i32();
+        let k = fk.local_i32();
+        fk.for_i32(i, ci(0), ci(n), |f| {
+            f.for_i32(j, ci(0), i.get() + ci(1), |f| {
+                c.set(f, i.get(), j.get(), c.at(i.get(), j.get()) * cf(BETA));
+            });
+            f.for_i32(k, ci(0), ci(m), |f| {
+                f.for_i32(j, ci(0), i.get() + ci(1), |f| {
+                    c.set(
+                        f,
+                        i.get(),
+                        j.get(),
+                        c.at(i.get(), j.get())
+                            + cf(ALPHA) * a.at(i.get(), k.get()) * a.at(j.get(), k.get()),
+                    );
+                });
+            });
+        });
+    }
+
+    let module = assemble(&l, fi, fk, checksum_fn(&[c.flat()]));
+
+    struct St {
+        m: usize,
+        n: usize,
+        a: Vec<f64>,
+        c: Vec<f64>,
+    }
+    let (m_, n_) = (m as usize, n as usize);
+    let native = Box::new(move || {
+        Box::new(ClosureKernel {
+            state: St {
+                m: m_,
+                n: n_,
+                a: vec![0.0; n_ * m_],
+                c: vec![0.0; n_ * n_],
+            },
+            init: |s: &mut St| {
+                for i in 0..s.n {
+                    for j in 0..s.m {
+                        s.a[i * s.m + j] = init_val(i as i64, 3, j as i64, 1, 100);
+                    }
+                    for j in 0..s.n {
+                        s.c[i * s.n + j] = init_val(i as i64, 2, j as i64, 2, 99);
+                    }
+                }
+            },
+            kernel: |s: &mut St| {
+                for i in 0..s.n {
+                    for j in 0..=i {
+                        s.c[i * s.n + j] *= BETA;
+                    }
+                    for k in 0..s.m {
+                        for j in 0..=i {
+                            s.c[i * s.n + j] +=
+                                ALPHA * s.a[i * s.m + k] * s.a[j * s.m + k];
+                        }
+                    }
+                }
+            },
+            checksum: |s: &St| checksum_slices(&[&s.c]),
+        }) as Box<dyn lb_dsl::NativeKernel>
+    });
+
+    Benchmark::new("syrk", "polybench", module, native)
+}
+
+/// `syr2k`: C = alpha·(A·Bᵀ + B·Aᵀ) + beta·C (lower triangle).
+pub fn syr2k(d: Dataset) -> Benchmark {
+    let m = d.pick(8, 60, 200) as i32;
+    let n = d.pick(10, 80, 240) as i32;
+
+    let mut l = Layout::new();
+    let a = l.array2_f64(n as u32, m as u32);
+    let b = l.array2_f64(n as u32, m as u32);
+    let c = l.array2_f64(n as u32, n as u32);
+
+    let mut fi = DslFunc::new("init", &[], None);
+    {
+        let i = fi.local_i32();
+        let j = fi.local_i32();
+        fi.for_i32(i, ci(0), ci(n), |f| {
+            f.for_i32(j, ci(0), ci(m), |f| {
+                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 4, j.get(), 2, 99));
+            });
+            f.for_i32(j, ci(0), ci(n), |f| {
+                c.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 3, 98));
+            });
+        });
+    }
+
+    let mut fk = DslFunc::new("kernel", &[], None);
+    {
+        let i = fk.local_i32();
+        let j = fk.local_i32();
+        let k = fk.local_i32();
+        fk.for_i32(i, ci(0), ci(n), |f| {
+            f.for_i32(j, ci(0), i.get() + ci(1), |f| {
+                c.set(f, i.get(), j.get(), c.at(i.get(), j.get()) * cf(BETA));
+            });
+            f.for_i32(k, ci(0), ci(m), |f| {
+                f.for_i32(j, ci(0), i.get() + ci(1), |f| {
+                    c.set(
+                        f,
+                        i.get(),
+                        j.get(),
+                        c.at(i.get(), j.get())
+                            + a.at(j.get(), k.get()) * cf(ALPHA) * b.at(i.get(), k.get())
+                            + b.at(j.get(), k.get()) * cf(ALPHA) * a.at(i.get(), k.get()),
+                    );
+                });
+            });
+        });
+    }
+
+    let module = assemble(&l, fi, fk, checksum_fn(&[c.flat()]));
+
+    struct St {
+        m: usize,
+        n: usize,
+        a: Vec<f64>,
+        b: Vec<f64>,
+        c: Vec<f64>,
+    }
+    let (m_, n_) = (m as usize, n as usize);
+    let native = Box::new(move || {
+        Box::new(ClosureKernel {
+            state: St {
+                m: m_,
+                n: n_,
+                a: vec![0.0; n_ * m_],
+                b: vec![0.0; n_ * m_],
+                c: vec![0.0; n_ * n_],
+            },
+            init: |s: &mut St| {
+                for i in 0..s.n {
+                    for j in 0..s.m {
+                        s.a[i * s.m + j] = init_val(i as i64, 3, j as i64, 1, 100);
+                        s.b[i * s.m + j] = init_val(i as i64, 4, j as i64, 2, 99);
+                    }
+                    for j in 0..s.n {
+                        s.c[i * s.n + j] = init_val(i as i64, 2, j as i64, 3, 98);
+                    }
+                }
+            },
+            kernel: |s: &mut St| {
+                for i in 0..s.n {
+                    for j in 0..=i {
+                        s.c[i * s.n + j] *= BETA;
+                    }
+                    for k in 0..s.m {
+                        for j in 0..=i {
+                            s.c[i * s.n + j] += s.a[j * s.m + k] * ALPHA * s.b[i * s.m + k]
+                                + s.b[j * s.m + k] * ALPHA * s.a[i * s.m + k];
+                        }
+                    }
+                }
+            },
+            checksum: |s: &St| checksum_slices(&[&s.c]),
+        }) as Box<dyn lb_dsl::NativeKernel>
+    });
+
+    Benchmark::new("syr2k", "polybench", module, native)
+}
+
+/// `symm`: C = alpha·A·B + beta·C with symmetric A (lower stored).
+pub fn symm(d: Dataset) -> Benchmark {
+    let m = d.pick(8, 60, 200) as i32;
+    let n = d.pick(10, 80, 240) as i32;
+
+    let mut l = Layout::new();
+    let a = l.array2_f64(m as u32, m as u32);
+    let b = l.array2_f64(m as u32, n as u32);
+    let c = l.array2_f64(m as u32, n as u32);
+
+    let mut fi = DslFunc::new("init", &[], None);
+    {
+        let i = fi.local_i32();
+        let j = fi.local_i32();
+        fi.for_i32(i, ci(0), ci(m), |f| {
+            f.for_i32(j, ci(0), ci(m), |f| {
+                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+            });
+            f.for_i32(j, ci(0), ci(n), |f| {
+                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 2, 99));
+                c.set(f, i.get(), j.get(), init_val_expr(i.get(), 4, j.get(), 3, 98));
+            });
+        });
+    }
+
+    let mut fk = DslFunc::new("kernel", &[], None);
+    {
+        let i = fk.local_i32();
+        let j = fk.local_i32();
+        let k = fk.local_i32();
+        let temp2 = fk.local_f64();
+        fk.for_i32(i, ci(0), ci(m), |f| {
+            f.for_i32(j, ci(0), ci(n), |f| {
+                f.assign(temp2, cf(0.0));
+                f.for_i32(k, ci(0), i.get(), |f| {
+                    c.set(
+                        f,
+                        k.get(),
+                        j.get(),
+                        c.at(k.get(), j.get())
+                            + cf(ALPHA) * b.at(i.get(), j.get()) * a.at(i.get(), k.get()),
+                    );
+                    f.assign(
+                        temp2,
+                        temp2.get() + b.at(k.get(), j.get()) * a.at(i.get(), k.get()),
+                    );
+                });
+                c.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    cf(BETA) * c.at(i.get(), j.get())
+                        + cf(ALPHA) * b.at(i.get(), j.get()) * a.at(i.get(), i.get())
+                        + cf(ALPHA) * temp2.get(),
+                );
+            });
+        });
+    }
+
+    let module = assemble(&l, fi, fk, checksum_fn(&[c.flat()]));
+
+    struct St {
+        m: usize,
+        n: usize,
+        a: Vec<f64>,
+        b: Vec<f64>,
+        c: Vec<f64>,
+    }
+    let (m_, n_) = (m as usize, n as usize);
+    let native = Box::new(move || {
+        Box::new(ClosureKernel {
+            state: St {
+                m: m_,
+                n: n_,
+                a: vec![0.0; m_ * m_],
+                b: vec![0.0; m_ * n_],
+                c: vec![0.0; m_ * n_],
+            },
+            init: |s: &mut St| {
+                for i in 0..s.m {
+                    for j in 0..s.m {
+                        s.a[i * s.m + j] = init_val(i as i64, 3, j as i64, 1, 100);
+                    }
+                    for j in 0..s.n {
+                        s.b[i * s.n + j] = init_val(i as i64, 2, j as i64, 2, 99);
+                        s.c[i * s.n + j] = init_val(i as i64, 4, j as i64, 3, 98);
+                    }
+                }
+            },
+            kernel: |s: &mut St| {
+                for i in 0..s.m {
+                    for j in 0..s.n {
+                        let mut temp2 = 0.0;
+                        for k in 0..i {
+                            s.c[k * s.n + j] +=
+                                ALPHA * s.b[i * s.n + j] * s.a[i * s.m + k];
+                            temp2 += s.b[k * s.n + j] * s.a[i * s.m + k];
+                        }
+                        s.c[i * s.n + j] = BETA * s.c[i * s.n + j]
+                            + ALPHA * s.b[i * s.n + j] * s.a[i * s.m + i]
+                            + ALPHA * temp2;
+                    }
+                }
+            },
+            checksum: |s: &St| checksum_slices(&[&s.c]),
+        }) as Box<dyn lb_dsl::NativeKernel>
+    });
+
+    Benchmark::new("symm", "polybench", module, native)
+}
+
+/// `trmm`: B = alpha·Aᵀ·B with unit lower-triangular A.
+pub fn trmm(d: Dataset) -> Benchmark {
+    let m = d.pick(8, 60, 200) as i32;
+    let n = d.pick(10, 80, 240) as i32;
+
+    let mut l = Layout::new();
+    let a = l.array2_f64(m as u32, m as u32);
+    let b = l.array2_f64(m as u32, n as u32);
+
+    let mut fi = DslFunc::new("init", &[], None);
+    {
+        let i = fi.local_i32();
+        let j = fi.local_i32();
+        fi.for_i32(i, ci(0), ci(m), |f| {
+            f.for_i32(j, ci(0), ci(m), |f| {
+                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+            });
+            f.for_i32(j, ci(0), ci(n), |f| {
+                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 2, 99));
+            });
+        });
+    }
+
+    let mut fk = DslFunc::new("kernel", &[], None);
+    {
+        let i = fk.local_i32();
+        let j = fk.local_i32();
+        let k = fk.local_i32();
+        fk.for_i32(i, ci(0), ci(m), |f| {
+            f.for_i32(j, ci(0), ci(n), |f| {
+                f.for_i32_step(k, i.get() + ci(1), ci(m), 1, |f| {
+                    b.set(
+                        f,
+                        i.get(),
+                        j.get(),
+                        b.at(i.get(), j.get())
+                            + a.at(k.get(), i.get()) * b.at(k.get(), j.get()),
+                    );
+                });
+                b.set(f, i.get(), j.get(), b.at(i.get(), j.get()) * cf(ALPHA));
+            });
+        });
+    }
+
+    let module = assemble(&l, fi, fk, checksum_fn(&[b.flat()]));
+
+    struct St {
+        m: usize,
+        n: usize,
+        a: Vec<f64>,
+        b: Vec<f64>,
+    }
+    let (m_, n_) = (m as usize, n as usize);
+    let native = Box::new(move || {
+        Box::new(ClosureKernel {
+            state: St {
+                m: m_,
+                n: n_,
+                a: vec![0.0; m_ * m_],
+                b: vec![0.0; m_ * n_],
+            },
+            init: |s: &mut St| {
+                for i in 0..s.m {
+                    for j in 0..s.m {
+                        s.a[i * s.m + j] = init_val(i as i64, 3, j as i64, 1, 100);
+                    }
+                    for j in 0..s.n {
+                        s.b[i * s.n + j] = init_val(i as i64, 2, j as i64, 2, 99);
+                    }
+                }
+            },
+            kernel: |s: &mut St| {
+                for i in 0..s.m {
+                    for j in 0..s.n {
+                        for k in i + 1..s.m {
+                            s.b[i * s.n + j] += s.a[k * s.m + i] * s.b[k * s.n + j];
+                        }
+                        s.b[i * s.n + j] *= ALPHA;
+                    }
+                }
+            },
+            checksum: |s: &St| checksum_slices(&[&s.b]),
+        }) as Box<dyn lb_dsl::NativeKernel>
+    });
+
+    Benchmark::new("trmm", "polybench", module, native)
+}
+
+/// `trisolv`: forward substitution x = L⁻¹·b.
+pub fn trisolv(d: Dataset) -> Benchmark {
+    let n = d.pick(16, 120, 400) as i32;
+
+    let mut l = Layout::new();
+    let lo = l.array2_f64(n as u32, n as u32);
+    let x = l.array_f64(n as u32);
+    let b = l.array_f64(n as u32);
+
+    let mut fi = DslFunc::new("init", &[], None);
+    {
+        let i = fi.local_i32();
+        let j = fi.local_i32();
+        fi.for_i32(i, ci(0), ci(n), |f| {
+            x.set(f, i.get(), cf(-999.0));
+            b.set(f, i.get(), init_val_expr(i.get(), 1, ci(0), 1, 101));
+            f.for_i32(j, ci(0), ci(n), |f| {
+                // Strictly-lower entries are small; the diagonal is ≥ 1.
+                lo.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 97) * cf(0.1),
+                );
+            });
+            lo.set(f, i.get(), i.get(), cf(1.0) + init_val_expr(i.get(), 1, ci(0), 0, 7));
+        });
+    }
+
+    let mut fk = DslFunc::new("kernel", &[], None);
+    {
+        let i = fk.local_i32();
+        let j = fk.local_i32();
+        fk.for_i32(i, ci(0), ci(n), |f| {
+            x.set(f, i.get(), b.at(i.get()));
+            f.for_i32(j, ci(0), i.get(), |f| {
+                x.set(
+                    f,
+                    i.get(),
+                    x.at(i.get()) - lo.at(i.get(), j.get()) * x.at(j.get()),
+                );
+            });
+            x.set(f, i.get(), x.at(i.get()).fdiv(lo.at(i.get(), i.get())));
+        });
+    }
+
+    let module = assemble(&l, fi, fk, checksum_fn(&[x]));
+
+    struct St {
+        n: usize,
+        l: Vec<f64>,
+        x: Vec<f64>,
+        b: Vec<f64>,
+    }
+    let n_ = n as usize;
+    let native = Box::new(move || {
+        Box::new(ClosureKernel {
+            state: St {
+                n: n_,
+                l: vec![0.0; n_ * n_],
+                x: vec![0.0; n_],
+                b: vec![0.0; n_],
+            },
+            init: |s: &mut St| {
+                for i in 0..s.n {
+                    s.x[i] = -999.0;
+                    s.b[i] = init_val(i as i64, 1, 0, 1, 101);
+                    for j in 0..s.n {
+                        s.l[i * s.n + j] = init_val(i as i64, 3, j as i64, 1, 97) * 0.1;
+                    }
+                    s.l[i * s.n + i] = 1.0 + init_val(i as i64, 1, 0, 0, 7);
+                }
+            },
+            kernel: |s: &mut St| {
+                for i in 0..s.n {
+                    s.x[i] = s.b[i];
+                    for j in 0..i {
+                        s.x[i] -= s.l[i * s.n + j] * s.x[j];
+                    }
+                    s.x[i] /= s.l[i * s.n + i];
+                }
+            },
+            checksum: |s: &St| checksum_slices(&[&s.x]),
+        }) as Box<dyn lb_dsl::NativeKernel>
+    });
+
+    Benchmark::new("trisolv", "polybench", module, native)
+}

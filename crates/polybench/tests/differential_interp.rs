@@ -1,0 +1,79 @@
+//! Differential test: every PolyBench kernel's wasm module, executed on the
+//! interpreter, must produce exactly the checksum of its native twin.
+
+use lb_core::exec::{Engine, Linker};
+use lb_core::{BoundsStrategy, MemoryConfig};
+use lb_interp::InterpEngine;
+use lb_polybench::{all, by_name, common::Dataset, NAMES};
+
+fn wasm_checksum(bench: &lb_polybench::Benchmark, strategy: BoundsStrategy) -> f64 {
+    let engine = InterpEngine::new();
+    let loaded = engine.load(&bench.module).expect("load");
+    // Modest reservation: mini datasets fit in a few pages.
+    let config = MemoryConfig::new(strategy, 1, 256).with_reserve(512 * 65536);
+    let mut inst = loaded.instantiate(&config, &Linker::new()).expect("instantiate");
+    inst.invoke("init", &[]).expect("init");
+    inst.invoke("kernel", &[]).expect("kernel");
+    inst.invoke("checksum", &[])
+        .expect("checksum")
+        .expect("checksum returns f64")
+        .as_f64()
+        .expect("f64 checksum")
+}
+
+#[test]
+fn all_kernels_match_native_mini() {
+    for bench in all(Dataset::Mini) {
+        let native = bench.native_checksum();
+        let wasm = wasm_checksum(&bench, BoundsStrategy::Trap);
+        assert!(
+            native.is_finite(),
+            "{}: native checksum not finite: {native}",
+            bench.name
+        );
+        assert_eq!(
+            native.to_bits(),
+            wasm.to_bits(),
+            "{}: native {native} != wasm {wasm}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn gemm_matches_under_every_strategy_small() {
+    let bench = by_name("gemm", Dataset::Small).unwrap();
+    let native = bench.native_checksum();
+    let mut strategies = vec![
+        BoundsStrategy::None,
+        BoundsStrategy::Clamp,
+        BoundsStrategy::Trap,
+        BoundsStrategy::Mprotect,
+    ];
+    if lb_core::uffd::sigbus_mode_available() {
+        strategies.push(BoundsStrategy::Uffd);
+    }
+    for s in strategies {
+        let wasm = wasm_checksum(&bench, s);
+        assert_eq!(native.to_bits(), wasm.to_bits(), "strategy {s}");
+    }
+}
+
+#[test]
+fn registry_is_complete() {
+    assert_eq!(NAMES.len(), 30);
+    for n in NAMES {
+        assert!(by_name(n, Dataset::Mini).is_some(), "missing {n}");
+    }
+    assert!(by_name("nonexistent", Dataset::Mini).is_none());
+}
+
+#[test]
+fn modules_roundtrip_binary_format() {
+    for name in ["gemm", "nussinov", "adi", "deriche"] {
+        let bench = by_name(name, Dataset::Mini).unwrap();
+        let bytes = lb_wasm::binary::encode(&bench.module);
+        let decoded = lb_wasm::binary::decode(&bytes).expect("decode");
+        assert_eq!(decoded, bench.module, "{name}");
+    }
+}

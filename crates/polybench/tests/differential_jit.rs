@@ -1,0 +1,86 @@
+//! Differential test: every PolyBench kernel's wasm module, compiled by the
+//! JIT under each engine profile and bounds strategy, must produce exactly
+//! the checksum of its native twin.
+
+use lb_core::exec::{Engine, Linker};
+use lb_core::{BoundsStrategy, MemoryConfig};
+use lb_jit::{JitEngine, JitProfile};
+use lb_polybench::{all, by_name, common::Dataset};
+
+fn wasm_checksum(
+    engine: &JitEngine,
+    bench: &lb_polybench::Benchmark,
+    strategy: BoundsStrategy,
+) -> f64 {
+    let loaded = engine.load(&bench.module).expect("load");
+    let config = MemoryConfig::new(strategy, 1, 256).with_reserve(512 * 65536);
+    let mut inst = loaded
+        .instantiate(&config, &Linker::new())
+        .expect("instantiate");
+    inst.invoke("init", &[]).expect("init");
+    inst.invoke("kernel", &[]).expect("kernel");
+    inst.invoke("checksum", &[])
+        .expect("checksum")
+        .expect("checksum returns f64")
+        .as_f64()
+        .expect("f64 checksum")
+}
+
+#[test]
+fn all_kernels_match_native_on_wavm_profile() {
+    let engine = JitEngine::new(JitProfile::wavm());
+    for bench in all(Dataset::Mini) {
+        let native = bench.native_checksum();
+        let wasm = wasm_checksum(&engine, &bench, BoundsStrategy::Trap);
+        assert_eq!(
+            native.to_bits(),
+            wasm.to_bits(),
+            "{}: native {native} != wasm {wasm}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn all_kernels_match_native_on_baseline_tier() {
+    // The v8 profile's initial tier spills after every instruction —
+    // exercises a completely different codegen path.
+    let engine = JitEngine::new(JitProfile::v8());
+    for bench in all(Dataset::Mini) {
+        let native = bench.native_checksum();
+        let wasm = wasm_checksum(&engine, &bench, BoundsStrategy::Mprotect);
+        assert_eq!(
+            native.to_bits(),
+            wasm.to_bits(),
+            "{}: native {native} != wasm {wasm}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn gemm_matches_under_every_strategy_and_profile() {
+    let bench = by_name("gemm", Dataset::Small).unwrap();
+    let native = bench.native_checksum();
+    let mut strategies = vec![
+        BoundsStrategy::None,
+        BoundsStrategy::Clamp,
+        BoundsStrategy::Trap,
+        BoundsStrategy::Mprotect,
+    ];
+    if lb_core::uffd::sigbus_mode_available() {
+        strategies.push(BoundsStrategy::Uffd);
+    }
+    for profile in [JitProfile::wavm(), JitProfile::wasmtime(), JitProfile::v8()] {
+        let engine = JitEngine::new(profile);
+        for &s in &strategies {
+            let wasm = wasm_checksum(&engine, &bench, s);
+            assert_eq!(
+                native.to_bits(),
+                wasm.to_bits(),
+                "profile {} strategy {s}",
+                profile.name
+            );
+        }
+    }
+}

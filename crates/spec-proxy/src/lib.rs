@@ -1,0 +1,51 @@
+//! # lb-spec-proxy — proxies for the paper's SPEC CPU 2017 subset
+//!
+//! The paper evaluates seven SPEC CPU 2017 Rate benchmarks (505.mcf_r,
+//! 508.namd_r, 519.lbm_r, 525.x264_r, 531.deepsjeng_r, 544.nab_r,
+//! 557.xz_r) in the Train configuration. SPEC is copyrighted — the paper
+//! itself could only redistribute patches — so this crate implements a
+//! *proxy* for each: the same algorithmic core (network relaxation, MD
+//! force loops, lattice-Boltzmann, SAD motion search, alpha-beta search,
+//! electrostatics, LZ77 match finding) over synthetic data, authored in
+//! the kernel DSL with bit-identical native twins, exactly like the
+//! PolyBench suite.
+//!
+//! ```rust
+//! use lb_spec_proxy::{by_name, Scale};
+//! let b = by_name("mcf", Scale::Mini).unwrap();
+//! assert_eq!(b.suite, "spec");
+//! assert!(b.native_checksum().is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+mod graph;
+mod md;
+mod media;
+mod xz;
+
+pub use common::Scale;
+pub use lb_dsl::Benchmark;
+
+/// The proxy names, mirroring the paper's SPEC subset.
+pub const NAMES: [&str; 7] = ["mcf", "namd", "lbm", "x264", "deepsjeng", "nab", "xz"];
+
+/// Construct every SPEC-proxy benchmark at the given scale.
+pub fn all(s: Scale) -> Vec<Benchmark> {
+    NAMES.iter().map(|n| by_name(n, s).expect("known name")).collect()
+}
+
+/// Construct one proxy by name.
+pub fn by_name(name: &str, s: Scale) -> Option<Benchmark> {
+    Some(match name {
+        "mcf" => graph::mcf(s),
+        "deepsjeng" => graph::deepsjeng(s),
+        "namd" => md::namd(s),
+        "nab" => md::nab(s),
+        "lbm" => media::lbm(s),
+        "x264" => media::x264(s),
+        "xz" => xz::xz(s),
+        _ => return None,
+    })
+}

@@ -1,0 +1,303 @@
+//! Molecular-dynamics proxies:
+//!
+//! * `508.namd_r` — Lennard-Jones pair forces with a cutoff (namd's inner
+//!   loops compute exactly such pairwise nonbonded forces);
+//! * `544.nab_r` — Coulomb electrostatics with `1/sqrt` distances (nab's
+//!   generalized-Born terms are dominated by such reciprocal square roots).
+
+use crate::common::{
+    assemble, checksum_fn, checksum_slices, lcg_next, lcg_step, ClosureKernel, Scale,
+};
+use lb_dsl::expr::{f64 as cf, i32 as ci};
+use lb_dsl::{Benchmark, DslFunc, Layout};
+
+/// Deterministic coordinate in [0, box) from an LCG draw.
+fn coord(x: u32, boxsize: f64) -> f64 {
+    (x >> 8) as f64 / ((1u32 << 24) as f64) * boxsize
+}
+
+/// `namd` proxy: LJ 6-12 forces over all pairs within a cutoff.
+pub fn namd(s: Scale) -> Benchmark {
+    let n = s.pick(32, 220, 700) as i32;
+    let steps = s.pick(2, 4, 8) as i32;
+    let boxsize = 10.0f64;
+    let cutoff2 = 6.25f64; // 2.5^2
+    let eps = 0.25f64;
+    let sigma2 = 1.1f64;
+    let dt = 1e-4f64;
+
+    let mut l = Layout::new();
+    let px = l.array_f64(n as u32);
+    let py = l.array_f64(n as u32);
+    let pz = l.array_f64(n as u32);
+    let fx = l.array_f64(n as u32);
+    let fy = l.array_f64(n as u32);
+    let fz = l.array_f64(n as u32);
+
+    let mut fi = DslFunc::new("init", &[], None);
+    {
+        let i = fi.local_i32();
+        let rng = fi.local_i32();
+        fi.assign(rng, ci(777));
+        fi.for_i32(i, ci(0), ci(n), |f| {
+            for arr in [px, py, pz] {
+                lcg_step(f, rng);
+                // coord = (rng >>> 8) / 2^24 * box
+                arr.set(
+                    f,
+                    i.get(),
+                    rng.get()
+                        .shr_u(ci(8))
+                        .to_f64()
+                        .fdiv(cf((1u32 << 24) as f64))
+                        * cf(boxsize),
+                );
+            }
+            for arr in [fx, fy, fz] {
+                arr.set(f, i.get(), cf(0.0));
+            }
+        });
+    }
+
+    let mut fk = DslFunc::new("kernel", &[], None);
+    {
+        let t = fk.local_i32();
+        let i = fk.local_i32();
+        let j = fk.local_i32();
+        let dx = fk.local_f64();
+        let dy = fk.local_f64();
+        let dz = fk.local_f64();
+        let r2 = fk.local_f64();
+        let s2 = fk.local_f64();
+        let s6 = fk.local_f64();
+        let ff = fk.local_f64();
+        fk.for_i32(t, ci(0), ci(steps), |f| {
+            f.for_i32(i, ci(0), ci(n), |f| {
+                f.for_i32_step(j, i.get() + ci(1), ci(n), 1, |f| {
+                    f.assign(dx, px.at(i.get()) - px.at(j.get()));
+                    f.assign(dy, py.at(i.get()) - py.at(j.get()));
+                    f.assign(dz, pz.at(i.get()) - pz.at(j.get()));
+                    f.assign(
+                        r2,
+                        dx.get() * dx.get() + dy.get() * dy.get() + dz.get() * dz.get(),
+                    );
+                    f.if_then(
+                        r2.get().lt(cf(cutoff2)).and(r2.get().gt(cf(1e-6))),
+                        |f| {
+                            f.assign(s2, cf(sigma2).fdiv(r2.get()));
+                            f.assign(s6, s2.get() * s2.get() * s2.get());
+                            // f = 24*eps*(2*s6^2 - s6)/r2
+                            f.assign(
+                                ff,
+                                (cf(24.0 * eps)
+                                    * (cf(2.0) * s6.get() * s6.get() - s6.get()))
+                                .fdiv(r2.get()),
+                            );
+                            for (fa, d) in [(fx, dx), (fy, dy), (fz, dz)] {
+                                fa.set(f, i.get(), fa.at(i.get()) + ff.get() * d.get());
+                                fa.set(f, j.get(), fa.at(j.get()) - ff.get() * d.get());
+                            }
+                        },
+                    );
+                });
+            });
+            // Nudge positions along the force (gradient step).
+            f.for_i32(i, ci(0), ci(n), |f| {
+                for (p, fa) in [(px, fx), (py, fy), (pz, fz)] {
+                    p.set(f, i.get(), p.at(i.get()) + cf(dt) * fa.at(i.get()));
+                }
+            });
+        });
+    }
+
+    let module = assemble(&l, fi, fk, checksum_fn(&[fx, fy, fz]));
+
+    struct St {
+        n: usize,
+        steps: usize,
+        c: [f64; 5],
+        p: [Vec<f64>; 3],
+        f: [Vec<f64>; 3],
+    }
+    let n_ = n as usize;
+    let steps_ = steps as usize;
+    let consts = [boxsize, cutoff2, eps, sigma2, dt];
+    let native = Box::new(move || {
+        Box::new(ClosureKernel {
+            state: St {
+                n: n_,
+                steps: steps_,
+                c: consts,
+                p: [vec![0.0; n_], vec![0.0; n_], vec![0.0; n_]],
+                f: [vec![0.0; n_], vec![0.0; n_], vec![0.0; n_]],
+            },
+            init: |s: &mut St| {
+                let boxsize = s.c[0];
+                let mut rng = 777u32;
+                for i in 0..s.n {
+                    for d in 0..3 {
+                        rng = lcg_next(rng);
+                        s.p[d][i] = coord(rng, boxsize);
+                        s.f[d][i] = 0.0;
+                    }
+                }
+            },
+            kernel: |s: &mut St| {
+                let [_, cutoff2, eps, sigma2, dt] = s.c;
+                for _ in 0..s.steps {
+                    for i in 0..s.n {
+                        for j in i + 1..s.n {
+                            let dx = s.p[0][i] - s.p[0][j];
+                            let dy = s.p[1][i] - s.p[1][j];
+                            let dz = s.p[2][i] - s.p[2][j];
+                            let r2 = dx * dx + dy * dy + dz * dz;
+                            if r2 < cutoff2 && r2 > 1e-6 {
+                                let s2 = sigma2 / r2;
+                                let s6 = s2 * s2 * s2;
+                                let ff = 24.0 * eps * (2.0 * s6 * s6 - s6) / r2;
+                                for (d, dd) in [dx, dy, dz].into_iter().enumerate() {
+                                    s.f[d][i] += ff * dd;
+                                    s.f[d][j] -= ff * dd;
+                                }
+                            }
+                        }
+                    }
+                    for i in 0..s.n {
+                        for d in 0..3 {
+                            s.p[d][i] += dt * s.f[d][i];
+                        }
+                    }
+                }
+            },
+            checksum: |s: &St| checksum_slices(&[&s.f[0], &s.f[1], &s.f[2]]),
+        }) as Box<dyn lb_dsl::NativeKernel>
+    });
+
+    Benchmark::new("namd", "spec", module, native)
+}
+
+/// `nab` proxy: Coulomb potential/force accumulation with `1/sqrt`.
+pub fn nab(s: Scale) -> Benchmark {
+    let n = s.pick(32, 200, 640) as i32;
+    let steps = s.pick(2, 4, 8) as i32;
+    let boxsize = 12.0f64;
+
+    let mut l = Layout::new();
+    let px = l.array_f64(n as u32);
+    let py = l.array_f64(n as u32);
+    let pz = l.array_f64(n as u32);
+    let q = l.array_f64(n as u32);
+    let pot = l.array_f64(n as u32);
+
+    let mut fi = DslFunc::new("init", &[], None);
+    {
+        let i = fi.local_i32();
+        let rng = fi.local_i32();
+        fi.assign(rng, ci(4242));
+        fi.for_i32(i, ci(0), ci(n), |f| {
+            for arr in [px, py, pz] {
+                lcg_step(f, rng);
+                arr.set(
+                    f,
+                    i.get(),
+                    rng.get()
+                        .shr_u(ci(8))
+                        .to_f64()
+                        .fdiv(cf((1u32 << 24) as f64))
+                        * cf(boxsize),
+                );
+            }
+            // Alternating partial charges.
+            q.set(
+                f,
+                i.get(),
+                (i.get().rem_s(ci(2)).to_f64() * cf(2.0) - cf(1.0)) * cf(0.4),
+            );
+            pot.set(f, i.get(), cf(0.0));
+        });
+    }
+
+    let mut fk = DslFunc::new("kernel", &[], None);
+    {
+        let t = fk.local_i32();
+        let i = fk.local_i32();
+        let j = fk.local_i32();
+        let dx = fk.local_f64();
+        let dy = fk.local_f64();
+        let dz = fk.local_f64();
+        let r2 = fk.local_f64();
+        let inv = fk.local_f64();
+        fk.for_i32(t, ci(0), ci(steps), |f| {
+            f.for_i32(i, ci(0), ci(n), |f| {
+                f.for_i32_step(j, i.get() + ci(1), ci(n), 1, |f| {
+                    f.assign(dx, px.at(i.get()) - px.at(j.get()));
+                    f.assign(dy, py.at(i.get()) - py.at(j.get()));
+                    f.assign(dz, pz.at(i.get()) - pz.at(j.get()));
+                    f.assign(
+                        r2,
+                        dx.get() * dx.get() + dy.get() * dy.get() + dz.get() * dz.get()
+                            + cf(1e-3),
+                    );
+                    f.assign(inv, cf(1.0).fdiv(r2.get().sqrt()));
+                    let e = q.at(i.get()) * q.at(j.get()) * inv.get();
+                    pot.set(f, i.get(), pot.at(i.get()) + e.clone());
+                    pot.set(f, j.get(), pot.at(j.get()) + e);
+                });
+            });
+        });
+    }
+
+    let module = assemble(&l, fi, fk, checksum_fn(&[pot]));
+
+    struct St {
+        n: usize,
+        steps: usize,
+        boxsize: f64,
+        p: [Vec<f64>; 3],
+        q: Vec<f64>,
+        pot: Vec<f64>,
+    }
+    let (n_, steps_) = (n as usize, steps as usize);
+    let native = Box::new(move || {
+        Box::new(ClosureKernel {
+            state: St {
+                n: n_,
+                steps: steps_,
+                boxsize,
+                p: [vec![0.0; n_], vec![0.0; n_], vec![0.0; n_]],
+                q: vec![0.0; n_],
+                pot: vec![0.0; n_],
+            },
+            init: |s: &mut St| {
+                let mut rng = 4242u32;
+                for i in 0..s.n {
+                    for d in 0..3 {
+                        rng = lcg_next(rng);
+                        s.p[d][i] = coord(rng, s.boxsize);
+                    }
+                    s.q[i] = ((i % 2) as f64 * 2.0 - 1.0) * 0.4;
+                    s.pot[i] = 0.0;
+                }
+            },
+            kernel: |s: &mut St| {
+                for _ in 0..s.steps {
+                    for i in 0..s.n {
+                        for j in i + 1..s.n {
+                            let dx = s.p[0][i] - s.p[0][j];
+                            let dy = s.p[1][i] - s.p[1][j];
+                            let dz = s.p[2][i] - s.p[2][j];
+                            let r2 = dx * dx + dy * dy + dz * dz + 1e-3;
+                            let inv = 1.0 / r2.sqrt();
+                            let e = s.q[i] * s.q[j] * inv;
+                            s.pot[i] += e;
+                            s.pot[j] += e;
+                        }
+                    }
+                }
+            },
+            checksum: |s: &St| checksum_slices(&[&s.pot]),
+        }) as Box<dyn lb_dsl::NativeKernel>
+    });
+
+    Benchmark::new("nab", "spec", module, native)
+}

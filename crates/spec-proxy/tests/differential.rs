@@ -1,0 +1,63 @@
+//! Differential tests: every SPEC proxy, on both engines, must reproduce
+//! its native twin's checksum exactly.
+
+use lb_core::exec::{Engine, Linker};
+use lb_core::{BoundsStrategy, MemoryConfig};
+use lb_interp::InterpEngine;
+use lb_jit::{JitEngine, JitProfile};
+use lb_spec_proxy::{all, by_name, Scale};
+
+fn wasm_checksum(engine: &dyn Engine, bench: &lb_spec_proxy::Benchmark, s: BoundsStrategy) -> f64 {
+    let loaded = engine.load(&bench.module).expect("load");
+    let config = MemoryConfig::new(s, 1, 512).with_reserve(1024 * 65536);
+    let mut inst = loaded.instantiate(&config, &Linker::new()).expect("inst");
+    inst.invoke("init", &[]).expect("init");
+    inst.invoke("kernel", &[]).expect("kernel");
+    inst.invoke("checksum", &[])
+        .expect("checksum")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+}
+
+#[test]
+fn all_proxies_match_native_on_interp() {
+    let engine = InterpEngine::new();
+    for bench in all(Scale::Mini) {
+        let native = bench.native_checksum();
+        let wasm = wasm_checksum(&engine, &bench, BoundsStrategy::Trap);
+        assert_eq!(
+            native.to_bits(),
+            wasm.to_bits(),
+            "{}: native {native} != wasm {wasm}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn all_proxies_match_native_on_jit() {
+    for profile in [JitProfile::wavm(), JitProfile::v8()] {
+        let engine = JitEngine::new(profile);
+        for bench in all(Scale::Mini) {
+            let native = bench.native_checksum();
+            let wasm = wasm_checksum(&engine, &bench, BoundsStrategy::Mprotect);
+            assert_eq!(
+                native.to_bits(),
+                wasm.to_bits(),
+                "{} on {}: native {native} != wasm {wasm}",
+                bench.name,
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_complete() {
+    assert_eq!(lb_spec_proxy::NAMES.len(), 7);
+    for n in lb_spec_proxy::NAMES {
+        assert!(by_name(n, Scale::Mini).is_some(), "missing {n}");
+    }
+    assert!(by_name("bogus", Scale::Mini).is_none());
+}

@@ -1,0 +1,596 @@
+//! Encoding of modules to the standard WebAssembly binary format.
+
+use super::leb::{write_i32, write_i64, write_u32};
+use crate::instr::{Instr, MemArg};
+use crate::module::{ExportKind, Module};
+use crate::types::{BlockType, Mutability, ValType};
+
+/// Encode a module to wasm binary bytes.
+///
+/// The output uses the standard MVP binary format: a module produced here
+/// decodes back with [`super::decode::decode`], and the numeric subset is
+/// valid input for standard tooling.
+pub fn encode(module: &Module) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(b"\0asm");
+    out.extend_from_slice(&1u32.to_le_bytes());
+
+    // Type section (1)
+    if !module.types.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.types.len() as u32);
+        for ty in &module.types {
+            sec.push(0x60);
+            write_u32(&mut sec, ty.params.len() as u32);
+            for p in &ty.params {
+                sec.push(p.to_byte());
+            }
+            write_u32(&mut sec, ty.results.len() as u32);
+            for r in &ty.results {
+                sec.push(r.to_byte());
+            }
+        }
+        section(&mut out, 1, &sec);
+    }
+
+    // Import section (2)
+    if !module.imports.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.imports.len() as u32);
+        for imp in &module.imports {
+            name(&mut sec, &imp.module);
+            name(&mut sec, &imp.name);
+            sec.push(0x00); // func import
+            write_u32(&mut sec, imp.type_idx);
+        }
+        section(&mut out, 2, &sec);
+    }
+
+    // Function section (3)
+    if !module.functions.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.functions.len() as u32);
+        for f in &module.functions {
+            write_u32(&mut sec, f.type_idx);
+        }
+        section(&mut out, 3, &sec);
+    }
+
+    // Table section (4)
+    if let Some(t) = module.table {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, 1);
+        sec.push(0x70); // funcref
+        limits(&mut sec, t.limits.min, t.limits.max);
+        section(&mut out, 4, &sec);
+    }
+
+    // Memory section (5)
+    if let Some(m) = module.memory {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, 1);
+        limits(&mut sec, m.limits.min, m.limits.max);
+        section(&mut out, 5, &sec);
+    }
+
+    // Global section (6)
+    if !module.globals.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.globals.len() as u32);
+        for g in &module.globals {
+            sec.push(g.ty.content.to_byte());
+            sec.push(match g.ty.mutability {
+                Mutability::Const => 0,
+                Mutability::Var => 1,
+            });
+            const_expr(&mut sec, g.init);
+        }
+        section(&mut out, 6, &sec);
+    }
+
+    // Export section (7)
+    if !module.exports.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.exports.len() as u32);
+        for e in &module.exports {
+            name(&mut sec, &e.name);
+            match e.kind {
+                ExportKind::Func(i) => {
+                    sec.push(0x00);
+                    write_u32(&mut sec, i);
+                }
+                ExportKind::Table => {
+                    sec.push(0x01);
+                    write_u32(&mut sec, 0);
+                }
+                ExportKind::Memory => {
+                    sec.push(0x02);
+                    write_u32(&mut sec, 0);
+                }
+                ExportKind::Global(i) => {
+                    sec.push(0x03);
+                    write_u32(&mut sec, i);
+                }
+            }
+        }
+        section(&mut out, 7, &sec);
+    }
+
+    // Start section (8)
+    if let Some(s) = module.start {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, s);
+        section(&mut out, 8, &sec);
+    }
+
+    // Element section (9)
+    if !module.elems.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.elems.len() as u32);
+        for e in &module.elems {
+            write_u32(&mut sec, 0); // table index / flags
+            let mut off = Vec::new();
+            off.push(0x41); // i32.const
+            write_i32(&mut off, e.offset as i32);
+            off.push(0x0B); // end
+            sec.extend_from_slice(&off);
+            write_u32(&mut sec, e.funcs.len() as u32);
+            for &f in &e.funcs {
+                write_u32(&mut sec, f);
+            }
+        }
+        section(&mut out, 9, &sec);
+    }
+
+    // Code section (10)
+    if !module.functions.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.functions.len() as u32);
+        for f in &module.functions {
+            let mut body = Vec::new();
+            // Locals: run-length encode consecutive same types.
+            let mut runs: Vec<(u32, ValType)> = Vec::new();
+            for &l in &f.locals {
+                match runs.last_mut() {
+                    Some((n, t)) if *t == l => *n += 1,
+                    _ => runs.push((1, l)),
+                }
+            }
+            write_u32(&mut body, runs.len() as u32);
+            for (n, t) in runs {
+                write_u32(&mut body, n);
+                body.push(t.to_byte());
+            }
+            for i in &f.body {
+                encode_instr(&mut body, i);
+            }
+            write_u32(&mut sec, body.len() as u32);
+            sec.extend_from_slice(&body);
+        }
+        section(&mut out, 10, &sec);
+    }
+
+    // Data section (11)
+    if !module.data.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.data.len() as u32);
+        for d in &module.data {
+            write_u32(&mut sec, 0);
+            let mut off = Vec::new();
+            off.push(0x41);
+            write_i32(&mut off, d.offset as i32);
+            off.push(0x0B);
+            sec.extend_from_slice(&off);
+            write_u32(&mut sec, d.bytes.len() as u32);
+            sec.extend_from_slice(&d.bytes);
+        }
+        section(&mut out, 11, &sec);
+    }
+
+    // Custom "name" section with function names, for debuggability.
+    let named: Vec<(u32, &str)> = module
+        .functions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| {
+            f.name
+                .as_deref()
+                .map(|n| (module.num_imported_funcs() + i as u32, n))
+        })
+        .collect();
+    if !named.is_empty() {
+        let mut sec = Vec::new();
+        name(&mut sec, "name");
+        let mut sub = Vec::new();
+        write_u32(&mut sub, named.len() as u32);
+        for (i, n) in named {
+            write_u32(&mut sub, i);
+            name(&mut sub, n);
+        }
+        sec.push(1); // function-names subsection
+        write_u32(&mut sec, sub.len() as u32);
+        sec.extend_from_slice(&sub);
+        section(&mut out, 0, &sec);
+    }
+
+    out
+}
+
+fn section(out: &mut Vec<u8>, id: u8, content: &[u8]) {
+    out.push(id);
+    write_u32(out, content.len() as u32);
+    out.extend_from_slice(content);
+}
+
+fn name(out: &mut Vec<u8>, s: &str) {
+    write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn limits(out: &mut Vec<u8>, min: u32, max: Option<u32>) {
+    match max {
+        None => {
+            out.push(0x00);
+            write_u32(out, min);
+        }
+        Some(m) => {
+            out.push(0x01);
+            write_u32(out, min);
+            write_u32(out, m);
+        }
+    }
+}
+
+fn const_expr(out: &mut Vec<u8>, v: crate::value::Value) {
+    use crate::value::Value;
+    match v {
+        Value::I32(x) => {
+            out.push(0x41);
+            write_i32(out, x);
+        }
+        Value::I64(x) => {
+            out.push(0x42);
+            write_i64(out, x);
+        }
+        Value::F32(x) => {
+            out.push(0x43);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(0x44);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out.push(0x0B);
+}
+
+fn block_type(out: &mut Vec<u8>, bt: BlockType) {
+    match bt {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(t) => out.push(t.to_byte()),
+    }
+}
+
+fn memarg(out: &mut Vec<u8>, m: MemArg) {
+    write_u32(out, m.align);
+    write_u32(out, m.offset);
+}
+
+/// Encode a single instruction.
+pub fn encode_instr(out: &mut Vec<u8>, i: &Instr) {
+    use Instr::*;
+    match i {
+        Unreachable => out.push(0x00),
+        Nop => out.push(0x01),
+        Block(bt) => {
+            out.push(0x02);
+            block_type(out, *bt);
+        }
+        Loop(bt) => {
+            out.push(0x03);
+            block_type(out, *bt);
+        }
+        If(bt) => {
+            out.push(0x04);
+            block_type(out, *bt);
+        }
+        Else => out.push(0x05),
+        End => out.push(0x0B),
+        Br(d) => {
+            out.push(0x0C);
+            write_u32(out, *d);
+        }
+        BrIf(d) => {
+            out.push(0x0D);
+            write_u32(out, *d);
+        }
+        BrTable(t) => {
+            out.push(0x0E);
+            write_u32(out, t.targets.len() as u32);
+            for &x in &t.targets {
+                write_u32(out, x);
+            }
+            write_u32(out, t.default);
+        }
+        Return => out.push(0x0F),
+        Call(f) => {
+            out.push(0x10);
+            write_u32(out, *f);
+        }
+        CallIndirect(t) => {
+            out.push(0x11);
+            write_u32(out, *t);
+            out.push(0x00); // table index
+        }
+        Drop => out.push(0x1A),
+        Select => out.push(0x1B),
+        LocalGet(i) => {
+            out.push(0x20);
+            write_u32(out, *i);
+        }
+        LocalSet(i) => {
+            out.push(0x21);
+            write_u32(out, *i);
+        }
+        LocalTee(i) => {
+            out.push(0x22);
+            write_u32(out, *i);
+        }
+        GlobalGet(i) => {
+            out.push(0x23);
+            write_u32(out, *i);
+        }
+        GlobalSet(i) => {
+            out.push(0x24);
+            write_u32(out, *i);
+        }
+        I32Load(m) => {
+            out.push(0x28);
+            memarg(out, *m);
+        }
+        I64Load(m) => {
+            out.push(0x29);
+            memarg(out, *m);
+        }
+        F32Load(m) => {
+            out.push(0x2A);
+            memarg(out, *m);
+        }
+        F64Load(m) => {
+            out.push(0x2B);
+            memarg(out, *m);
+        }
+        I32Load8S(m) => {
+            out.push(0x2C);
+            memarg(out, *m);
+        }
+        I32Load8U(m) => {
+            out.push(0x2D);
+            memarg(out, *m);
+        }
+        I32Load16S(m) => {
+            out.push(0x2E);
+            memarg(out, *m);
+        }
+        I32Load16U(m) => {
+            out.push(0x2F);
+            memarg(out, *m);
+        }
+        I64Load8S(m) => {
+            out.push(0x30);
+            memarg(out, *m);
+        }
+        I64Load8U(m) => {
+            out.push(0x31);
+            memarg(out, *m);
+        }
+        I64Load16S(m) => {
+            out.push(0x32);
+            memarg(out, *m);
+        }
+        I64Load16U(m) => {
+            out.push(0x33);
+            memarg(out, *m);
+        }
+        I64Load32S(m) => {
+            out.push(0x34);
+            memarg(out, *m);
+        }
+        I64Load32U(m) => {
+            out.push(0x35);
+            memarg(out, *m);
+        }
+        I32Store(m) => {
+            out.push(0x36);
+            memarg(out, *m);
+        }
+        I64Store(m) => {
+            out.push(0x37);
+            memarg(out, *m);
+        }
+        F32Store(m) => {
+            out.push(0x38);
+            memarg(out, *m);
+        }
+        F64Store(m) => {
+            out.push(0x39);
+            memarg(out, *m);
+        }
+        I32Store8(m) => {
+            out.push(0x3A);
+            memarg(out, *m);
+        }
+        I32Store16(m) => {
+            out.push(0x3B);
+            memarg(out, *m);
+        }
+        I64Store8(m) => {
+            out.push(0x3C);
+            memarg(out, *m);
+        }
+        I64Store16(m) => {
+            out.push(0x3D);
+            memarg(out, *m);
+        }
+        I64Store32(m) => {
+            out.push(0x3E);
+            memarg(out, *m);
+        }
+        MemorySize => {
+            out.push(0x3F);
+            out.push(0x00);
+        }
+        MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        I32Const(v) => {
+            out.push(0x41);
+            write_i32(out, *v);
+        }
+        I64Const(v) => {
+            out.push(0x42);
+            write_i64(out, *v);
+        }
+        F32Const(v) => {
+            out.push(0x43);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        F64Const(v) => {
+            out.push(0x44);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        other => out.push(numeric_opcode(other)),
+    }
+}
+
+/// The opcode byte for a pure numeric instruction (no immediates).
+fn numeric_opcode(i: &Instr) -> u8 {
+    use Instr::*;
+    match i {
+        I32Eqz => 0x45,
+        I32Eq => 0x46,
+        I32Ne => 0x47,
+        I32LtS => 0x48,
+        I32LtU => 0x49,
+        I32GtS => 0x4A,
+        I32GtU => 0x4B,
+        I32LeS => 0x4C,
+        I32LeU => 0x4D,
+        I32GeS => 0x4E,
+        I32GeU => 0x4F,
+        I64Eqz => 0x50,
+        I64Eq => 0x51,
+        I64Ne => 0x52,
+        I64LtS => 0x53,
+        I64LtU => 0x54,
+        I64GtS => 0x55,
+        I64GtU => 0x56,
+        I64LeS => 0x57,
+        I64LeU => 0x58,
+        I64GeS => 0x59,
+        I64GeU => 0x5A,
+        F32Eq => 0x5B,
+        F32Ne => 0x5C,
+        F32Lt => 0x5D,
+        F32Gt => 0x5E,
+        F32Le => 0x5F,
+        F32Ge => 0x60,
+        F64Eq => 0x61,
+        F64Ne => 0x62,
+        F64Lt => 0x63,
+        F64Gt => 0x64,
+        F64Le => 0x65,
+        F64Ge => 0x66,
+        I32Clz => 0x67,
+        I32Ctz => 0x68,
+        I32Popcnt => 0x69,
+        I32Add => 0x6A,
+        I32Sub => 0x6B,
+        I32Mul => 0x6C,
+        I32DivS => 0x6D,
+        I32DivU => 0x6E,
+        I32RemS => 0x6F,
+        I32RemU => 0x70,
+        I32And => 0x71,
+        I32Or => 0x72,
+        I32Xor => 0x73,
+        I32Shl => 0x74,
+        I32ShrS => 0x75,
+        I32ShrU => 0x76,
+        I32Rotl => 0x77,
+        I32Rotr => 0x78,
+        I64Clz => 0x79,
+        I64Ctz => 0x7A,
+        I64Popcnt => 0x7B,
+        I64Add => 0x7C,
+        I64Sub => 0x7D,
+        I64Mul => 0x7E,
+        I64DivS => 0x7F,
+        I64DivU => 0x80,
+        I64RemS => 0x81,
+        I64RemU => 0x82,
+        I64And => 0x83,
+        I64Or => 0x84,
+        I64Xor => 0x85,
+        I64Shl => 0x86,
+        I64ShrS => 0x87,
+        I64ShrU => 0x88,
+        I64Rotl => 0x89,
+        I64Rotr => 0x8A,
+        F32Abs => 0x8B,
+        F32Neg => 0x8C,
+        F32Ceil => 0x8D,
+        F32Floor => 0x8E,
+        F32Trunc => 0x8F,
+        F32Nearest => 0x90,
+        F32Sqrt => 0x91,
+        F32Add => 0x92,
+        F32Sub => 0x93,
+        F32Mul => 0x94,
+        F32Div => 0x95,
+        F32Min => 0x96,
+        F32Max => 0x97,
+        F32Copysign => 0x98,
+        F64Abs => 0x99,
+        F64Neg => 0x9A,
+        F64Ceil => 0x9B,
+        F64Floor => 0x9C,
+        F64Trunc => 0x9D,
+        F64Nearest => 0x9E,
+        F64Sqrt => 0x9F,
+        F64Add => 0xA0,
+        F64Sub => 0xA1,
+        F64Mul => 0xA2,
+        F64Div => 0xA3,
+        F64Min => 0xA4,
+        F64Max => 0xA5,
+        F64Copysign => 0xA6,
+        I32WrapI64 => 0xA7,
+        I32TruncF32S => 0xA8,
+        I32TruncF32U => 0xA9,
+        I32TruncF64S => 0xAA,
+        I32TruncF64U => 0xAB,
+        I64ExtendI32S => 0xAC,
+        I64ExtendI32U => 0xAD,
+        I64TruncF32S => 0xAE,
+        I64TruncF32U => 0xAF,
+        I64TruncF64S => 0xB0,
+        I64TruncF64U => 0xB1,
+        F32ConvertI32S => 0xB2,
+        F32ConvertI32U => 0xB3,
+        F32ConvertI64S => 0xB4,
+        F32ConvertI64U => 0xB5,
+        F32DemoteF64 => 0xB6,
+        F64ConvertI32S => 0xB7,
+        F64ConvertI32U => 0xB8,
+        F64ConvertI64S => 0xB9,
+        F64ConvertI64U => 0xBA,
+        F64PromoteF32 => 0xBB,
+        I32ReinterpretF32 => 0xBC,
+        I64ReinterpretF64 => 0xBD,
+        F32ReinterpretI32 => 0xBE,
+        F64ReinterpretI64 => 0xBF,
+        other => unreachable!("instruction {other:?} has immediates"),
+    }
+}

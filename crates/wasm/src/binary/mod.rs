@@ -1,0 +1,135 @@
+//! The standard WebAssembly binary format: encoding and decoding.
+
+pub mod decode;
+pub mod encode;
+pub mod leb;
+
+pub use decode::decode;
+pub use encode::encode;
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ModuleBuilder;
+    use crate::instr::{Instr, MemArg};
+    use crate::module::Module;
+    use crate::types::{BlockType, FuncType, Mutability, ValType};
+    use crate::value::Value;
+
+    fn roundtrip(m: &Module) -> Module {
+        let bytes = super::encode(m);
+        super::decode(&bytes).expect("decode failed")
+    }
+
+    #[test]
+    fn empty_module_roundtrips() {
+        let m = Module::new();
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn full_module_roundtrips() {
+        let mut mb = ModuleBuilder::new();
+        mb.memory(2, Some(16));
+        mb.table(4);
+        let g = mb.global(Mutability::Var, Value::F64(3.5));
+        let imp = mb.import_func(
+            "env",
+            "tick",
+            FuncType::new(vec![ValType::I64], vec![]),
+        );
+        let f = mb.begin_func(
+            "kernel",
+            FuncType::new(vec![ValType::I32], vec![ValType::F64]),
+        );
+        {
+            let mut b = mb.func_mut(f);
+            let acc = b.local(ValType::F64);
+            let p = b.param(0);
+            b.block(BlockType::Empty, |b| {
+                b.get(p).br_if(0);
+                b.emit(Instr::I64Const(1)).call(imp);
+            });
+            b.get(p)
+                .emit(Instr::F64ConvertI32S)
+                .emit(Instr::GlobalGet(g.0))
+                .emit(Instr::F64Mul)
+                .set(acc);
+            b.get(acc);
+        }
+        mb.export_func("kernel", f);
+        mb.export_memory("mem");
+        mb.elems(1, vec![f]);
+        mb.data(64, vec![1, 2, 3, 4]);
+        let m = mb.finish();
+        let rt = roundtrip(&m);
+        assert_eq!(rt, m);
+        // Debug names survive via the name section.
+        assert_eq!(rt.functions[0].name.as_deref(), Some("kernel"));
+    }
+
+    #[test]
+    fn all_memory_instrs_roundtrip() {
+        let mem = MemArg {
+            align: 3,
+            offset: 123456,
+        };
+        let instrs = vec![
+            Instr::I32Load(mem),
+            Instr::I64Load(mem),
+            Instr::F32Load(mem),
+            Instr::F64Load(mem),
+            Instr::I32Load8S(mem),
+            Instr::I32Load8U(mem),
+            Instr::I32Load16S(mem),
+            Instr::I32Load16U(mem),
+            Instr::I64Load8S(mem),
+            Instr::I64Load8U(mem),
+            Instr::I64Load16S(mem),
+            Instr::I64Load16U(mem),
+            Instr::I64Load32S(mem),
+            Instr::I64Load32U(mem),
+            Instr::I32Store(mem),
+            Instr::I64Store(mem),
+            Instr::F32Store(mem),
+            Instr::F64Store(mem),
+            Instr::I32Store8(mem),
+            Instr::I32Store16(mem),
+            Instr::I64Store8(mem),
+            Instr::I64Store16(mem),
+            Instr::I64Store32(mem),
+            Instr::MemorySize,
+            Instr::MemoryGrow,
+        ];
+        for i in &instrs {
+            let mut out = Vec::new();
+            super::encode::encode_instr(&mut out, i);
+            let mut r = super::leb::Reader::new(&out);
+            let back = super::decode::decode_instr(&mut r).unwrap();
+            assert_eq!(&back, i);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn br_table_roundtrips() {
+        let i = Instr::BrTable(Box::new(crate::instr::BrTable {
+            targets: vec![0, 2, 1],
+            default: 3,
+        }));
+        let mut out = Vec::new();
+        super::encode::encode_instr(&mut out, &i);
+        let mut r = super::leb::Reader::new(&out);
+        assert_eq!(super::decode::decode_instr(&mut r).unwrap(), i);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(super::decode(b"not wasm").is_err());
+        assert!(super::decode(b"\0asm\x02\0\0\0").is_err());
+        // Truncated section.
+        let mut bytes = b"\0asm\x01\0\0\0".to_vec();
+        bytes.push(1);
+        bytes.push(200); // claims 200 bytes
+        assert!(super::decode(&bytes).is_err());
+    }
+}

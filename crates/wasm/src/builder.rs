@@ -1,0 +1,419 @@
+//! Ergonomic builders for modules and function bodies.
+//!
+//! The higher-level kernel DSL (`lb-dsl`) lowers onto these builders; they
+//! can also be used directly:
+//!
+//! ```rust
+//! use lb_wasm::builder::ModuleBuilder;
+//! use lb_wasm::types::{FuncType, ValType};
+//! use lb_wasm::instr::Instr;
+//!
+//! let mut mb = ModuleBuilder::new();
+//! let add = mb.begin_func("add", FuncType::new(vec![ValType::I32, ValType::I32],
+//!                                              vec![ValType::I32]));
+//! {
+//!     let mut f = mb.func_mut(add);
+//!     f.emit(Instr::LocalGet(0));
+//!     f.emit(Instr::LocalGet(1));
+//!     f.emit(Instr::I32Add);
+//! }
+//! mb.export_func("add", add);
+//! let module = mb.finish();
+//! assert!(module.exported_func("add").is_some());
+//! ```
+
+use crate::instr::{BrTable, Instr, MemArg};
+use crate::module::{
+    DataSegment, ElemSegment, Export, ExportKind, Function, Global, Import, Module,
+};
+use crate::types::{
+    BlockType, FuncType, GlobalType, Limits, MemoryType, Mutability, TableType, ValType,
+};
+use crate::value::Value;
+
+/// Handle to a function being built (its index in the function index space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub u32);
+
+/// Handle to a declared local (parameter or extra local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalId(pub u32);
+
+/// Handle to a declared global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Builder for a [`Module`].
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+    funcs_in_progress: Vec<FuncInProgress>,
+}
+
+#[derive(Debug)]
+struct FuncInProgress {
+    type_idx: u32,
+    n_params: u32,
+    locals: Vec<ValType>,
+    body: Vec<Instr>,
+    name: Option<String>,
+}
+
+impl ModuleBuilder {
+    /// A fresh, empty module builder.
+    pub fn new() -> ModuleBuilder {
+        ModuleBuilder::default()
+    }
+
+    /// Declare the module's linear memory (initial and optional max pages).
+    pub fn memory(&mut self, initial_pages: u32, max_pages: Option<u32>) -> &mut Self {
+        self.module.memory = Some(MemoryType {
+            limits: Limits::new(initial_pages, max_pages),
+        });
+        self
+    }
+
+    /// Declare the function table with `n` fixed elements.
+    pub fn table(&mut self, n: u32) -> &mut Self {
+        self.module.table = Some(TableType::fixed(n));
+        self
+    }
+
+    /// Add an element segment setting table slots starting at `offset`.
+    pub fn elems(&mut self, offset: u32, funcs: Vec<FuncId>) -> &mut Self {
+        self.module.elems.push(ElemSegment {
+            offset,
+            funcs: funcs.into_iter().map(|f| f.0).collect(),
+        });
+        self
+    }
+
+    /// Add a data segment initializing memory at `offset`.
+    pub fn data(&mut self, offset: u32, bytes: Vec<u8>) -> &mut Self {
+        self.module.data.push(DataSegment { offset, bytes });
+        self
+    }
+
+    /// Declare a global with a constant initial value.
+    pub fn global(&mut self, mutability: Mutability, init: Value) -> GlobalId {
+        self.module.globals.push(Global {
+            ty: GlobalType {
+                content: init.ty(),
+                mutability,
+            },
+            init,
+        });
+        GlobalId((self.module.globals.len() - 1) as u32)
+    }
+
+    /// Declare an imported host function. All imports must be declared
+    /// before the first `begin_func` (the wasm index space requires it).
+    ///
+    /// # Panics
+    /// Panics if a defined function has already been started.
+    pub fn import_func(&mut self, module: &str, name: &str, ty: FuncType) -> FuncId {
+        assert!(
+            self.funcs_in_progress.is_empty() && self.module.functions.is_empty(),
+            "imports must be declared before defined functions"
+        );
+        let type_idx = self.module.intern_type(ty);
+        self.module.imports.push(Import {
+            module: module.to_string(),
+            name: name.to_string(),
+            type_idx,
+        });
+        FuncId((self.module.imports.len() - 1) as u32)
+    }
+
+    /// Begin a new defined function with the given debug name and signature.
+    /// Returns its handle; populate the body via [`ModuleBuilder::func_mut`].
+    pub fn begin_func(&mut self, name: &str, ty: FuncType) -> FuncId {
+        let n_params = ty.params.len() as u32;
+        let type_idx = self.module.intern_type(ty);
+        let idx = self.module.num_imported_funcs() + self.funcs_in_progress.len() as u32;
+        self.funcs_in_progress.push(FuncInProgress {
+            type_idx,
+            n_params,
+            locals: Vec::new(),
+            body: Vec::new(),
+            name: Some(name.to_string()),
+        });
+        FuncId(idx)
+    }
+
+    /// Access the body builder for a function created with `begin_func`.
+    ///
+    /// # Panics
+    /// Panics if `id` does not refer to an in-progress defined function.
+    pub fn func_mut(&mut self, id: FuncId) -> FuncBody<'_> {
+        let ni = self.module.num_imported_funcs();
+        let fip = self
+            .funcs_in_progress
+            .get_mut((id.0 - ni) as usize)
+            .expect("not an in-progress function");
+        FuncBody { fip }
+    }
+
+    /// Export a function under `name`.
+    pub fn export_func(&mut self, name: &str, id: FuncId) -> &mut Self {
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Func(id.0),
+        });
+        self
+    }
+
+    /// Export the linear memory under `name`.
+    pub fn export_memory(&mut self, name: &str) -> &mut Self {
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Memory,
+        });
+        self
+    }
+
+    /// Set the start function.
+    pub fn start(&mut self, id: FuncId) -> &mut Self {
+        self.module.start = Some(id.0);
+        self
+    }
+
+    /// Finish building: seals all function bodies (appending the implicit
+    /// terminating `End`) and returns the module.
+    pub fn finish(mut self) -> Module {
+        for fip in self.funcs_in_progress.drain(..) {
+            let mut body = fip.body;
+            body.push(Instr::End);
+            let mut f = Function::new(fip.type_idx, fip.locals, body);
+            f.name = fip.name;
+            self.module.functions.push(f);
+        }
+        self.module
+    }
+}
+
+/// Mutable view over an in-progress function body.
+#[derive(Debug)]
+pub struct FuncBody<'a> {
+    fip: &'a mut FuncInProgress,
+}
+
+impl FuncBody<'_> {
+    /// Declare an extra local of the given type; returns its index handle.
+    pub fn local(&mut self, ty: ValType) -> LocalId {
+        self.fip.locals.push(ty);
+        LocalId(self.fip.n_params + self.fip.locals.len() as u32 - 1)
+    }
+
+    /// The `i`-th parameter as a local handle.
+    pub fn param(&self, i: u32) -> LocalId {
+        assert!(i < self.fip.n_params, "parameter index out of range");
+        LocalId(i)
+    }
+
+    /// Append a raw instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.fip.body.push(i);
+        self
+    }
+
+    /// Append many raw instructions.
+    pub fn emit_all<I: IntoIterator<Item = Instr>>(&mut self, it: I) -> &mut Self {
+        self.fip.body.extend(it);
+        self
+    }
+
+    /// Current instruction count (useful for tests).
+    pub fn len(&self) -> usize {
+        self.fip.body.len()
+    }
+
+    /// Whether the body is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.fip.body.is_empty()
+    }
+
+    // ── structured-control sugar ───────────────────────────────────
+
+    /// Emit `block bt … end` around the body built by `f`.
+    pub fn block(&mut self, bt: BlockType, f: impl FnOnce(&mut Self)) -> &mut Self {
+        self.emit(Instr::Block(bt));
+        f(self);
+        self.emit(Instr::End)
+    }
+
+    /// Emit `loop bt … end` around the body built by `f`.
+    pub fn loop_(&mut self, bt: BlockType, f: impl FnOnce(&mut Self)) -> &mut Self {
+        self.emit(Instr::Loop(bt));
+        f(self);
+        self.emit(Instr::End)
+    }
+
+    /// Emit `if bt … end` (no else) around the body built by `then`.
+    pub fn if_(&mut self, bt: BlockType, then: impl FnOnce(&mut Self)) -> &mut Self {
+        self.emit(Instr::If(bt));
+        then(self);
+        self.emit(Instr::End)
+    }
+
+    /// Emit `if bt … else … end`.
+    pub fn if_else(
+        &mut self,
+        bt: BlockType,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.emit(Instr::If(bt));
+        then(self);
+        self.emit(Instr::Else);
+        els(self);
+        self.emit(Instr::End)
+    }
+
+    // ── common shorthands ──────────────────────────────────────────
+
+    /// Push an i32 constant.
+    pub fn i32_const(&mut self, v: i32) -> &mut Self {
+        self.emit(Instr::I32Const(v))
+    }
+
+    /// Push an i64 constant.
+    pub fn i64_const(&mut self, v: i64) -> &mut Self {
+        self.emit(Instr::I64Const(v))
+    }
+
+    /// Push an f64 constant.
+    pub fn f64_const(&mut self, v: f64) -> &mut Self {
+        self.emit(Instr::F64Const(v))
+    }
+
+    /// Read a local.
+    pub fn get(&mut self, l: LocalId) -> &mut Self {
+        self.emit(Instr::LocalGet(l.0))
+    }
+
+    /// Write a local.
+    pub fn set(&mut self, l: LocalId) -> &mut Self {
+        self.emit(Instr::LocalSet(l.0))
+    }
+
+    /// Tee a local.
+    pub fn tee(&mut self, l: LocalId) -> &mut Self {
+        self.emit(Instr::LocalTee(l.0))
+    }
+
+    /// Branch to the `depth`-th enclosing label.
+    pub fn br(&mut self, depth: u32) -> &mut Self {
+        self.emit(Instr::Br(depth))
+    }
+
+    /// Conditional branch.
+    pub fn br_if(&mut self, depth: u32) -> &mut Self {
+        self.emit(Instr::BrIf(depth))
+    }
+
+    /// Indexed branch.
+    pub fn br_table(&mut self, targets: Vec<u32>, default: u32) -> &mut Self {
+        self.emit(Instr::BrTable(Box::new(BrTable { targets, default })))
+    }
+
+    /// Call a function.
+    pub fn call(&mut self, f: FuncId) -> &mut Self {
+        self.emit(Instr::Call(f.0))
+    }
+
+    /// f64 load at constant offset.
+    pub fn f64_load(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::F64Load(MemArg::offset(offset)))
+    }
+
+    /// f64 store at constant offset.
+    pub fn f64_store(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::F64Store(MemArg::offset(offset)))
+    }
+
+    /// i32 load at constant offset.
+    pub fn i32_load(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::I32Load(MemArg::offset(offset)))
+    }
+
+    /// i32 store at constant offset.
+    pub fn i32_store(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::I32Store(MemArg::offset(offset)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_add_function() {
+        let mut mb = ModuleBuilder::new();
+        let add = mb.begin_func(
+            "add",
+            FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
+        );
+        {
+            let mut f = mb.func_mut(add);
+            let p0 = f.param(0);
+            let p1 = f.param(1);
+            f.get(p0).get(p1).emit(Instr::I32Add);
+        }
+        mb.export_func("add", add);
+        let m = mb.finish();
+        assert_eq!(m.functions.len(), 1);
+        let body = &m.functions[0].body;
+        assert_eq!(body.last(), Some(&Instr::End));
+        assert_eq!(body.len(), 4);
+        assert_eq!(m.exported_func("add"), Some(0));
+    }
+
+    #[test]
+    fn imports_shift_function_indices() {
+        let mut mb = ModuleBuilder::new();
+        let imp = mb.import_func("env", "h", FuncType::new(vec![], vec![]));
+        let f = mb.begin_func("f", FuncType::new(vec![], vec![]));
+        assert_eq!(imp.0, 0);
+        assert_eq!(f.0, 1);
+        let m = mb.finish();
+        assert_eq!(m.num_imported_funcs(), 1);
+        assert_eq!(m.num_funcs(), 2);
+    }
+
+    #[test]
+    fn structured_sugar_balances() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.begin_func("f", FuncType::new(vec![], vec![]));
+        {
+            let mut b = mb.func_mut(f);
+            b.block(BlockType::Empty, |b| {
+                b.loop_(BlockType::Empty, |b| {
+                    b.i32_const(0);
+                    b.br_if(1);
+                });
+            });
+        }
+        let m = mb.finish();
+        let body = &m.functions[0].body;
+        let opens = body.iter().filter(|i| i.is_block_start()).count();
+        let ends = body.iter().filter(|i| matches!(i, Instr::End)).count();
+        assert_eq!(opens + 1, ends); // +1 for the function's own End
+    }
+
+    #[test]
+    fn locals_numbered_after_params() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.begin_func("f", FuncType::new(vec![ValType::I32], vec![]));
+        let (l0, l1);
+        {
+            let mut b = mb.func_mut(f);
+            l0 = b.local(ValType::F64);
+            l1 = b.local(ValType::I64);
+        }
+        assert_eq!(l0.0, 1);
+        assert_eq!(l1.0, 2);
+        let m = mb.finish();
+        assert_eq!(m.functions[0].locals, vec![ValType::F64, ValType::I64]);
+    }
+}

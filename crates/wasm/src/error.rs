@@ -1,0 +1,227 @@
+//! Error types for module construction, validation and binary decoding.
+
+use crate::types::ValType;
+use std::fmt;
+
+/// Errors from structural module queries and construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// A function index was out of range.
+    FuncIndex(u32),
+    /// A type index was out of range.
+    TypeIndex(u32),
+    /// A global index was out of range.
+    GlobalIndex(u32),
+    /// A local index was out of range.
+    LocalIndex(u32),
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::FuncIndex(i) => write!(f, "function index {i} out of range"),
+            ModuleError::TypeIndex(i) => write!(f, "type index {i} out of range"),
+            ModuleError::GlobalIndex(i) => write!(f, "global index {i} out of range"),
+            ModuleError::LocalIndex(i) => write!(f, "local index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// Errors produced by the validator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// Underlying structural error.
+    Module(ModuleError),
+    /// A value of one type was found where another was expected.
+    TypeMismatch {
+        /// Which function the error occurred in.
+        func: u32,
+        /// Instruction offset within the function body.
+        at: usize,
+        /// Expected type.
+        expected: ValType,
+        /// Actual type found, if the stack was non-empty.
+        found: Option<ValType>,
+    },
+    /// The operand stack was empty when a value was required.
+    StackUnderflow {
+        /// Which function.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+    },
+    /// Branch depth exceeds the enclosing block nesting.
+    BadBranchDepth {
+        /// Which function.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+        /// The requested relative depth.
+        depth: u32,
+    },
+    /// `else`/`end` without a matching opener, or a missing terminator.
+    UnbalancedControl {
+        /// Which function.
+        func: u32,
+        /// Instruction offset (or body length for missing `End`).
+        at: usize,
+    },
+    /// Block left a wrong number/type of values on the stack.
+    BlockArity {
+        /// Which function.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+    },
+    /// `global.set` of an immutable global.
+    ImmutableGlobal {
+        /// Which function.
+        func: u32,
+        /// Global index.
+        global: u32,
+    },
+    /// A memory instruction was used but the module declares no memory.
+    NoMemory {
+        /// Which function.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+    },
+    /// `call_indirect` was used but the module declares no table.
+    NoTable {
+        /// Which function.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+    },
+    /// A global initializer's type does not match its declared type.
+    GlobalInitType {
+        /// Global index.
+        global: u32,
+    },
+    /// An element segment references an out-of-range function or table slot.
+    BadElemSegment {
+        /// Segment index.
+        segment: usize,
+    },
+    /// A data segment falls outside the declared initial memory.
+    BadDataSegment {
+        /// Segment index.
+        segment: usize,
+    },
+    /// The start function has a non-empty signature.
+    BadStartFunc,
+    /// The function's signature declares more than one result (not in subset).
+    UnsupportedMultiValue {
+        /// Type index.
+        type_idx: u32,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Module(e) => write!(f, "{e}"),
+            ValidateError::TypeMismatch {
+                func,
+                at,
+                expected,
+                found,
+            } => match found {
+                Some(t) => write!(
+                    f,
+                    "type mismatch in func {func} at {at}: expected {expected}, found {t}"
+                ),
+                None => write!(
+                    f,
+                    "type mismatch in func {func} at {at}: expected {expected}, stack empty"
+                ),
+            },
+            ValidateError::StackUnderflow { func, at } => {
+                write!(f, "stack underflow in func {func} at {at}")
+            }
+            ValidateError::BadBranchDepth { func, at, depth } => {
+                write!(f, "branch depth {depth} out of range in func {func} at {at}")
+            }
+            ValidateError::UnbalancedControl { func, at } => {
+                write!(f, "unbalanced control structure in func {func} at {at}")
+            }
+            ValidateError::BlockArity { func, at } => {
+                write!(f, "wrong block result arity in func {func} at {at}")
+            }
+            ValidateError::ImmutableGlobal { func, global } => {
+                write!(f, "global.set of immutable global {global} in func {func}")
+            }
+            ValidateError::NoMemory { func, at } => {
+                write!(f, "memory instruction without memory in func {func} at {at}")
+            }
+            ValidateError::NoTable { func, at } => {
+                write!(f, "call_indirect without table in func {func} at {at}")
+            }
+            ValidateError::GlobalInitType { global } => {
+                write!(f, "global {global} initializer type mismatch")
+            }
+            ValidateError::BadElemSegment { segment } => {
+                write!(f, "element segment {segment} out of range")
+            }
+            ValidateError::BadDataSegment { segment } => {
+                write!(f, "data segment {segment} out of initial memory range")
+            }
+            ValidateError::BadStartFunc => write!(f, "start function must have empty signature"),
+            ValidateError::UnsupportedMultiValue { type_idx } => {
+                write!(f, "type {type_idx} declares multiple results (unsupported)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl From<ModuleError> for ValidateError {
+    fn from(e: ModuleError) -> ValidateError {
+        ValidateError::Module(e)
+    }
+}
+
+/// Errors produced when decoding the binary format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended prematurely.
+    UnexpectedEof,
+    /// The magic/version header was wrong.
+    BadHeader,
+    /// An unknown section id was found.
+    BadSection(u8),
+    /// An unknown or unsupported opcode byte.
+    BadOpcode(u8),
+    /// An invalid type byte.
+    BadType(u8),
+    /// A LEB128 integer overflowed its target width.
+    IntTooLong,
+    /// A count or size field was implausibly large.
+    BadCount(u64),
+    /// A section's declared size did not match its content.
+    SectionSize,
+    /// Malformed UTF-8 in a name.
+    BadName,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::BadHeader => write!(f, "bad wasm magic or version"),
+            DecodeError::BadSection(id) => write!(f, "unknown section id {id}"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown or unsupported opcode 0x{op:02x}"),
+            DecodeError::BadType(b) => write!(f, "invalid type byte 0x{b:02x}"),
+            DecodeError::IntTooLong => write!(f, "LEB128 integer too long"),
+            DecodeError::BadCount(n) => write!(f, "implausible count {n}"),
+            DecodeError::SectionSize => write!(f, "section size mismatch"),
+            DecodeError::BadName => write!(f, "invalid UTF-8 in name"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

@@ -1,0 +1,133 @@
+//! A WAT-like pretty-printer for modules, used in error messages and
+//! debugging dumps (`Module::to_wat_string` via [`print_module`]).
+
+use crate::instr::Instr;
+use crate::module::Module;
+use std::fmt::Write;
+
+/// Render a module in a WAT-like textual form.
+///
+/// The output is for human consumption (diagnostics, test failure dumps);
+/// it is not guaranteed to be parseable by external WAT tooling.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "(module");
+    for (i, ty) in m.types.iter().enumerate() {
+        let _ = writeln!(s, "  (type {i} {ty})");
+    }
+    if let Some(mem) = m.memory {
+        let _ = writeln!(
+            s,
+            "  (memory {}{})",
+            mem.limits.min,
+            mem.limits
+                .max
+                .map(|x| format!(" {x}"))
+                .unwrap_or_default()
+        );
+    }
+    if let Some(t) = m.table {
+        let _ = writeln!(s, "  (table {} funcref)", t.limits.min);
+    }
+    for (i, g) in m.globals.iter().enumerate() {
+        let _ = writeln!(s, "  (global {i} {} {})", g.ty.content, g.init);
+    }
+    for imp in &m.imports {
+        let _ = writeln!(s, "  (import \"{}\" \"{}\" (func))", imp.module, imp.name);
+    }
+    for (fi, f) in m.functions.iter().enumerate() {
+        let idx = m.num_imported_funcs() + fi as u32;
+        let ty = &m.types[f.type_idx as usize];
+        let _ = writeln!(s, "  (func ${} {}", m.func_name(idx), ty);
+        if !f.locals.is_empty() {
+            let locals: Vec<String> = f.locals.iter().map(|l| l.to_string()).collect();
+            let _ = writeln!(s, "    (local {})", locals.join(" "));
+        }
+        let mut indent = 2usize;
+        for (pc, i) in f.body.iter().enumerate() {
+            if matches!(i, Instr::End | Instr::Else) {
+                indent = indent.saturating_sub(1);
+            }
+            let pad = "  ".repeat(indent + 1);
+            let _ = writeln!(s, "{pad}{pc:4}: {}", print_instr(i));
+            if i.is_block_start() || matches!(i, Instr::Else) {
+                indent += 1;
+            }
+        }
+        let _ = writeln!(s, "  )");
+    }
+    for e in &m.exports {
+        let _ = writeln!(s, "  (export \"{}\" {:?})", e.name, e.kind);
+    }
+    s.push(')');
+    s
+}
+
+/// Render one instruction in a WAT-like form.
+pub fn print_instr(i: &Instr) -> String {
+    use Instr::*;
+    match i {
+        Block(bt) => format!("block {bt:?}"),
+        Loop(bt) => format!("loop {bt:?}"),
+        If(bt) => format!("if {bt:?}"),
+        Br(d) => format!("br {d}"),
+        BrIf(d) => format!("br_if {d}"),
+        BrTable(t) => format!("br_table {:?} default={}", t.targets, t.default),
+        Call(f) => format!("call {f}"),
+        CallIndirect(t) => format!("call_indirect (type {t})"),
+        LocalGet(i) => format!("local.get {i}"),
+        LocalSet(i) => format!("local.set {i}"),
+        LocalTee(i) => format!("local.tee {i}"),
+        GlobalGet(i) => format!("global.get {i}"),
+        GlobalSet(i) => format!("global.set {i}"),
+        I32Const(v) => format!("i32.const {v}"),
+        I64Const(v) => format!("i64.const {v}"),
+        F32Const(v) => format!("f32.const {v}"),
+        F64Const(v) => format!("f64.const {v}"),
+        other => {
+            if let Some(a) = other.mem_access() {
+                let op = format!("{other:?}");
+                let name = op.split('(').next().unwrap_or(&op);
+                format!("{} offset={}", name.to_lowercase(), a.memarg.offset)
+            } else {
+                format!("{other:?}").to_lowercase()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::{FuncType, ValType};
+
+    #[test]
+    fn prints_something_sensible() {
+        let mut mb = ModuleBuilder::new();
+        mb.memory(1, None);
+        let f = mb.begin_func(
+            "double",
+            FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+        );
+        {
+            let mut b = mb.func_mut(f);
+            let p = b.param(0);
+            b.get(p).get(p).emit(Instr::I32Add);
+        }
+        mb.export_func("double", f);
+        let m = mb.finish();
+        let s = print_module(&m);
+        assert!(s.contains("(module"));
+        assert!(s.contains("$double"));
+        assert!(s.contains("local.get 0"));
+        assert!(s.contains("i32add"));
+        assert!(s.contains("(memory 1)"));
+    }
+
+    #[test]
+    fn mem_instrs_show_offset() {
+        let s = print_instr(&Instr::F64Load(crate::instr::MemArg::offset(16)));
+        assert!(s.contains("offset=16"), "{s}");
+    }
+}

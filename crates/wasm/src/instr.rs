@@ -1,0 +1,641 @@
+//! The WebAssembly instruction set (MVP numeric subset).
+//!
+//! Instructions are stored flat, as in the binary format: structured control
+//! (`block`/`loop`/`if`) is delimited by `end`/`else` markers, and the
+//! validator resolves branch targets into side tables.
+
+use crate::types::{BlockType, ValType};
+
+/// The alignment/offset immediate carried by every memory access instruction.
+///
+/// WebAssembly effective addresses are `base (u32) + offset (u32)` computed
+/// in 64-bit arithmetic — this is what makes the 8 GiB guard-region trick
+/// described in the paper (§2.3) sound: the effective address mathematically
+/// cannot exceed 2^33.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemArg {
+    /// log2 of the alignment hint (unused by our engines, kept for format fidelity).
+    pub align: u32,
+    /// Constant byte offset added to the dynamic base address.
+    pub offset: u32,
+}
+
+impl MemArg {
+    /// A MemArg with the given constant offset and natural alignment 0.
+    pub fn offset(offset: u32) -> MemArg {
+        MemArg { align: 0, offset }
+    }
+}
+
+/// A single WebAssembly instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // ── Control flow ────────────────────────────────────────────────
+    /// Trap unconditionally.
+    Unreachable,
+    /// Do nothing.
+    Nop,
+    /// Begin a block; branches to it jump to its end.
+    Block(BlockType),
+    /// Begin a loop; branches to it jump back to its start.
+    Loop(BlockType),
+    /// Begin an if; pops an i32 condition.
+    If(BlockType),
+    /// Begin the else arm of the innermost if.
+    Else,
+    /// End the innermost block/loop/if or the function body.
+    End,
+    /// Unconditional branch to the `n`-th enclosing label.
+    Br(u32),
+    /// Conditional branch (pops i32 condition).
+    BrIf(u32),
+    /// Indexed branch: pops i32 selector, jumps to `targets[sel]` or the default.
+    BrTable(Box<BrTable>),
+    /// Return from the current function.
+    Return,
+    /// Call the function with the given index.
+    Call(u32),
+    /// Indirect call through the function table; immediate is the type index.
+    CallIndirect(u32),
+
+    // ── Parametric ─────────────────────────────────────────────────
+    /// Pop and discard one value.
+    Drop,
+    /// Pop i32 `c`, then `b`, then `a`; push `a` if `c != 0` else `b`.
+    Select,
+
+    // ── Variables ──────────────────────────────────────────────────
+    /// Push the value of a local.
+    LocalGet(u32),
+    /// Pop into a local.
+    LocalSet(u32),
+    /// Copy top of stack into a local without popping.
+    LocalTee(u32),
+    /// Push the value of a global.
+    GlobalGet(u32),
+    /// Pop into a mutable global.
+    GlobalSet(u32),
+
+    // ── Memory ─────────────────────────────────────────────────────
+    /// Load a 32-bit integer.
+    I32Load(MemArg),
+    /// Load a 64-bit integer.
+    I64Load(MemArg),
+    /// Load a 32-bit float.
+    F32Load(MemArg),
+    /// Load a 64-bit float.
+    F64Load(MemArg),
+    /// Load 8 bits, sign-extend to i32.
+    I32Load8S(MemArg),
+    /// Load 8 bits, zero-extend to i32.
+    I32Load8U(MemArg),
+    /// Load 16 bits, sign-extend to i32.
+    I32Load16S(MemArg),
+    /// Load 16 bits, zero-extend to i32.
+    I32Load16U(MemArg),
+    /// Load 8 bits, sign-extend to i64.
+    I64Load8S(MemArg),
+    /// Load 8 bits, zero-extend to i64.
+    I64Load8U(MemArg),
+    /// Load 16 bits, sign-extend to i64.
+    I64Load16S(MemArg),
+    /// Load 16 bits, zero-extend to i64.
+    I64Load16U(MemArg),
+    /// Load 32 bits, sign-extend to i64.
+    I64Load32S(MemArg),
+    /// Load 32 bits, zero-extend to i64.
+    I64Load32U(MemArg),
+    /// Store a 32-bit integer.
+    I32Store(MemArg),
+    /// Store a 64-bit integer.
+    I64Store(MemArg),
+    /// Store a 32-bit float.
+    F32Store(MemArg),
+    /// Store a 64-bit float.
+    F64Store(MemArg),
+    /// Store the low 8 bits of an i32.
+    I32Store8(MemArg),
+    /// Store the low 16 bits of an i32.
+    I32Store16(MemArg),
+    /// Store the low 8 bits of an i64.
+    I64Store8(MemArg),
+    /// Store the low 16 bits of an i64.
+    I64Store16(MemArg),
+    /// Store the low 32 bits of an i64.
+    I64Store32(MemArg),
+    /// Push the current memory size in pages.
+    MemorySize,
+    /// Grow memory by the popped page count; push old size or -1.
+    MemoryGrow,
+
+    // ── Constants ──────────────────────────────────────────────────
+    /// Push an i32 constant.
+    I32Const(i32),
+    /// Push an i64 constant.
+    I64Const(i64),
+    /// Push an f32 constant.
+    F32Const(f32),
+    /// Push an f64 constant.
+    F64Const(f64),
+
+    // ── i32 comparisons ────────────────────────────────────────────
+    /// i32 == 0.
+    I32Eqz,
+    /// i32 equality.
+    I32Eq,
+    /// i32 inequality.
+    I32Ne,
+    /// i32 signed less-than.
+    I32LtS,
+    /// i32 unsigned less-than.
+    I32LtU,
+    /// i32 signed greater-than.
+    I32GtS,
+    /// i32 unsigned greater-than.
+    I32GtU,
+    /// i32 signed less-or-equal.
+    I32LeS,
+    /// i32 unsigned less-or-equal.
+    I32LeU,
+    /// i32 signed greater-or-equal.
+    I32GeS,
+    /// i32 unsigned greater-or-equal.
+    I32GeU,
+
+    // ── i64 comparisons ────────────────────────────────────────────
+    /// i64 == 0.
+    I64Eqz,
+    /// i64 equality.
+    I64Eq,
+    /// i64 inequality.
+    I64Ne,
+    /// i64 signed less-than.
+    I64LtS,
+    /// i64 unsigned less-than.
+    I64LtU,
+    /// i64 signed greater-than.
+    I64GtS,
+    /// i64 unsigned greater-than.
+    I64GtU,
+    /// i64 signed less-or-equal.
+    I64LeS,
+    /// i64 unsigned less-or-equal.
+    I64LeU,
+    /// i64 signed greater-or-equal.
+    I64GeS,
+    /// i64 unsigned greater-or-equal.
+    I64GeU,
+
+    // ── f32 comparisons ────────────────────────────────────────────
+    /// f32 equality.
+    F32Eq,
+    /// f32 inequality.
+    F32Ne,
+    /// f32 less-than.
+    F32Lt,
+    /// f32 greater-than.
+    F32Gt,
+    /// f32 less-or-equal.
+    F32Le,
+    /// f32 greater-or-equal.
+    F32Ge,
+
+    // ── f64 comparisons ────────────────────────────────────────────
+    /// f64 equality.
+    F64Eq,
+    /// f64 inequality.
+    F64Ne,
+    /// f64 less-than.
+    F64Lt,
+    /// f64 greater-than.
+    F64Gt,
+    /// f64 less-or-equal.
+    F64Le,
+    /// f64 greater-or-equal.
+    F64Ge,
+
+    // ── i32 arithmetic ─────────────────────────────────────────────
+    /// Count leading zeros.
+    I32Clz,
+    /// Count trailing zeros.
+    I32Ctz,
+    /// Population count.
+    I32Popcnt,
+    /// Wrapping addition.
+    I32Add,
+    /// Wrapping subtraction.
+    I32Sub,
+    /// Wrapping multiplication.
+    I32Mul,
+    /// Signed division (traps on 0 and overflow).
+    I32DivS,
+    /// Unsigned division (traps on 0).
+    I32DivU,
+    /// Signed remainder (traps on 0).
+    I32RemS,
+    /// Unsigned remainder (traps on 0).
+    I32RemU,
+    /// Bitwise and.
+    I32And,
+    /// Bitwise or.
+    I32Or,
+    /// Bitwise xor.
+    I32Xor,
+    /// Shift left (mod 32).
+    I32Shl,
+    /// Arithmetic shift right (mod 32).
+    I32ShrS,
+    /// Logical shift right (mod 32).
+    I32ShrU,
+    /// Rotate left (mod 32).
+    I32Rotl,
+    /// Rotate right (mod 32).
+    I32Rotr,
+
+    // ── i64 arithmetic ─────────────────────────────────────────────
+    /// Count leading zeros.
+    I64Clz,
+    /// Count trailing zeros.
+    I64Ctz,
+    /// Population count.
+    I64Popcnt,
+    /// Wrapping addition.
+    I64Add,
+    /// Wrapping subtraction.
+    I64Sub,
+    /// Wrapping multiplication.
+    I64Mul,
+    /// Signed division (traps on 0 and overflow).
+    I64DivS,
+    /// Unsigned division (traps on 0).
+    I64DivU,
+    /// Signed remainder (traps on 0).
+    I64RemS,
+    /// Unsigned remainder (traps on 0).
+    I64RemU,
+    /// Bitwise and.
+    I64And,
+    /// Bitwise or.
+    I64Or,
+    /// Bitwise xor.
+    I64Xor,
+    /// Shift left (mod 64).
+    I64Shl,
+    /// Arithmetic shift right (mod 64).
+    I64ShrS,
+    /// Logical shift right (mod 64).
+    I64ShrU,
+    /// Rotate left (mod 64).
+    I64Rotl,
+    /// Rotate right (mod 64).
+    I64Rotr,
+
+    // ── f32 arithmetic ─────────────────────────────────────────────
+    /// Absolute value.
+    F32Abs,
+    /// Negation.
+    F32Neg,
+    /// Round up.
+    F32Ceil,
+    /// Round down.
+    F32Floor,
+    /// Round toward zero.
+    F32Trunc,
+    /// Round to nearest, ties to even.
+    F32Nearest,
+    /// Square root.
+    F32Sqrt,
+    /// Addition.
+    F32Add,
+    /// Subtraction.
+    F32Sub,
+    /// Multiplication.
+    F32Mul,
+    /// Division.
+    F32Div,
+    /// Minimum (NaN-propagating).
+    F32Min,
+    /// Maximum (NaN-propagating).
+    F32Max,
+    /// Copy sign of second operand.
+    F32Copysign,
+
+    // ── f64 arithmetic ─────────────────────────────────────────────
+    /// Absolute value.
+    F64Abs,
+    /// Negation.
+    F64Neg,
+    /// Round up.
+    F64Ceil,
+    /// Round down.
+    F64Floor,
+    /// Round toward zero.
+    F64Trunc,
+    /// Round to nearest, ties to even.
+    F64Nearest,
+    /// Square root.
+    F64Sqrt,
+    /// Addition.
+    F64Add,
+    /// Subtraction.
+    F64Sub,
+    /// Multiplication.
+    F64Mul,
+    /// Division.
+    F64Div,
+    /// Minimum (NaN-propagating).
+    F64Min,
+    /// Maximum (NaN-propagating).
+    F64Max,
+    /// Copy sign of second operand.
+    F64Copysign,
+
+    // ── Conversions ────────────────────────────────────────────────
+    /// Truncate i64 to i32.
+    I32WrapI64,
+    /// f32 → i32, signed, trapping.
+    I32TruncF32S,
+    /// f32 → i32, unsigned, trapping.
+    I32TruncF32U,
+    /// f64 → i32, signed, trapping.
+    I32TruncF64S,
+    /// f64 → i32, unsigned, trapping.
+    I32TruncF64U,
+    /// Sign-extend i32 to i64.
+    I64ExtendI32S,
+    /// Zero-extend i32 to i64.
+    I64ExtendI32U,
+    /// f32 → i64, signed, trapping.
+    I64TruncF32S,
+    /// f32 → i64, unsigned, trapping.
+    I64TruncF32U,
+    /// f64 → i64, signed, trapping.
+    I64TruncF64S,
+    /// f64 → i64, unsigned, trapping.
+    I64TruncF64U,
+    /// i32 → f32, signed.
+    F32ConvertI32S,
+    /// i32 → f32, unsigned.
+    F32ConvertI32U,
+    /// i64 → f32, signed.
+    F32ConvertI64S,
+    /// i64 → f32, unsigned.
+    F32ConvertI64U,
+    /// f64 → f32.
+    F32DemoteF64,
+    /// i32 → f64, signed.
+    F64ConvertI32S,
+    /// i32 → f64, unsigned.
+    F64ConvertI32U,
+    /// i64 → f64, signed.
+    F64ConvertI64S,
+    /// i64 → f64, unsigned.
+    F64ConvertI64U,
+    /// f32 → f64.
+    F64PromoteF32,
+    /// Reinterpret f32 bits as i32.
+    I32ReinterpretF32,
+    /// Reinterpret f64 bits as i64.
+    I64ReinterpretF64,
+    /// Reinterpret i32 bits as f32.
+    F32ReinterpretI32,
+    /// Reinterpret i64 bits as f64.
+    F64ReinterpretI64,
+}
+
+/// The targets of a `br_table` instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrTable {
+    /// Branch targets indexed by the popped selector.
+    pub targets: Vec<u32>,
+    /// Target used when the selector is out of range.
+    pub default: u32,
+}
+
+/// Classification of a memory access instruction: what it loads/stores and
+/// how many bytes it touches. Used by the validator, both engines, and the
+/// ISA cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// The value type pushed (loads) or popped (stores).
+    pub ty: ValType,
+    /// Bytes accessed in linear memory (1, 2, 4 or 8).
+    pub bytes: u32,
+    /// True for stores, false for loads.
+    pub is_store: bool,
+    /// True if a sub-width integer load sign-extends.
+    pub sign_extend: bool,
+    /// The static memarg immediate.
+    pub memarg: MemArg,
+}
+
+impl Instr {
+    /// If this instruction accesses linear memory, describe the access.
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        use Instr::*;
+        use ValType::*;
+        let (ty, bytes, is_store, sign_extend, m) = match *self {
+            I32Load(m) => (I32, 4, false, false, m),
+            I64Load(m) => (I64, 8, false, false, m),
+            F32Load(m) => (F32, 4, false, false, m),
+            F64Load(m) => (F64, 8, false, false, m),
+            I32Load8S(m) => (I32, 1, false, true, m),
+            I32Load8U(m) => (I32, 1, false, false, m),
+            I32Load16S(m) => (I32, 2, false, true, m),
+            I32Load16U(m) => (I32, 2, false, false, m),
+            I64Load8S(m) => (I64, 1, false, true, m),
+            I64Load8U(m) => (I64, 1, false, false, m),
+            I64Load16S(m) => (I64, 2, false, true, m),
+            I64Load16U(m) => (I64, 2, false, false, m),
+            I64Load32S(m) => (I64, 4, false, true, m),
+            I64Load32U(m) => (I64, 4, false, false, m),
+            I32Store(m) => (I32, 4, true, false, m),
+            I64Store(m) => (I64, 8, true, false, m),
+            F32Store(m) => (F32, 4, true, false, m),
+            F64Store(m) => (F64, 8, true, false, m),
+            I32Store8(m) => (I32, 1, true, false, m),
+            I32Store16(m) => (I32, 2, true, false, m),
+            I64Store8(m) => (I64, 1, true, false, m),
+            I64Store16(m) => (I64, 2, true, false, m),
+            I64Store32(m) => (I64, 4, true, false, m),
+            _ => return None,
+        };
+        Some(MemAccess {
+            ty,
+            bytes,
+            is_store,
+            sign_extend,
+            memarg: m,
+        })
+    }
+
+    /// Whether this instruction opens a new structured block.
+    pub fn is_block_start(&self) -> bool {
+        matches!(self, Instr::Block(_) | Instr::Loop(_) | Instr::If(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_access_classification() {
+        let a = Instr::I32Load8S(MemArg::offset(4)).mem_access().unwrap();
+        assert_eq!(a.ty, ValType::I32);
+        assert_eq!(a.bytes, 1);
+        assert!(a.sign_extend);
+        assert!(!a.is_store);
+        assert_eq!(a.memarg.offset, 4);
+
+        let s = Instr::I64Store32(MemArg::default()).mem_access().unwrap();
+        assert_eq!(s.ty, ValType::I64);
+        assert_eq!(s.bytes, 4);
+        assert!(s.is_store);
+
+        assert!(Instr::I32Add.mem_access().is_none());
+        assert!(Instr::MemoryGrow.mem_access().is_none());
+    }
+
+    #[test]
+    fn block_start() {
+        assert!(Instr::Block(BlockType::Empty).is_block_start());
+        assert!(Instr::Loop(BlockType::Empty).is_block_start());
+        assert!(Instr::If(BlockType::Empty).is_block_start());
+        assert!(!Instr::End.is_block_start());
+    }
+}
+
+/// Coarse cost classification of instructions, used by the ISA cost model
+/// (`lb-isa-model`) to estimate cycles on CPUs we cannot run natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CostClass {
+    /// Structured-control bookkeeping (block/loop/end/nop).
+    Control,
+    /// Conditional and unconditional branches.
+    Branch,
+    /// Direct and indirect calls (plus return).
+    Call,
+    /// Local get/set/tee.
+    LocalVar,
+    /// Global get/set.
+    Global,
+    /// Constants.
+    Const,
+    /// Memory loads.
+    MemLoad,
+    /// Memory stores.
+    MemStore,
+    /// memory.size / memory.grow.
+    MemMgmt,
+    /// Integer add/sub/logic/shift.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide/remainder.
+    IntDiv,
+    /// Integer comparisons.
+    IntCmp,
+    /// Float add/sub/abs/neg/rounding.
+    FpAdd,
+    /// Float multiply.
+    FpMul,
+    /// Float divide.
+    FpDiv,
+    /// Float square root.
+    FpSqrt,
+    /// Float comparisons / min / max.
+    FpCmp,
+    /// Conversions and reinterprets.
+    Convert,
+    /// Select and drop.
+    Parametric,
+}
+
+/// Number of [`CostClass`] variants.
+pub const COST_CLASS_COUNT: usize = 20;
+
+/// Dynamic instruction counts by [`CostClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts(pub [u64; COST_CLASS_COUNT]);
+
+impl OpCounts {
+    /// Record one executed instruction.
+    #[inline]
+    pub fn bump(&mut self, c: CostClass) {
+        self.0[c as usize] += 1;
+    }
+
+    /// Count for one class.
+    pub fn get(&self, c: CostClass) -> u64 {
+        self.0[c as usize]
+    }
+
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Memory accesses (loads + stores) — the operations bounds checking
+    /// taxes.
+    pub fn mem_accesses(&self) -> u64 {
+        self.get(CostClass::MemLoad) + self.get(CostClass::MemStore)
+    }
+}
+
+impl Instr {
+    /// The instruction's [`CostClass`].
+    pub fn cost_class(&self) -> CostClass {
+        use Instr::*;
+        use CostClass::*;
+        match self {
+            Unreachable | Nop | Block(_) | Loop(_) | End | Else => Control,
+            If(_) | Br(_) | BrIf(_) | BrTable(_) => Branch,
+            Return | Instr::Call(_) | CallIndirect(_) => CostClass::Call,
+            LocalGet(_) | LocalSet(_) | LocalTee(_) => LocalVar,
+            GlobalGet(_) | GlobalSet(_) => Global,
+            I32Const(_) | I64Const(_) | F32Const(_) | F64Const(_) => Const,
+            MemorySize | MemoryGrow => MemMgmt,
+            I32Add | I32Sub | I32And | I32Or | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl
+            | I32Rotr | I32Clz | I32Ctz | I32Popcnt | I64Add | I64Sub | I64And | I64Or
+            | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr | I64Clz | I64Ctz
+            | I64Popcnt => IntAlu,
+            I32Mul | I64Mul => IntMul,
+            I32DivS | I32DivU | I32RemS | I32RemU | I64DivS | I64DivU | I64RemS | I64RemU => {
+                IntDiv
+            }
+            I32Eqz | I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU
+            | I32GeS | I32GeU | I64Eqz | I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU
+            | I64LeS | I64LeU | I64GeS | I64GeU => IntCmp,
+            F32Add | F32Sub | F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest
+            | F64Add | F64Sub | F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc
+            | F64Nearest => FpAdd,
+            F32Mul | F64Mul => FpMul,
+            F32Div | F64Div => FpDiv,
+            F32Sqrt | F64Sqrt => FpSqrt,
+            F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge | F64Eq | F64Ne | F64Lt | F64Gt
+            | F64Le | F64Ge | F32Min | F32Max | F32Copysign | F64Min | F64Max | F64Copysign => {
+                FpCmp
+            }
+            I32WrapI64 | I32TruncF32S | I32TruncF32U | I32TruncF64S | I32TruncF64U
+            | I64ExtendI32S | I64ExtendI32U | I64TruncF32S | I64TruncF32U | I64TruncF64S
+            | I64TruncF64U | F32ConvertI32S | F32ConvertI32U | F32ConvertI64S
+            | F32ConvertI64U | F32DemoteF64 | F64ConvertI32S | F64ConvertI32U
+            | F64ConvertI64S | F64ConvertI64U | F64PromoteF32 | I32ReinterpretF32
+            | I64ReinterpretF64 | F32ReinterpretI32 | F64ReinterpretI64 => Convert,
+            Drop | Select => Parametric,
+            other => {
+                if let Some(a) = other.mem_access() {
+                    if a.is_store {
+                        MemStore
+                    } else {
+                        MemLoad
+                    }
+                } else {
+                    Control
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # lb-wasm — the WebAssembly substrate
+//!
+//! A from-scratch implementation of the WebAssembly MVP numeric subset used
+//! by the *Leaps and bounds* (IISWC 2022) reproduction: the module model,
+//! typed instruction set, ergonomic builders, a full validator producing
+//! flat control side-tables, and the standard binary format codec.
+//!
+//! This crate is purely structural — execution engines live in `lb-interp`
+//! (a Wasm3-style interpreter) and `lb-jit` (an x86-64 baseline JIT), and
+//! the bounds-checked linear memory lives in `lb-core`.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use lb_wasm::builder::ModuleBuilder;
+//! use lb_wasm::types::{FuncType, ValType};
+//! use lb_wasm::instr::Instr;
+//! use lb_wasm::validate::validate;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new();
+//! let sq = mb.begin_func("square", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+//! {
+//!     let f = &mut mb.func_mut(sq);
+//!     f.emit(Instr::LocalGet(0));
+//!     f.emit(Instr::LocalGet(0));
+//!     f.emit(Instr::I32Mul);
+//! }
+//! mb.export_func("square", sq);
+//! let module = mb.finish();
+//! let meta = validate(&module)?;
+//! assert_eq!(meta.funcs.len(), 1);
+//!
+//! // Round-trip through the standard binary format.
+//! let bytes = lb_wasm::binary::encode(&module);
+//! let decoded = lb_wasm::binary::decode(&bytes)?;
+//! assert_eq!(decoded, module);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod builder;
+pub mod error;
+pub mod fmt;
+pub mod instr;
+pub mod module;
+pub mod numeric;
+pub mod types;
+pub mod validate;
+pub mod value;
+
+pub use error::{DecodeError, ModuleError, ValidateError};
+pub use instr::{Instr, MemArg};
+pub use module::Module;
+pub use types::{BlockType, FuncType, Limits, MemoryType, ValType, MAX_PAGES, PAGE_SIZE};
+pub use validate::{validate, FuncMeta, ModuleMeta};
+pub use value::Value;

@@ -1,0 +1,298 @@
+//! The WebAssembly module model: functions, globals, memory, table,
+//! exports, imports, and data/element segments.
+
+use crate::error::ModuleError;
+use crate::instr::Instr;
+use crate::types::{FuncType, GlobalType, MemoryType, TableType, ValType};
+use crate::value::Value;
+
+/// A complete WebAssembly module.
+///
+/// The function index space is imports first, then locally-defined
+/// functions, as in the wasm specification.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// The type section: deduplicated function signatures.
+    pub types: Vec<FuncType>,
+    /// Imported host functions.
+    pub imports: Vec<Import>,
+    /// Locally defined functions.
+    pub functions: Vec<Function>,
+    /// The (single, optional) function table.
+    pub table: Option<TableType>,
+    /// The (single, optional) linear memory.
+    pub memory: Option<MemoryType>,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Exported items.
+    pub exports: Vec<Export>,
+    /// Optional start function, run at instantiation.
+    pub start: Option<u32>,
+    /// Element segments initializing the function table.
+    pub elems: Vec<ElemSegment>,
+    /// Data segments initializing linear memory.
+    pub data: Vec<DataSegment>,
+}
+
+/// An imported host function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    /// Import module namespace (e.g. `"env"`).
+    pub module: String,
+    /// Import field name.
+    pub name: String,
+    /// Index into [`Module::types`].
+    pub type_idx: u32,
+}
+
+/// A locally-defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Index into [`Module::types`].
+    pub type_idx: u32,
+    /// Types of the declared (non-parameter) locals.
+    pub locals: Vec<ValType>,
+    /// Flat instruction sequence, terminated by `End`.
+    pub body: Vec<Instr>,
+    /// Optional debug name.
+    pub name: Option<String>,
+}
+
+/// A global variable with a constant initializer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Global {
+    /// Type and mutability.
+    pub ty: GlobalType,
+    /// Constant initial value (must match `ty.content`).
+    pub init: Value,
+}
+
+/// What an export refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportKind {
+    /// A function, by index in the function index space.
+    Func(u32),
+    /// The module's linear memory.
+    Memory,
+    /// The module's function table.
+    Table,
+    /// A global, by index.
+    Global(u32),
+}
+
+/// A named export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Export {
+    /// Export name.
+    pub name: String,
+    /// Exported item.
+    pub kind: ExportKind,
+}
+
+/// A table element segment with a constant offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElemSegment {
+    /// Start index in the table.
+    pub offset: u32,
+    /// Function indices placed at `offset..offset+funcs.len()`.
+    pub funcs: Vec<u32>,
+}
+
+/// A memory data segment with a constant offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Start byte address in linear memory.
+    pub offset: u32,
+    /// Bytes copied at instantiation.
+    pub bytes: Vec<u8>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Number of imported functions (the defined functions start at this index).
+    pub fn num_imported_funcs(&self) -> u32 {
+        self.imports.len() as u32
+    }
+
+    /// Total number of functions in the index space.
+    pub fn num_funcs(&self) -> u32 {
+        (self.imports.len() + self.functions.len()) as u32
+    }
+
+    /// The signature of the function at `func_idx` in the function index space.
+    ///
+    /// # Errors
+    /// Returns [`ModuleError::FuncIndex`] if the index is out of range, or
+    /// [`ModuleError::TypeIndex`] if the function references a bad type.
+    pub fn func_type(&self, func_idx: u32) -> Result<&FuncType, ModuleError> {
+        let type_idx = self.func_type_idx(func_idx)?;
+        self.types
+            .get(type_idx as usize)
+            .ok_or(ModuleError::TypeIndex(type_idx))
+    }
+
+    /// The type index of the function at `func_idx`.
+    ///
+    /// # Errors
+    /// Returns [`ModuleError::FuncIndex`] if the index is out of range.
+    pub fn func_type_idx(&self, func_idx: u32) -> Result<u32, ModuleError> {
+        let ni = self.num_imported_funcs();
+        if func_idx < ni {
+            Ok(self.imports[func_idx as usize].type_idx)
+        } else {
+            self.functions
+                .get((func_idx - ni) as usize)
+                .map(|f| f.type_idx)
+                .ok_or(ModuleError::FuncIndex(func_idx))
+        }
+    }
+
+    /// The defined (non-import) function at `func_idx`, if it is one.
+    pub fn defined_func(&self, func_idx: u32) -> Option<&Function> {
+        let ni = self.num_imported_funcs();
+        func_idx
+            .checked_sub(ni)
+            .and_then(|i| self.functions.get(i as usize))
+    }
+
+    /// Look up an export by name.
+    pub fn export(&self, name: &str) -> Option<&Export> {
+        self.exports.iter().find(|e| e.name == name)
+    }
+
+    /// Look up an exported function index by name.
+    pub fn exported_func(&self, name: &str) -> Option<u32> {
+        match self.export(name)?.kind {
+            ExportKind::Func(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Intern a function type, reusing an existing identical entry.
+    pub fn intern_type(&mut self, ty: FuncType) -> u32 {
+        if let Some(i) = self.types.iter().position(|t| *t == ty) {
+            i as u32
+        } else {
+            self.types.push(ty);
+            (self.types.len() - 1) as u32
+        }
+    }
+
+    /// A human-readable name for a function (debug name or `func[N]`).
+    pub fn func_name(&self, func_idx: u32) -> String {
+        if let Some(f) = self.defined_func(func_idx) {
+            if let Some(n) = &f.name {
+                return n.clone();
+            }
+        } else if let Some(imp) = self.imports.get(func_idx as usize) {
+            return format!("{}.{}", imp.module, imp.name);
+        }
+        format!("func[{func_idx}]")
+    }
+
+    /// Declared memory type, or a reasonable default (0 pages) if absent.
+    pub fn memory_type(&self) -> Option<MemoryType> {
+        self.memory
+    }
+
+    /// Total static instruction count across all defined functions.
+    pub fn instr_count(&self) -> usize {
+        self.functions.iter().map(|f| f.body.len()).sum()
+    }
+}
+
+impl Function {
+    /// Construct a function with the given signature index, locals and body.
+    pub fn new(type_idx: u32, locals: Vec<ValType>, body: Vec<Instr>) -> Function {
+        Function {
+            type_idx,
+            locals,
+            body,
+            name: None,
+        }
+    }
+}
+
+/// The type of a table referenced by `call_indirect`: `TableType` re-export
+/// convenience constructor.
+impl TableType {
+    /// A table with exactly `n` elements.
+    pub fn fixed(n: u32) -> TableType {
+        TableType {
+            limits: crate::types::Limits::new(n, Some(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Limits;
+
+    fn demo_module() -> Module {
+        let mut m = Module::new();
+        let t0 = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        let t1 = m.intern_type(FuncType::new(vec![], vec![]));
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "host".into(),
+            type_idx: t1,
+        });
+        m.functions.push(Function::new(
+            t0,
+            vec![],
+            vec![Instr::LocalGet(0), Instr::End],
+        ));
+        m.exports.push(Export {
+            name: "id".into(),
+            kind: ExportKind::Func(1),
+        });
+        m.memory = Some(MemoryType {
+            limits: Limits::new(1, Some(4)),
+        });
+        m
+    }
+
+    #[test]
+    fn type_interning_dedups() {
+        let mut m = Module::new();
+        let a = m.intern_type(FuncType::new(vec![ValType::I32], vec![]));
+        let b = m.intern_type(FuncType::new(vec![ValType::I32], vec![]));
+        let c = m.intern_type(FuncType::new(vec![ValType::I64], vec![]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.types.len(), 2);
+    }
+
+    #[test]
+    fn func_index_space_spans_imports() {
+        let m = demo_module();
+        assert_eq!(m.num_imported_funcs(), 1);
+        assert_eq!(m.num_funcs(), 2);
+        // index 0 is the import
+        assert_eq!(m.func_type(0).unwrap().params.len(), 0);
+        // index 1 is the defined function
+        assert_eq!(m.func_type(1).unwrap().params, vec![ValType::I32]);
+        assert!(m.defined_func(0).is_none());
+        assert!(m.defined_func(1).is_some());
+        assert!(m.func_type(2).is_err());
+    }
+
+    #[test]
+    fn export_lookup() {
+        let m = demo_module();
+        assert_eq!(m.exported_func("id"), Some(1));
+        assert_eq!(m.exported_func("missing"), None);
+    }
+
+    #[test]
+    fn func_names() {
+        let m = demo_module();
+        assert_eq!(m.func_name(0), "env.host");
+        assert_eq!(m.func_name(1), "func[1]");
+    }
+}

@@ -1,0 +1,189 @@
+//! Runtime values for the four WebAssembly primitive types.
+
+use crate::types::ValType;
+use std::fmt;
+
+/// A runtime WebAssembly value.
+///
+/// Floats are stored by bit pattern where equality matters (NaN-safe
+/// comparisons are provided via [`Value::bits_eq`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn ty(&self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+        }
+    }
+
+    /// A zero value of the given type (wasm's default for locals/globals).
+    pub fn zero(ty: ValType) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(0),
+            ValType::I64 => Value::I64(0),
+            ValType::F32 => Value::F32(0.0),
+            ValType::F64 => Value::F64(0.0),
+        }
+    }
+
+    /// Extract an `i32`, if this value has type i32.
+    pub fn as_i32(&self) -> Option<i32> {
+        match *self {
+            Value::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `i64`, if this value has type i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f32`, if this value has type f32.
+    pub fn as_f32(&self) -> Option<f32> {
+        match *self {
+            Value::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f64`, if this value has type f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw 64-bit representation used by engines' untyped stacks.
+    ///
+    /// i32 is zero-extended; floats are stored by IEEE bit pattern.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::I32(v) => v as u32 as u64,
+            Value::I64(v) => v as u64,
+            Value::F32(v) => v.to_bits() as u64,
+            Value::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// Reconstruct a value of type `ty` from its raw 64-bit representation.
+    pub fn from_bits(ty: ValType, bits: u64) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(bits as u32 as i32),
+            ValType::I64 => Value::I64(bits as i64),
+            ValType::F32 => Value::F32(f32::from_bits(bits as u32)),
+            ValType::F64 => Value::F64(f64::from_bits(bits)),
+        }
+    }
+
+    /// Bit-pattern equality: identical to `==` for integers, and compares
+    /// float bit patterns so that NaN == NaN (useful for differential tests).
+    pub fn bits_eq(&self, other: &Value) -> bool {
+        self.ty() == other.ty() && self.to_bits() == other.to_bits()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}:i32"),
+            Value::I64(v) => write!(f, "{v}:i64"),
+            Value::F32(v) => write!(f, "{v}:f32"),
+            Value::F64(v) => write!(f, "{v}:f64"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::I32(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::I32(v as i32)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::I64(v as i64)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F32(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let vals = [
+            Value::I32(-1),
+            Value::I64(i64::MIN),
+            Value::F32(1.5),
+            Value::F64(-0.0),
+            Value::F64(f64::NAN),
+        ];
+        for v in vals {
+            let rt = Value::from_bits(v.ty(), v.to_bits());
+            assert!(v.bits_eq(&rt), "{v} != {rt}");
+        }
+    }
+
+    #[test]
+    fn i32_is_zero_extended() {
+        assert_eq!(Value::I32(-1).to_bits(), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn nan_bits_eq() {
+        let a = Value::F64(f64::NAN);
+        let b = Value::F64(f64::NAN);
+        assert!(a.bits_eq(&b));
+        assert!(!Value::F64(0.0).bits_eq(&Value::F64(-0.0)));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3u32), Value::I32(3));
+        assert_eq!(Value::from(3i64).ty(), ValType::I64);
+        assert_eq!(Value::zero(ValType::F32), Value::F32(0.0));
+    }
+}

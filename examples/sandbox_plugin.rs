@@ -1,0 +1,130 @@
+//! WebAssembly as a plugin sandbox (the paper cites Firefox's use of wasm
+//! to sandbox libraries): the host exposes a narrow API surface, the
+//! plugin computes over its own linear memory, and misbehavior — wild
+//! memory accesses, runaway recursion, division by zero — is contained as
+//! a trap instead of corrupting the host.
+//!
+//! ```text
+//! cargo run --release --example sandbox_plugin
+//! ```
+
+use leaps_and_bounds::core::exec::{Engine, Linker};
+use leaps_and_bounds::core::{BoundsStrategy, MemoryConfig, TrapKind};
+use leaps_and_bounds::dsl::{call, expr, DslFunc, KernelModule};
+use leaps_and_bounds::jit::{JitEngine, JitProfile};
+use leaps_and_bounds::wasm::types::ValType;
+use leaps_and_bounds::wasm::{Instr, MemArg, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // The plugin module: a well-behaved entry point plus three hostile ones.
+    let mut km = KernelModule::new();
+    km.memory(1, Some(2));
+
+    // Imported host API: plugins may log a number.
+    // (Host imports are declared on the wasm Module; the DSL's KernelModule
+    // is for pure kernels, so we build this module with the raw builder.)
+    let mut mb = leaps_and_bounds::wasm::builder::ModuleBuilder::new();
+    mb.memory(1, Some(2));
+    let log = mb.import_func(
+        "host",
+        "log",
+        leaps_and_bounds::wasm::FuncType::new(vec![ValType::I64], vec![]),
+    );
+    let good = mb.begin_func(
+        "transform",
+        leaps_and_bounds::wasm::FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+    );
+    {
+        let mut b = mb.func_mut(good);
+        let p = b.param(0);
+        // log(input); return input * 2 + 1
+        b.get(p).emit(Instr::I64ExtendI32S).call(log);
+        b.get(p).i32_const(2).emit(Instr::I32Mul).i32_const(1).emit(Instr::I32Add);
+    }
+    mb.export_func("transform", good);
+
+    let wild = mb.begin_func(
+        "wild_write",
+        leaps_and_bounds::wasm::FuncType::new(vec![], vec![]),
+    );
+    {
+        let mut b = mb.func_mut(wild);
+        // Write far outside the single committed page.
+        b.i32_const(40 * 65536).i32_const(0xDEAD).emit(Instr::I32Store(MemArg::offset(0)));
+    }
+    mb.export_func("wild_write", wild);
+
+    let bomb = mb.begin_func(
+        "stack_bomb",
+        leaps_and_bounds::wasm::FuncType::new(vec![], vec![]),
+    );
+    {
+        let mut b = mb.func_mut(bomb);
+        b.call(bomb); // infinite recursion
+    }
+    mb.export_func("stack_bomb", bomb);
+
+    let div = mb.begin_func(
+        "div_by_zero",
+        leaps_and_bounds::wasm::FuncType::new(vec![], vec![ValType::I32]),
+    );
+    {
+        let mut b = mb.func_mut(div);
+        b.i32_const(1).i32_const(0).emit(Instr::I32DivS);
+    }
+    mb.export_func("div_by_zero", div);
+    let module = mb.finish();
+    drop(km);
+    let _ = (call, expr::i32, DslFunc::new("unused", &[], None));
+
+    // Host side: a log sink the plugin can call.
+    let log_count = Arc::new(AtomicU64::new(0));
+    let sink = Arc::clone(&log_count);
+    let mut linker = Linker::new();
+    linker.func("host", "log", move |_, args| {
+        println!("  [plugin log] {}", args[0].as_i64().unwrap());
+        sink.fetch_add(1, Ordering::Relaxed);
+        Ok(None)
+    });
+
+    let engine = JitEngine::new(JitProfile::wasmtime());
+    let loaded = engine.load(&module).unwrap();
+    let config = MemoryConfig::new(BoundsStrategy::Mprotect, 1, 2).with_reserve(64 << 20);
+    let mut plugin = loaded.instantiate(&config, &linker).unwrap();
+
+    println!("calling the well-behaved entry point:");
+    let r = plugin.invoke("transform", &[Value::I32(20)]).unwrap();
+    println!("  transform(20) = {:?}\n", r.unwrap());
+
+    println!("now the hostile entry points — each is contained as a trap:");
+    for entry in ["wild_write", "stack_bomb", "div_by_zero"] {
+        match plugin.invoke(entry, &[]) {
+            Ok(_) => println!("  {entry}: returned normally (?)"),
+            Err(t) => println!("  {entry}: {t}"),
+        }
+        // The instance survives and remains usable after each trap.
+        let r = plugin.invoke("transform", &[Value::I32(1)]).unwrap();
+        assert_eq!(r, Some(Value::I32(3)));
+    }
+    println!(
+        "\nplugin made {} host log calls; host state intact.",
+        log_count.load(Ordering::Relaxed)
+    );
+
+    // Verify the specific trap kinds, as a sandboxing guarantee.
+    assert!(matches!(
+        plugin.invoke("wild_write", &[]).unwrap_err().kind(),
+        TrapKind::OutOfBounds
+    ));
+    assert!(matches!(
+        plugin.invoke("stack_bomb", &[]).unwrap_err().kind(),
+        TrapKind::StackOverflow
+    ));
+    assert!(matches!(
+        plugin.invoke("div_by_zero", &[]).unwrap_err().kind(),
+        TrapKind::IntegerDivByZero
+    ));
+    println!("all hostile behaviors verified as contained traps.");
+}

@@ -1,0 +1,49 @@
+//! # leaps-and-bounds — reproduction of "Leaps and bounds: Analyzing
+//! WebAssembly's performance with a focus on bounds checking" (IISWC 2022)
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! * [`wasm`] — the WebAssembly substrate (module model, validator, binary codec)
+//! * [`core`] — bounds-checked linear memory, five strategies, trap machinery,
+//!   userfaultfd backend, hazard-pointer arena registry (the paper's contribution)
+//! * [`interp`] — the Wasm3-style interpreter
+//! * [`jit`] — the x86-64 baseline JIT with WAVM/Wasmtime/V8 engine profiles
+//! * [`dsl`] — the kernel-authoring DSL
+//! * [`polybench`] / [`spec_proxy`] — the paper's benchmark suites
+//! * [`isa_model`] — cross-ISA bounds-checking cost estimation
+//! * [`sim`] — the Linux-mm contention simulator
+//! * [`harness`] — the measurement harness
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+//!
+//! ```rust
+//! use leaps_and_bounds::core::{BoundsStrategy, MemoryConfig};
+//! use leaps_and_bounds::core::exec::{Engine, Linker};
+//! use leaps_and_bounds::jit::{JitEngine, JitProfile};
+//! use leaps_and_bounds::polybench;
+//!
+//! let bench = polybench::by_name("gemm", polybench::Dataset::Mini).unwrap();
+//! let engine = JitEngine::new(JitProfile::wavm());
+//! let module = engine.load(&bench.module).unwrap();
+//! let config = MemoryConfig::new(BoundsStrategy::Mprotect, 1, 256)
+//!     .with_reserve(64 << 20);
+//! let mut isolate = module.instantiate(&config, &Linker::new()).unwrap();
+//! isolate.invoke("init", &[]).unwrap();
+//! isolate.invoke("kernel", &[]).unwrap();
+//! let checksum = isolate.invoke("checksum", &[]).unwrap().unwrap();
+//! assert_eq!(checksum.as_f64(), Some(bench.native_checksum()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lb_core as core;
+pub use lb_dsl as dsl;
+pub use lb_harness as harness;
+pub use lb_interp as interp;
+pub use lb_isa_model as isa_model;
+pub use lb_jit as jit;
+pub use lb_polybench as polybench;
+pub use lb_sim as sim;
+pub use lb_spec_proxy as spec_proxy;
+pub use lb_wasm as wasm;

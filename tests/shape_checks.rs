@@ -1,0 +1,131 @@
+//! Shape checks: the paper's qualitative claims, asserted with generous
+//! tolerances so they hold on any host. Comparisons are restricted to
+//! JIT-generated code vs JIT-generated code (unaffected by debug-mode host
+//! compilation) or to syscall counts, which are exact.
+
+use leaps_and_bounds::core::exec::{Engine, Linker};
+use leaps_and_bounds::core::{stats, BoundsStrategy, MemoryConfig};
+use leaps_and_bounds::interp::InterpEngine;
+use leaps_and_bounds::jit::{JitEngine, JitProfile};
+use leaps_and_bounds::polybench::{by_name, Dataset};
+use std::time::{Duration, Instant};
+
+fn kernel_time(engine: &dyn Engine, module: &leaps_and_bounds::wasm::Module, s: BoundsStrategy) -> Duration {
+    let loaded = engine.load(module).unwrap();
+    let config = MemoryConfig::new(s, 0, 512).with_reserve(256 << 20);
+    let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+    inst.invoke("init", &[]).unwrap();
+    inst.invoke("kernel", &[]).unwrap(); // warm (tiering, faults)
+    inst.invoke("kernel", &[]).unwrap();
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        inst.invoke("kernel", &[]).unwrap();
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+/// Paper §4.1: "Software checks are significantly slower in a number of
+/// configurations, most notably in WAVM, with clamping addresses
+/// unconditionally behaving worse than generating conditional traps."
+#[test]
+fn software_checks_cost_more_than_guard_pages_on_gemm() {
+    let bench = by_name("gemm", Dataset::Small).unwrap();
+    let engine = JitEngine::new(JitProfile::wavm());
+    let none = kernel_time(&engine, &bench.module, BoundsStrategy::None);
+    let clamp = kernel_time(&engine, &bench.module, BoundsStrategy::Clamp);
+    let trap = kernel_time(&engine, &bench.module, BoundsStrategy::Trap);
+    let mprotect = kernel_time(&engine, &bench.module, BoundsStrategy::Mprotect);
+
+    // Guard pages ≈ none (paper: 1-2 percentage points; allow 15%).
+    assert!(
+        mprotect < none.mul_f64(1.15),
+        "mprotect {mprotect:?} should be near none {none:?}"
+    );
+    // Software clamp visibly slower than none on a load-heavy kernel.
+    assert!(
+        clamp > none.mul_f64(1.10),
+        "clamp {clamp:?} should exceed none {none:?}"
+    );
+    // Clamp worse than trap (the paper's WAVM observation).
+    assert!(
+        clamp > trap.mul_f64(0.95),
+        "clamp {clamp:?} should not beat trap {trap:?}"
+    );
+}
+
+/// Paper §4.4 (Titzer): the interpreter is several times slower than the
+/// tiered JIT.
+#[test]
+fn interpreter_is_many_times_slower_than_jit() {
+    let bench = by_name("atax", Dataset::Small).unwrap();
+    let jit = JitEngine::new(JitProfile::wavm());
+    let interp = InterpEngine::new();
+    let t_jit = kernel_time(&jit, &bench.module, BoundsStrategy::Mprotect);
+    let t_int = kernel_time(&interp, &bench.module, BoundsStrategy::Mprotect);
+    assert!(
+        t_int > t_jit * 3,
+        "interp {t_int:?} should be several times slower than jit {t_jit:?}"
+    );
+}
+
+/// Paper §3.1/§4.2.1: strategy-specific syscall behavior, exactly counted.
+#[test]
+fn strategies_issue_the_expected_syscalls() {
+    let bench = by_name("trisolv", Dataset::Mini).unwrap();
+    let engine = JitEngine::new(JitProfile::wasmtime());
+    let loaded = engine.load(&bench.module).unwrap();
+
+    let churn = |s: BoundsStrategy| {
+        let config = MemoryConfig::new(s, 0, 64).with_reserve(16 << 20);
+        let before = stats::snapshot();
+        for _ in 0..10 {
+            let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+            inst.invoke("init", &[]).unwrap();
+            inst.invoke("kernel", &[]).unwrap();
+        }
+        stats::snapshot().delta(&before)
+    };
+
+    let mp = churn(BoundsStrategy::Mprotect);
+    assert!(mp.mprotect >= 10, "one mprotect per isolate: {}", mp.mprotect);
+    assert_eq!(mp.uffd_zeropage, 0);
+
+    let tr = churn(BoundsStrategy::Trap);
+    assert_eq!(tr.mprotect, 0, "software checks need no mprotect");
+
+    if leaps_and_bounds::core::uffd::sigbus_mode_available() {
+        let uf = churn(BoundsStrategy::Uffd);
+        assert_eq!(uf.mprotect, 0, "uffd must not call mprotect");
+        assert!(uf.uffd_zeropage >= 10, "uffd resolves faults in the handler");
+        assert!(uf.uffd_register >= 10);
+    }
+
+    // Every strategy churns one reservation per isolate.
+    assert!(mp.mmap >= 10 && tr.mmap >= 10);
+}
+
+/// The V8 profile's background machinery exists: tier-up changes the code
+/// executing behind a long-lived instance without breaking it.
+#[test]
+fn v8_profile_survives_concurrent_tier_up() {
+    let bench = by_name("bicg", Dataset::Mini).unwrap();
+    let expected = bench.native_checksum();
+    let engine = JitEngine::new(JitProfile::v8());
+    let loaded = engine.load(&bench.module).unwrap();
+    let config = MemoryConfig::new(BoundsStrategy::Mprotect, 0, 64).with_reserve(16 << 20);
+    let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_millis(150) {
+        inst.invoke("init", &[]).unwrap();
+        inst.invoke("kernel", &[]).unwrap();
+        let cs = inst
+            .invoke("checksum", &[])
+            .unwrap()
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert_eq!(cs.to_bits(), expected.to_bits());
+    }
+}
