@@ -1,7 +1,8 @@
-//! Criterion bench: the same kernel across all runtimes (figure 2's engine
+//! Micro-bench: the same kernel across all runtimes (figure 2's engine
 //! axis) plus the native baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::micro::{BenchmarkId, Criterion};
+use lb_bench::{criterion_group, criterion_main};
 use lb_core::exec::Linker;
 use lb_core::{BoundsStrategy, MemoryConfig};
 use lb_harness::EngineSel;

@@ -1,4 +1,4 @@
-//! Criterion bench: memory-subsystem ablations behind figures 3-5 and the
+//! Micro-bench: memory-subsystem ablations behind figures 3-5 and the
 //! design choices DESIGN.md calls out:
 //!
 //! * isolate lifecycle (reserve→commit→teardown) per strategy — the churn
@@ -7,7 +7,8 @@
 //! * the hazard-pointer arena registry vs a mutexed map (paper §4.2.1);
 //! * trap machinery: catch_traps entry and a full hardware-trap round trip.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::micro::{black_box, BenchmarkId, Criterion};
+use lb_bench::{criterion_group, criterion_main};
 use lb_core::registry::{ArenaDesc, HazardRegistry};
 use lb_core::signals::catch_traps;
 use lb_core::{BoundsStrategy, LinearMemory, MemoryConfig};
@@ -43,7 +44,12 @@ fn bench_uffd_fault_service(c: &mut Criterion) {
     // SIGBUS mode: first touch of each page is a signal + UFFDIO_ZEROPAGE.
     group.bench_function("sigbus_first_touch_page", |b| {
         b.iter_with_setup(
-            || LinearMemory::new(&MemoryConfig::new(BoundsStrategy::Uffd, 64, 64).with_reserve(8 << 20)).unwrap(),
+            || {
+                LinearMemory::new(
+                    &MemoryConfig::new(BoundsStrategy::Uffd, 64, 64).with_reserve(8 << 20),
+                )
+                .unwrap()
+            },
             |m| {
                 catch_traps(|| {
                     for page in 0..16u32 {
@@ -59,7 +65,12 @@ fn bench_uffd_fault_service(c: &mut Criterion) {
     // mprotect-backed minor faults for comparison.
     group.bench_function("mprotect_first_touch_page", |b| {
         b.iter_with_setup(
-            || LinearMemory::new(&MemoryConfig::new(BoundsStrategy::Mprotect, 64, 64).with_reserve(8 << 20)).unwrap(),
+            || {
+                LinearMemory::new(
+                    &MemoryConfig::new(BoundsStrategy::Mprotect, 64, 64).with_reserve(8 << 20),
+                )
+                .unwrap()
+            },
             |m| {
                 catch_traps(|| {
                     for page in 0..16u32 {
@@ -91,10 +102,10 @@ fn bench_registry(c: &mut Criterion) {
         b.iter(|| reg.find_with(h, |d| d.contains(0x18000), |d| d.base))
     });
     // Mutexed map for comparison (what a lock-based runtime would do).
-    let map = parking_lot::Mutex::new(vec![(0x10000usize, 0x20000usize)]);
+    let map = std::sync::Mutex::new(vec![(0x10000usize, 0x20000usize)]);
     group.bench_function("mutex_lookup", |b| {
         b.iter(|| {
-            let g = map.lock();
+            let g = map.lock().unwrap();
             g.iter()
                 .find(|(lo, hi)| 0x18000 >= *lo && 0x18000 < *hi)
                 .map(|x| x.0)
@@ -108,7 +119,7 @@ fn bench_registry(c: &mut Criterion) {
 fn bench_trap_machinery(c: &mut Criterion) {
     let mut group = c.benchmark_group("trap_machinery");
     group.bench_function("catch_traps_entry", |b| {
-        b.iter(|| catch_traps(|| Ok::<_, lb_core::Trap>(criterion::black_box(1)+1)))
+        b.iter(|| catch_traps(|| Ok::<_, lb_core::Trap>(black_box(1) + 1)))
     });
     // A full hardware OOB round trip: SIGSEGV → handler → classified trap.
     let config = MemoryConfig::new(BoundsStrategy::Mprotect, 1, 1).with_reserve(4 << 20);
@@ -116,7 +127,7 @@ fn bench_trap_machinery(c: &mut Criterion) {
     group.bench_function("hardware_oob_roundtrip", |b| {
         b.iter(|| {
             let e = catch_traps(|| m.load::<u8>(2 * 65536, 0)).unwrap_err();
-            criterion::black_box(e);
+            black_box(e);
         })
     });
     group.finish();

@@ -1,7 +1,8 @@
-//! Criterion bench: per-strategy kernel execution cost on the WAVM-profile
+//! Micro-bench: per-strategy kernel execution cost on the WAVM-profile
 //! engine (the microbenchmark behind figures 1 and 2's strategy axis).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::micro::{BenchmarkId, Criterion};
+use lb_bench::{criterion_group, criterion_main};
 use lb_core::exec::{Engine, Linker};
 use lb_core::{BoundsStrategy, MemoryConfig};
 use lb_jit::{JitEngine, JitProfile};
@@ -21,15 +22,11 @@ fn bench_strategies(c: &mut Criterion) {
             let config = MemoryConfig::new(s, 0, 512).with_reserve(256 << 20);
             let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
             inst.invoke("init", &[]).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(kernel, s.name()),
-                &s,
-                |b, _| {
-                    b.iter(|| {
-                        inst.invoke("kernel", &[]).unwrap();
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kernel, s.name()), &s, |b, _| {
+                b.iter(|| {
+                    inst.invoke("kernel", &[]).unwrap();
+                })
+            });
         }
     }
     group.finish();

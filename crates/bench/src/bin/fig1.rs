@@ -14,7 +14,15 @@ use lb_harness::{run_benchmark, stats, EngineSel, RunSpec, Table};
 fn main() {
     let args = Args::parse();
     let strategies = available_strategies();
-    let mut table = Table::new(&["suite", "benchmark", "none", "clamp", "trap", "mprotect", "uffd"]);
+    let mut table = Table::new(&[
+        "suite",
+        "benchmark",
+        "none",
+        "clamp",
+        "trap",
+        "mprotect",
+        "uffd",
+    ]);
 
     for bench in args.benchmarks() {
         let mut medians = Vec::new();

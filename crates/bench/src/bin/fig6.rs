@@ -42,7 +42,12 @@ fn main() {
         "vm_mmaps",
         "vm_mprotects",
     ]);
-    for engine in [EngineSel::Wavm, EngineSel::Wasmtime, EngineSel::V8, EngineSel::Interp] {
+    for engine in [
+        EngineSel::Wavm,
+        EngineSel::Wasmtime,
+        EngineSel::V8,
+        EngineSel::Interp,
+    ] {
         let engine_strategies: &[BoundsStrategy] = if engine == EngineSel::Interp {
             &[BoundsStrategy::Trap]
         } else {
@@ -68,6 +73,9 @@ fn main() {
             eprintln!("  measured {} {}", engine.name(), s.name());
         }
     }
-    println!("\nFigure 6: average memory usage ({} @ {:?})\n", bench.name, args.dataset);
+    println!(
+        "\nFigure 6: average memory usage ({} @ {:?})\n",
+        bench.name, args.dataset
+    );
     emit(&table, &args.csv);
 }

@@ -14,11 +14,16 @@ fn main() {
     k.kernel();
     let t = Instant::now();
     let iters = 30;
-    for _ in 0..iters { k.kernel(); }
+    for _ in 0..iters {
+        k.kernel();
+    }
     println!("native:   {:?}", t.elapsed() / iters);
     let config = MemoryConfig::new(BoundsStrategy::Mprotect, 1, 256).with_reserve(512 << 16);
     for (label, engine) in [
-        ("wavm", Box::new(JitEngine::new(JitProfile::wavm())) as Box<dyn Engine>),
+        (
+            "wavm",
+            Box::new(JitEngine::new(JitProfile::wavm())) as Box<dyn Engine>,
+        ),
         ("wasmtime", Box::new(JitEngine::new(JitProfile::wasmtime()))),
         ("v8", Box::new(JitEngine::new(JitProfile::v8()))),
         ("interp", Box::new(InterpEngine::new())),
@@ -30,7 +35,9 @@ fn main() {
         inst.invoke("kernel", &[]).unwrap();
         let iters = if label == "interp" { 3 } else { 30 };
         let t = Instant::now();
-        for _ in 0..iters { inst.invoke("kernel", &[]).unwrap(); }
+        for _ in 0..iters {
+            inst.invoke("kernel", &[]).unwrap();
+        }
         println!("{label:9} {:?}", t.elapsed() / iters);
     }
 }

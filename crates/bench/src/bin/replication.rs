@@ -65,7 +65,10 @@ fn main() {
         t.row(vec![
             "WAVM vs native (PolyBench)".into(),
             "1.08x-1.2x geomean".into(),
-            format!("{:.2}x geomean (baseline JIT)", geo("polybench", "wavm", "native")),
+            format!(
+                "{:.2}x geomean (baseline JIT)",
+                geo("polybench", "wavm", "native")
+            ),
         ]);
         let order_ok = geo("polybench", "wavm", "native") <= geo("polybench", "wasmtime", "native")
             && geo("polybench", "wasmtime", "native") <= geo("polybench", "v8", "native")

@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use lb_dsl::Benchmark;
 use lb_harness::EngineSel;
 use lb_polybench::common::Dataset;

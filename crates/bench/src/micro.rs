@@ -1,0 +1,223 @@
+//! A minimal, dependency-free micro-benchmark harness with a
+//! Criterion-shaped API.
+//!
+//! The offline build environment cannot fetch criterion, so the three
+//! bench targets (`strategies`, `engines`, `memsys`) run on this instead:
+//! the same `Criterion` / `benchmark_group` / `Bencher` / `BenchmarkId`
+//! surface and the same `criterion_group!` / `criterion_main!` macros,
+//! but a much simpler measurement loop (median over `sample_size`
+//! samples, each auto-calibrated to a minimum batch duration) and plain
+//! stdout reporting.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum time one measured batch should take; `Bencher::iter` repeats
+/// the routine enough times per sample to reach this.
+const MIN_BATCH: Duration = Duration::from_micros(200);
+
+/// Top-level harness state (per-process, like Criterion's).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of measurements sharing a name prefix and sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure `f`, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Measure `f` with an input value (Criterion parity; the input is
+    /// simply passed through).
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// End the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, batching calls so each sample spans at least
+    /// [`MIN_BATCH`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate the batch size on one untimed call.
+        let t = Instant::now();
+        black_box(f());
+        let once = t.elapsed().max(Duration::from_nanos(1));
+        let batch = (MIN_BATCH.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.times.push(t.elapsed() / batch);
+        }
+    }
+
+    /// Time `f` on a fresh `setup()` value per sample; only `f` is timed.
+    pub fn iter_with_setup<S, I, O, F>(&mut self, mut setup: S, mut f: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            self.times.push(t.elapsed());
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        if self.times.is_empty() {
+            println!("  {group}/{id}: no samples");
+            return;
+        }
+        self.times.sort();
+        let median = self.times[self.times.len() / 2];
+        let min = self.times[0];
+        let max = self.times[self.times.len() - 1];
+        println!(
+            "  {group}/{id}: median {median:?} (min {min:?}, max {max:?}, n={})",
+            self.times.len()
+        );
+    }
+}
+
+/// A two-part benchmark label (`function/parameter`), like Criterion's.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Label with a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{param}"),
+        }
+    }
+
+    /// Label with only a parameter.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Bundle benchmark functions into one runner function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::micro::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` for a bench target, Criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($name:ident),+ $(,)?) => {
+        fn main() {
+            $( $name(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("micro_test");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with", "input"), &7u32, |b, &x| {
+            b.iter_with_setup(|| x, |v| v + 1)
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("gemm", "trap").to_string(), "gemm/trap");
+        assert_eq!(BenchmarkId::from_parameter("uffd").to_string(), "uffd");
+    }
+}

@@ -82,10 +82,7 @@ impl Linker {
         &mut self,
         module: &str,
         name: &str,
-        f: impl Fn(&mut HostCtx<'_>, &[Value]) -> Result<Option<Value>, Trap>
-            + Send
-            + Sync
-            + 'static,
+        f: impl Fn(&mut HostCtx<'_>, &[Value]) -> Result<Option<Value>, Trap> + Send + Sync + 'static,
     ) -> &mut Self {
         self.funcs
             .insert((module.to_string(), name.to_string()), Arc::new(f));

@@ -13,8 +13,8 @@
 //! | mprotect  | PROT_NONE       | `mprotect(2)` per grow   | SIGSEGV on guard pages   |
 //! | uffd      | RW + registered | atomic bump              | SIGBUS beyond committed  |
 
-use crate::registry::{ArenaDesc, SlotId, ARENAS};
 use crate::region::{round_up_to_page, Protection, Reservation};
+use crate::registry::{ArenaDesc, SlotId, ARENAS};
 use crate::stats;
 use crate::strategy::{BoundsStrategy, MemoryConfig};
 use crate::trap::Trap;
@@ -207,8 +207,9 @@ impl LinearMemory {
         if new_pages > self.max_pages {
             return None;
         }
-        stats::count_grow();
         if delta_pages == 0 {
+            // A successful no-op grow still counts as one grow operation.
+            stats::count_grow(self.strategy);
             return Some(old_pages);
         }
         let new_bytes = new_pages as usize * WASM_PAGE;
@@ -223,6 +224,11 @@ impl LinearMemory {
             }
         }
         self.desc().committed.store(new_bytes, Ordering::Release);
+        // Counted only after the grow can no longer fail (the old code
+        // counted before the mprotect above, so a failed protect still
+        // inflated `mem.grow`), and exactly once per logical grow even
+        // though strategies differ in mechanism.
+        stats::count_grow(self.strategy);
         Some(old_pages)
     }
 

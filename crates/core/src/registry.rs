@@ -109,7 +109,16 @@ impl<T> HazardRegistry<T> {
                 )
                 .is_ok()
             {
-                self.high_water.fetch_max(i + 1, Ordering::Relaxed);
+                // AcqRel, not Relaxed: `find_with` bounds its scan by an
+                // Acquire load of `high_water`, and that pairing is what
+                // lets a reader that learned the new bound *only* through
+                // `high_water` also observe the slot CAS above. (Callers
+                // that receive the descriptor's address through a normal
+                // sync edge — thread spawn, channel — were already safe:
+                // this store is sequenced before any such release. The
+                // signal handler, though, may race a registration on
+                // another thread with no edge but this one.)
+                self.high_water.fetch_max(i + 1, Ordering::AcqRel);
                 return (SlotId(i), ptr as *const T);
             }
         }
@@ -209,6 +218,11 @@ impl<T> HazardRegistry<T> {
     }
 
     /// Number of live descriptors (linearly scanned; for tests/diagnostics).
+    ///
+    /// The `Relaxed` loads are deliberate: this is a monitoring count with
+    /// no coherence requirement — callers must not infer that a nonzero
+    /// result makes any particular descriptor dereferenceable (that is
+    /// what [`HazardRegistry::find_with`]'s hazard protocol is for).
     pub fn len(&self) -> usize {
         self.slots
             .iter()
@@ -302,10 +316,7 @@ mod tests {
                 let h = reg.claim_hazard();
                 let mut found = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    if reg
-                        .find_with(h, |d| d.len == 0x10000, |d| d.base)
-                        .is_some()
-                    {
+                    if reg.find_with(h, |d| d.len == 0x10000, |d| d.base).is_some() {
                         found += 1;
                     }
                 }

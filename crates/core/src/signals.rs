@@ -46,6 +46,9 @@ struct TrapFrame {
     jmp: JmpBuf,
     prev: *mut TrapFrame,
     fault_addr: usize,
+    /// Timestamp the signal handler took on trap delivery, so
+    /// [`catch_traps`] can attribute trap-entry→resume latency.
+    trap_t0_ns: u64,
 }
 
 std::arch::global_asm!(
@@ -99,11 +102,7 @@ std::arch::global_asm!(
 );
 
 extern "C" {
-    fn lb_trap_catch(
-        jmp: *mut JmpBuf,
-        f: unsafe extern "C" fn(*mut u8),
-        arg: *mut u8,
-    ) -> u64;
+    fn lb_trap_catch(jmp: *mut JmpBuf, f: unsafe extern "C" fn(*mut u8), arg: *mut u8) -> u64;
     fn lb_trap_resume(jmp: *const JmpBuf, code: u64) -> !;
 }
 
@@ -118,10 +117,7 @@ extern "C" {
 /// Panics if no `catch_traps` frame is active on this thread.
 pub fn raise_trap(kind: TrapKind, fault_addr: usize) -> ! {
     let frame = CURRENT_FRAME.with(|c| c.get());
-    assert!(
-        !frame.is_null(),
-        "raise_trap outside catch_traps: {kind}"
-    );
+    assert!(!frame.is_null(), "raise_trap outside catch_traps: {kind}");
     // SAFETY: frame points at this thread's live recovery context.
     unsafe {
         (*frame).fault_addr = fault_addr;
@@ -206,9 +202,17 @@ impl OldActions {
 static INSTALL: Once = Once::new();
 static HANDLED_SIGNALS: [i32; 4] = [libc::SIGSEGV, libc::SIGBUS, libc::SIGILL, libc::SIGFPE];
 
+/// Pre-interned span name for uffd fault service, so the SIGBUS handler
+/// can push ring records without touching the (mutex-guarded) interner.
+static UFFD_FAULT_SPAN: std::sync::OnceLock<lb_telemetry::SpanId> = std::sync::OnceLock::new();
+
 /// Install the process-wide wasm trap handlers (idempotent).
 pub fn install_handlers() {
     INSTALL.call_once(|| {
+        // Register every instrument the handler records into *before* it
+        // can run: registration takes locks, increments don't.
+        stats::force_init();
+        let _ = UFFD_FAULT_SPAN.set(lb_telemetry::register_span_name("uffd.fault"));
         for &sig in &HANDLED_SIGNALS {
             // SAFETY: standard sigaction installation; handler is
             // async-signal-safe by construction.
@@ -237,6 +241,10 @@ pub fn ensure_thread_ready() {
             return;
         }
         install_handlers();
+        // Create this thread's telemetry ring now (TLS first-touch and
+        // registration are not async-signal-safe), so the SIGBUS fast
+        // path below may push span records into it.
+        lb_telemetry::ensure_thread_ring();
         // SAFETY: fresh anonymous mapping for the alternate stack.
         let stack = unsafe {
             libc::mmap(
@@ -307,6 +315,7 @@ pub fn catch_traps<R, F: FnOnce() -> Result<R, Trap>>(f: F) -> Result<R, Trap> {
         jmp: JmpBuf { rsp: 0, rip: 0 },
         prev: CURRENT_FRAME.with(|c| c.get()),
         fault_addr: 0,
+        trap_t0_ns: 0,
     };
     let prev = frame.prev;
     CURRENT_FRAME.with(|c| c.set(&mut frame));
@@ -328,6 +337,13 @@ pub fn catch_traps<R, F: FnOnce() -> Result<R, Trap>>(f: F) -> Result<R, Trap> {
         }
     } else {
         stats::count_signal_trap();
+        if frame.trap_t0_ns != 0 {
+            // Trap-entry→resume latency: from the timestamp the signal
+            // handler wrote into the frame to our return from the
+            // trampoline (paper §4: the cost of one signal round-trip).
+            let dur = lb_telemetry::clock::now_ns().saturating_sub(frame.trap_t0_ns);
+            stats::record_trap_latency(dur);
+        }
         Err(Trap::from_signal(code as u32, frame.fault_addr))
     }
 }
@@ -355,11 +371,7 @@ unsafe extern "C" fn trap_handler(
     unsafe { *libc::__errno_location() = saved_errno };
 }
 
-unsafe fn trap_handler_inner(
-    sig: libc::c_int,
-    info: *mut libc::siginfo_t,
-    ctx: *mut libc::c_void,
-) {
+unsafe fn trap_handler_inner(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: *mut libc::c_void) {
     let uc = unsafe { &mut *(ctx as *mut libc::ucontext_t) };
     let fault_addr = unsafe { (*info).si_addr() } as usize;
     let si_code = unsafe { (*info).si_code };
@@ -380,7 +392,17 @@ unsafe fn trap_handler_inner(
                     let committed = a.committed.load(Ordering::Acquire);
                     if off < committed {
                         let fd = a.uffd_fd.load(Ordering::Acquire);
-                        uffd::zeropage_around(fd, a.base, committed, off)
+                        // Time the in-handler service of a legal fault
+                        // (SIGBUS entry → zeropage done); everything
+                        // recorded is a pre-registered atomic slot.
+                        let t0 = lb_telemetry::clock::now_ns();
+                        let action = uffd::zeropage_around(fd, a.base, committed, off);
+                        let dur = lb_telemetry::clock::now_ns().saturating_sub(t0);
+                        stats::record_uffd_service(dur);
+                        if let Some(&id) = UFFD_FAULT_SPAN.get() {
+                            lb_telemetry::record_span_raw(id, off as u64, t0, dur);
+                        }
+                        action
                     } else {
                         uffd::FaultAction::OutOfBounds
                     }
@@ -465,6 +487,9 @@ unsafe fn deliver_or_chain(
     // innermost catch_traps invocation.
     let frame = unsafe { &mut *frame };
     frame.fault_addr = fault_addr;
+    // Async-signal-safe timestamp (vDSO clock_gettime); read back by
+    // catch_traps once the trampoline resumes.
+    frame.trap_t0_ns = lb_telemetry::clock::now_ns();
     uc.uc_mcontext.gregs[REG_RSP] = frame.jmp.rsp as i64;
     uc.uc_mcontext.gregs[REG_RIP] = frame.jmp.rip as i64;
     uc.uc_mcontext.gregs[REG_RAX] = i64::from(code);
@@ -478,16 +503,11 @@ unsafe fn chain(sig: libc::c_int, info: *mut libc::siginfo_t, uc: &mut libc::uco
     // SAFETY: OLD_ACTIONS was fully written before handlers were installed.
     let old = unsafe { OLD_ACTIONS.get(sig) };
     match old {
-        Some(act)
-            if act.sa_sigaction != libc::SIG_DFL && act.sa_sigaction != libc::SIG_IGN =>
-        {
+        Some(act) if act.sa_sigaction != libc::SIG_DFL && act.sa_sigaction != libc::SIG_IGN => {
             if act.sa_flags & libc::SA_SIGINFO != 0 {
                 // SAFETY: calling the previous SA_SIGINFO handler with our args.
-                let f: unsafe extern "C" fn(
-                    libc::c_int,
-                    *mut libc::siginfo_t,
-                    *mut libc::c_void,
-                ) = unsafe { std::mem::transmute(act.sa_sigaction) };
+                let f: unsafe extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void) =
+                    unsafe { std::mem::transmute(act.sa_sigaction) };
                 unsafe { f(sig, info, uc as *mut _ as *mut libc::c_void) };
             } else {
                 // SAFETY: calling the previous plain handler.
@@ -513,8 +533,8 @@ unsafe fn chain(sig: libc::c_int, info: *mut libc::siginfo_t, uc: &mut libc::uco
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::ArenaDesc;
     use crate::region::{Protection, Reservation};
+    use crate::registry::ArenaDesc;
     use std::sync::atomic::AtomicI32;
 
     #[test]
@@ -614,9 +634,7 @@ mod tests {
                         let e = catch_traps(|| -> Result<(), Trap> {
                             // SAFETY: intentional fault.
                             unsafe {
-                                std::ptr::read_volatile(
-                                    (base + t * 4096 + i) as *const u8,
-                                );
+                                std::ptr::read_volatile((base + t * 4096 + i) as *const u8);
                             }
                             Ok(())
                         })

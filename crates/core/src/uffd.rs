@@ -234,12 +234,7 @@ fn zeropage_raw(fd: RawFd, start: usize, len: usize) -> i32 {
 /// page, or a larger range of pages").
 ///
 /// Async-signal-safe: only ioctls and arithmetic.
-pub(crate) fn zeropage_around(
-    fd: i32,
-    base: usize,
-    committed: usize,
-    off: usize,
-) -> FaultAction {
+pub(crate) fn zeropage_around(fd: i32, base: usize, committed: usize, off: usize) -> FaultAction {
     if fd < 0 {
         return FaultAction::OutOfBounds;
     }

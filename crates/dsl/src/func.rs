@@ -113,13 +113,7 @@ impl DslFunc {
     }
 
     /// `for v in start..end` (i32, step +1).
-    pub fn for_i32(
-        &mut self,
-        v: Var,
-        start: Expr,
-        end: Expr,
-        body: impl FnOnce(&mut DslFunc),
-    ) {
+    pub fn for_i32(&mut self, v: Var, start: Expr, end: Expr, body: impl FnOnce(&mut DslFunc)) {
         self.for_i32_step(v, start, end, 1, body);
     }
 

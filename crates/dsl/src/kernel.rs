@@ -88,7 +88,6 @@ pub fn checksums_match(a: f64, b: f64) -> bool {
     ((a - b) / denom).abs() < CHECKSUM_RELATIVE_TOLERANCE
 }
 
-
 /// The shared checksum weight: `(index % 13 + 1)`; catches element
 /// transposition that a plain sum would hide.
 pub fn weight(idx: usize) -> f64 {
@@ -159,7 +158,6 @@ pub fn checksum_fn_i32(arrays: &[crate::Arr]) -> crate::DslFunc {
     f.ret(acc.get());
     f
 }
-
 
 /// A [`NativeKernel`] built from a state struct and three plain functions —
 /// the pattern every native twin uses.

@@ -73,11 +73,7 @@ impl Layout {
     /// A 3-D row-major array.
     pub fn array3(&mut self, ty: ValType, d0: u32, d1: u32, d2: u32) -> Arr3 {
         let a = self.array(ty, d0 * d1 * d2);
-        Arr3 {
-            arr: a,
-            d1,
-            d2,
-        }
+        Arr3 { arr: a, d1, d2 }
     }
 
     /// A 3-D row-major f64 array.
@@ -288,6 +284,9 @@ mod tests {
         let m = l.array2_f64(4, 5);
         assert_eq!(m.cols(), 5);
         // No functional test here (engines cover it); just type sanity.
-        assert_eq!(m.at(crate::expr::i32(1), crate::expr::i32(2)).ty(), ValType::F64);
+        assert_eq!(
+            m.at(crate::expr::i32(1), crate::expr::i32(2)).ty(),
+            ValType::F64
+        );
     }
 }

@@ -64,7 +64,11 @@ impl KernelModule {
     /// was already defined.
     pub fn define(&mut self, fr: FnRef, f: DslFunc) {
         let (params, result) = &self.sigs[fr.idx as usize];
-        assert_eq!(&f.params, params, "define: parameter mismatch for {}", f.name);
+        assert_eq!(
+            &f.params, params,
+            "define: parameter mismatch for {}",
+            f.name
+        );
         assert_eq!(&f.result, result, "define: result mismatch for {}", f.name);
         let slot = &mut self.bodies[fr.idx as usize];
         assert!(slot.is_none(), "function {} defined twice", f.name);

@@ -128,6 +128,10 @@ pub struct RunResult {
     pub checksum_ok: bool,
     /// Delta of memory-subsystem counters over the run.
     pub vm: VmSnapshot,
+    /// Full telemetry delta over the run (counters, histograms, spans),
+    /// pruned to nonzero entries. Exported per-run when `LB_TELEMETRY`
+    /// selects a sink.
+    pub telemetry: lb_telemetry::TelemetrySnapshot,
     /// System statistics (when `sample_system`).
     pub sys: Option<SysStats>,
     /// Wall-clock time of the whole measured region.
@@ -154,6 +158,11 @@ impl RunResult {
 /// Panics if the module fails to load — the suites are known-good.
 pub fn run_benchmark(bench: &Benchmark, spec: &RunSpec) -> RunResult {
     let expected = bench.native_checksum();
+    // Drain spans left over from earlier runs so this run's snapshot only
+    // carries its own events; counters/histograms are handled by deltas.
+    lb_telemetry::ensure_thread_ring();
+    let _ = lb_telemetry::drain_spans();
+    let tele_before = lb_telemetry::snapshot();
     let vm_before = snapshot();
     let sampler = spec
         .sample_system
@@ -166,10 +175,22 @@ pub fn run_benchmark(bench: &Benchmark, spec: &RunSpec) -> RunResult {
 
     let sys = sampler.map(Sampler::stop);
     let vm = snapshot().delta(&vm_before);
+    let mut telemetry = lb_telemetry::snapshot_and_drain().delta_since(&tele_before);
+    telemetry.retain_nonzero();
+    lb_telemetry::export::emit_run(
+        &[
+            ("bench", bench.name.to_string()),
+            ("engine", spec.engine.name().to_string()),
+            ("strategy", spec.strategy.name().to_string()),
+            ("threads", spec.threads.to_string()),
+        ],
+        &telemetry,
+    );
     RunResult {
         iter_times: result.0,
         checksum_ok: result.1,
         vm,
+        telemetry,
         sys,
         wall: result.2,
     }
@@ -218,7 +239,10 @@ fn run_native(bench: &Benchmark, spec: &RunSpec, expected: f64) -> ThreadTimes {
                 (times, ok)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
     let wall = t0.elapsed();
     let ok = times.iter().all(|(_, ok)| *ok);
@@ -287,7 +311,10 @@ fn run_wasm(
                 (times, ok)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
     let wall = t0.elapsed();
     let ok = results.iter().all(|(_, ok)| *ok);

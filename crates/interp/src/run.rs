@@ -122,7 +122,8 @@ impl Exec<'_> {
 
     #[inline]
     fn mem(&self) -> &LinearMemory {
-        self.mem.expect("memory instruction validated against module")
+        self.mem
+            .expect("memory instruction validated against module")
     }
 
     /// Invoke the function at `func_idx` (imports included); its arguments
@@ -497,7 +498,8 @@ impl Exec<'_> {
                     }
                     Instr::I64ShrU => binop!(pop_u64, push, |a: u64, b: u64| a >> (b & 63)),
                     Instr::I64Rotl => {
-                        binop!(pop_u64, push, |a: u64, b: u64| a.rotate_left((b & 63) as u32))
+                        binop!(pop_u64, push, |a: u64, b: u64| a
+                            .rotate_left((b & 63) as u32))
                     }
                     Instr::I64Rotr => {
                         binop!(pop_u64, push, |a: u64, b: u64| a

@@ -14,11 +14,7 @@ fn run1(module: &Module, func: &str, args: &[Value]) -> Option<Value> {
     try_run(module, func, args).unwrap()
 }
 
-fn try_run(
-    module: &Module,
-    func: &str,
-    args: &[Value],
-) -> Result<Option<Value>, lb_core::Trap> {
+fn try_run(module: &Module, func: &str, args: &[Value]) -> Result<Option<Value>, lb_core::Trap> {
     let engine = InterpEngine::new();
     let loaded = engine.load(module).expect("load");
     let config = MemoryConfig::new(BoundsStrategy::Trap, 0, 64).with_reserve(1 << 24);
@@ -157,8 +153,12 @@ fn select_and_globals() {
         let mut b = mb.func_mut(f);
         let p = b.param(0);
         // g = select(p, g*2, g+1); return g
-        b.emit(Instr::GlobalGet(g.0)).i32_const(2).emit(Instr::I32Mul);
-        b.emit(Instr::GlobalGet(g.0)).i32_const(1).emit(Instr::I32Add);
+        b.emit(Instr::GlobalGet(g.0))
+            .i32_const(2)
+            .emit(Instr::I32Mul);
+        b.emit(Instr::GlobalGet(g.0))
+            .i32_const(1)
+            .emit(Instr::I32Add);
         b.get(p);
         b.emit(Instr::Select);
         b.emit(Instr::GlobalSet(g.0));
@@ -233,7 +233,9 @@ fn memory_ops_under_every_strategy() {
         b.i32_const(8).f64_const(1.25).f64_store(0);
         b.i32_const(16).f64_const(2.5).f64_store(0);
         // i32.store8 / load8_u roundtrip
-        b.i32_const(100).i32_const(0x1FF).emit(Instr::I32Store8(MemArg::offset(0)));
+        b.i32_const(100)
+            .i32_const(0x1FF)
+            .emit(Instr::I32Store8(MemArg::offset(0)));
         b.i32_const(8).f64_load(0);
         b.i32_const(16).f64_load(0);
         b.emit(Instr::F64Add);
@@ -261,7 +263,10 @@ fn memory_ops_under_every_strategy() {
 fn oob_traps_under_checking_strategies() {
     let mut mb = ModuleBuilder::new();
     mb.memory(1, Some(2));
-    let f = mb.begin_func("poke", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    let f = mb.begin_func(
+        "poke",
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+    );
     {
         let mut b = mb.func_mut(f);
         b.get(b.param(0)).i32_load(0);
@@ -296,7 +301,10 @@ fn oob_traps_under_checking_strategies() {
 fn memory_grow_and_size() {
     let mut mb = ModuleBuilder::new();
     mb.memory(1, Some(3));
-    let f = mb.begin_func("grow", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    let f = mb.begin_func(
+        "grow",
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+    );
     {
         let mut b = mb.func_mut(f);
         b.get(b.param(0)).emit(Instr::MemoryGrow);
@@ -312,9 +320,15 @@ fn memory_grow_and_size() {
     let config = MemoryConfig::new(BoundsStrategy::Mprotect, 1, 3).with_reserve(1 << 24);
     let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
     // grow 1: old=1, size=2 → 102
-    assert_eq!(inst.invoke("grow", &[Value::I32(1)]).unwrap(), Some(Value::I32(102)));
+    assert_eq!(
+        inst.invoke("grow", &[Value::I32(1)]).unwrap(),
+        Some(Value::I32(102))
+    );
     // grow 5: fails → -1*100 + 2 = -98
-    assert_eq!(inst.invoke("grow", &[Value::I32(5)]).unwrap(), Some(Value::I32(-98)));
+    assert_eq!(
+        inst.invoke("grow", &[Value::I32(5)]).unwrap(),
+        Some(Value::I32(-98))
+    );
 }
 
 #[test]
@@ -323,7 +337,11 @@ fn host_imports_are_callable() {
     use std::sync::Arc;
 
     let mut mb = ModuleBuilder::new();
-    let tick = mb.import_func("env", "tick", FuncType::new(vec![ValType::I64], vec![ValType::I64]));
+    let tick = mb.import_func(
+        "env",
+        "tick",
+        FuncType::new(vec![ValType::I64], vec![ValType::I64]),
+    );
     let f = mb.begin_func("f", FuncType::new(vec![ValType::I64], vec![ValType::I64]));
     {
         let mut b = mb.func_mut(f);
@@ -361,7 +379,10 @@ fn missing_import_is_load_error() {
 
     let engine = InterpEngine::new();
     let loaded = engine.load(&m).unwrap();
-    let r = loaded.instantiate(&MemoryConfig::new(BoundsStrategy::Trap, 0, 0), &Linker::new());
+    let r = loaded.instantiate(
+        &MemoryConfig::new(BoundsStrategy::Trap, 0, 0),
+        &Linker::new(),
+    );
     assert!(matches!(r, Err(lb_core::LoadError::MissingImport(..))));
 }
 

@@ -225,10 +225,13 @@ mod tests {
         for p in all_profiles() {
             assert!(p.clamp_cost > 0.0);
             assert!(p.trap_cost > 0.0);
-            assert!(p.clamp_cost >= p.trap_cost, "{}: clamp at least trap", p.name);
             assert!(
-                p.class_cost[CostClass::IntDiv as usize]
-                    > p.class_cost[CostClass::IntAlu as usize]
+                p.clamp_cost >= p.trap_cost,
+                "{}: clamp at least trap",
+                p.name
+            );
+            assert!(
+                p.class_cost[CostClass::IntDiv as usize] > p.class_cost[CostClass::IntAlu as usize]
             );
         }
         // RISC-V per-op costs dominate the OoO machines.
@@ -262,7 +265,11 @@ mod tests {
             assert_eq!(none, 0.0);
             assert_eq!(mprotect, 0.0);
             assert!(clamp > 0.0 && trap > 0.0, "{}", isa.name);
-            assert!(clamp >= trap, "{}: clamp >= trap (paper: clamp worse)", isa.name);
+            assert!(
+                clamp >= trap,
+                "{}: clamp >= trap (paper: clamp worse)",
+                isa.name
+            );
         }
     }
 

@@ -189,11 +189,7 @@ impl Asm {
     /// Emit REX if needed. `w`: 64-bit, `r`: reg-field ext, `x`: index ext,
     /// `b`: rm/base ext. `force` emits REX even when 0x40 (for spl/dil…).
     fn rex(&mut self, w: bool, r: bool, x: bool, b: bool, force: bool) {
-        let v = 0x40
-            | (u8::from(w) << 3)
-            | (u8::from(r) << 2)
-            | (u8::from(x) << 1)
-            | u8::from(b);
+        let v = 0x40 | (u8::from(w) << 3) | (u8::from(r) << 2) | (u8::from(x) << 1) | u8::from(b);
         if v != 0x40 || force {
             self.b(v);
         }

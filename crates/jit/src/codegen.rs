@@ -18,8 +18,8 @@
 //! *trap* emits `lea`+`cmp`+`ja` to a `ud2` stub; *clamp* emits
 //! `lea`+`cmp`+`cmova` against the memory end.
 
-use crate::asm::{Asm, Cc, Label, Mem, Reg, W};
 use crate::asm::Xmm;
+use crate::asm::{Asm, Cc, Label, Mem, Reg, W};
 use crate::runtime::{self, ctx_off};
 use lb_core::{BoundsStrategy, TrapKind};
 use lb_wasm::instr::Instr;
@@ -1593,14 +1593,30 @@ impl<'a> Gen<'a> {
                     self.push_i(a);
                 }
 
-                I32TruncF32S => self.helper_f_to_i(runtime::lb_i32_trunc_f32_s as *const () as usize),
-                I32TruncF32U => self.helper_f_to_i(runtime::lb_i32_trunc_f32_u as *const () as usize),
-                I32TruncF64S => self.helper_f_to_i(runtime::lb_i32_trunc_f64_s as *const () as usize),
-                I32TruncF64U => self.helper_f_to_i(runtime::lb_i32_trunc_f64_u as *const () as usize),
-                I64TruncF32S => self.helper_f_to_i(runtime::lb_i64_trunc_f32_s as *const () as usize),
-                I64TruncF32U => self.helper_f_to_i(runtime::lb_i64_trunc_f32_u as *const () as usize),
-                I64TruncF64S => self.helper_f_to_i(runtime::lb_i64_trunc_f64_s as *const () as usize),
-                I64TruncF64U => self.helper_f_to_i(runtime::lb_i64_trunc_f64_u as *const () as usize),
+                I32TruncF32S => {
+                    self.helper_f_to_i(runtime::lb_i32_trunc_f32_s as *const () as usize)
+                }
+                I32TruncF32U => {
+                    self.helper_f_to_i(runtime::lb_i32_trunc_f32_u as *const () as usize)
+                }
+                I32TruncF64S => {
+                    self.helper_f_to_i(runtime::lb_i32_trunc_f64_s as *const () as usize)
+                }
+                I32TruncF64U => {
+                    self.helper_f_to_i(runtime::lb_i32_trunc_f64_u as *const () as usize)
+                }
+                I64TruncF32S => {
+                    self.helper_f_to_i(runtime::lb_i64_trunc_f32_s as *const () as usize)
+                }
+                I64TruncF32U => {
+                    self.helper_f_to_i(runtime::lb_i64_trunc_f32_u as *const () as usize)
+                }
+                I64TruncF64S => {
+                    self.helper_f_to_i(runtime::lb_i64_trunc_f64_s as *const () as usize)
+                }
+                I64TruncF64U => {
+                    self.helper_f_to_i(runtime::lb_i64_trunc_f64_u as *const () as usize)
+                }
 
                 F32ConvertI32S => {
                     let a = self.pop_i();
@@ -1623,7 +1639,9 @@ impl<'a> Gen<'a> {
                     self.release_i(a);
                     self.push_f(x);
                 }
-                F32ConvertI64U => self.helper_i_to_f(runtime::lb_f32_convert_u64 as *const () as usize),
+                F32ConvertI64U => {
+                    self.helper_i_to_f(runtime::lb_f32_convert_u64 as *const () as usize)
+                }
                 F64ConvertI32S => {
                     let a = self.pop_i();
                     let x = self.alloc_f();
@@ -1645,7 +1663,9 @@ impl<'a> Gen<'a> {
                     self.release_i(a);
                     self.push_f(x);
                 }
-                F64ConvertI64U => self.helper_i_to_f(runtime::lb_f64_convert_u64 as *const () as usize),
+                F64ConvertI64U => {
+                    self.helper_i_to_f(runtime::lb_f64_convert_u64 as *const () as usize)
+                }
                 F32DemoteF64 => self.funop(|a, x| a.cvt_d2s(x, x)),
                 F64PromoteF32 => self.funop(|a, x| a.cvt_s2d(x, x)),
 

@@ -2,25 +2,32 @@
 //! compilation, entry trampolines, import thunks, instances, and the
 //! background tier-up thread.
 
-use crate::asm::{Asm, Mem, Reg, W};
 use crate::asm::Xmm;
+use crate::asm::{Asm, Mem, Reg, W};
 use crate::codebuf::CodeBuf;
 use crate::codegen::{compile_function, CompileParams, OptLevel};
-use crate::runtime::{
-    ctx_off, FuncPtrs, InstanceInner, Pauser, TableEntry, VmCtx,
-};
+use crate::runtime::{ctx_off, FuncPtrs, InstanceInner, Pauser, TableEntry, VmCtx};
 use lb_core::exec::{build_instance_parts, Engine, Instance, Linker, LoadError, LoadedModule};
 use lb_core::{catch_traps, BoundsStrategy, LinearMemory, MemoryConfig, Trap, TrapKind};
 use lb_wasm::validate::{validate, ModuleMeta};
 use lb_wasm::{FuncType, Module, ValType, Value};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// How much host stack a wasm activation may consume before the inline
 /// stack check traps.
 const WASM_STACK_BUDGET: usize = 1 << 20;
+
+/// Counter name for code bytes emitted at a tier (static, so the
+/// telemetry registry can intern it).
+fn code_bytes_counter(opt: OptLevel) -> &'static str {
+    match opt {
+        OptLevel::None => "jit.code_bytes.none",
+        OptLevel::Basic => "jit.code_bytes.basic",
+        OptLevel::Full => "jit.code_bytes.full",
+    }
+}
 
 /// An engine profile: which of the paper's runtimes this engine models.
 #[derive(Debug, Clone, Copy)]
@@ -186,11 +193,7 @@ impl Engine for JitEngine {
 fn canonical_type_ids(module: &Module) -> Vec<usize> {
     let mut ids = Vec::with_capacity(module.types.len());
     for (i, ty) in module.types.iter().enumerate() {
-        let id = module
-            .types
-            .iter()
-            .position(|t| t == ty)
-            .unwrap_or(i);
+        let id = module.types.iter().position(|t| t == ty).unwrap_or(i);
         ids.push(id);
     }
     ids
@@ -214,8 +217,16 @@ impl JitModule {
         let ni = self.module.num_imported_funcs() as usize;
         let mut blob = Vec::new();
         let mut func_offsets = Vec::with_capacity(self.module.functions.len());
+        let compile_ns = lb_telemetry::histogram("jit.compile_ns");
+        let compile_count = lb_telemetry::counter("jit.compile.count");
+        let code_bytes = lb_telemetry::counter(code_bytes_counter(opt));
         for di in 0..self.module.functions.len() {
+            let _span = lb_telemetry::span!("jit.compile", di);
+            let t0 = lb_telemetry::clock::now_ns();
             let code = compile_function(params, di);
+            compile_ns.record(lb_telemetry::clock::now_ns().saturating_sub(t0));
+            compile_count.inc();
+            code_bytes.add(code.len() as u64);
             func_offsets.push(blob.len());
             blob.extend_from_slice(&code);
             // Align entries for decoding niceness.
@@ -238,7 +249,7 @@ impl JitModule {
     }
 
     fn strategy_code(&self, strategy: BoundsStrategy) -> Arc<StrategyCode> {
-        let mut map = self.code.lock();
+        let mut map = self.code.lock().unwrap();
         if let Some(sc) = map.get(&strategy) {
             return Arc::clone(sc);
         }
@@ -292,9 +303,13 @@ impl JitModule {
         std::thread::Builder::new()
             .name("lb-tierup".into())
             .spawn(move || {
+                let _span = lb_telemetry::span!("jit.tierup", module.functions.len());
                 let ni = module.num_imported_funcs() as usize;
                 let mut blob = Vec::new();
                 let mut offsets = Vec::with_capacity(module.functions.len());
+                let compile_ns = lb_telemetry::histogram("jit.compile_ns");
+                let compile_count = lb_telemetry::counter("jit.compile.count");
+                let code_bytes = lb_telemetry::counter(code_bytes_counter(OptLevel::Full));
                 for di in 0..module.functions.len() {
                     let params = CompileParams {
                         module: &module,
@@ -304,7 +319,11 @@ impl JitModule {
                         safepoints,
                         funcptrs_base: sc.funcptrs.base_addr(),
                     };
+                    let t0 = lb_telemetry::clock::now_ns();
                     let code = compile_function(params, di);
+                    compile_ns.record(lb_telemetry::clock::now_ns().saturating_sub(t0));
+                    compile_count.inc();
+                    code_bytes.add(code.len() as u64);
                     offsets.push(blob.len());
                     blob.extend_from_slice(&code);
                     while blob.len() % 16 != 0 {
@@ -317,7 +336,8 @@ impl JitModule {
                 for (di, off) in offsets.iter().enumerate() {
                     sc.funcptrs.set(ni + di, buf.addr(*off));
                 }
-                sc.bufs.lock().push(buf);
+                lb_telemetry::counter("jit.tierup.count").inc();
+                sc.bufs.lock().unwrap().push(buf);
             })
             .expect("spawn tier-up thread");
     }
@@ -589,7 +609,10 @@ fn gen_import_thunk(import_idx: u32, ty: &FuncType) -> Vec<u8> {
     a.mov_ri32(Reg::RSI, import_idx as i32);
     a.lea(W::W64, Reg::RDX, Mem::base(Reg::RBP, -8));
     a.xor_rr(W::W32, Reg::RCX, Reg::RCX);
-    a.mov_ri64(Reg::R11, crate::runtime::lb_jit_host as *const () as usize as i64);
+    a.mov_ri64(
+        Reg::R11,
+        crate::runtime::lb_jit_host as *const () as usize as i64,
+    );
     a.call_r(Reg::R11);
     match ty.result() {
         Some(ValType::I32 | ValType::I64) => {

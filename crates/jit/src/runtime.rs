@@ -176,12 +176,15 @@ impl Pauser {
     }
 
     fn run(&self) {
+        let pause_ns = lb_telemetry::histogram("jit.gc_pause_ns");
+        let pause_count = lb_telemetry::counter("jit.gc_pause.count");
         while self.stop.load(Ordering::Relaxed) == 0 {
             std::thread::sleep(self.period);
             if self.stop.load(Ordering::Relaxed) != 0 {
                 break;
             }
             // Stop the world…
+            let t0 = lb_telemetry::clock::now_ns();
             {
                 let mut g = self.gate.lock().expect("pauser gate");
                 *g = true;
@@ -195,6 +198,8 @@ impl Pauser {
                 self.flag.store(0, Ordering::Release);
                 self.cv.notify_all();
             }
+            pause_ns.record(lb_telemetry::clock::now_ns().saturating_sub(t0));
+            pause_count.inc();
         }
     }
 
@@ -246,12 +251,7 @@ pub extern "C" fn lb_jit_grow(ctx: *mut VmCtx, delta: u32) -> i32 {
 /// slot; argument `i` lives at `args - i` (the JIT's canonical stack grows
 /// downward). The result (if any) is written back to `*args` — which is
 /// exactly the slot the value lands on in wasm terms.
-pub extern "C" fn lb_jit_host(
-    ctx: *mut VmCtx,
-    import_idx: u32,
-    args: *mut u64,
-    _reserved: usize,
-) {
+pub extern "C" fn lb_jit_host(ctx: *mut VmCtx, import_idx: u32, args: *mut u64, _reserved: usize) {
     // SAFETY: ctx/instance live; args points into the caller's frame with
     // at least `params.len()` slots.
     unsafe {
@@ -372,7 +372,10 @@ mod tests {
         assert_eq!(offset_of!(VmCtx, globals), ctx_off::GLOBALS as usize);
         assert_eq!(offset_of!(VmCtx, table), ctx_off::TABLE as usize);
         assert_eq!(offset_of!(VmCtx, table_len), ctx_off::TABLE_LEN as usize);
-        assert_eq!(offset_of!(VmCtx, stack_limit), ctx_off::STACK_LIMIT as usize);
+        assert_eq!(
+            offset_of!(VmCtx, stack_limit),
+            ctx_off::STACK_LIMIT as usize
+        );
         assert_eq!(offset_of!(VmCtx, instance), ctx_off::INSTANCE as usize);
         assert_eq!(offset_of!(VmCtx, pause_flag), ctx_off::PAUSE_FLAG as usize);
         assert_eq!(std::mem::size_of::<TableEntry>(), 16);
@@ -412,10 +415,9 @@ mod tests {
         assert_eq!(lb_i32_trunc_f32_u(3.7), 3);
         assert_eq!(lb_i64_trunc_f64_u(1e18), 1_000_000_000_000_000_000);
         // Trapping path is exercised via catch_traps.
-        let e = lb_core::catch_traps(|| -> Result<i32, lb_core::Trap> {
-            Ok(lb_i32_trunc_f64_s(1e99))
-        })
-        .unwrap_err();
+        let e =
+            lb_core::catch_traps(|| -> Result<i32, lb_core::Trap> { Ok(lb_i32_trunc_f64_s(1e99)) })
+                .unwrap_err();
         assert_eq!(*e.kind(), TrapKind::InvalidConversion);
     }
 

@@ -175,14 +175,20 @@ fn division_semantics() {
 fn memory_module() -> Module {
     let mut mb = ModuleBuilder::new();
     mb.memory(1, Some(4));
-    let f = mb.begin_func("poke", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    let f = mb.begin_func(
+        "poke",
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+    );
     {
         let mut b = mb.func_mut(f);
         let p = b.param(0);
         b.get(p).i32_load(0);
     }
     mb.export_func("poke", f);
-    let g = mb.begin_func("store", FuncType::new(vec![ValType::I32, ValType::I32], vec![]));
+    let g = mb.begin_func(
+        "store",
+        FuncType::new(vec![ValType::I32, ValType::I32], vec![]),
+    );
     {
         let mut b = mb.func_mut(g);
         let (a, v) = (b.param(0), b.param(1));
@@ -249,7 +255,10 @@ fn clamp_strategy_redirects() {
 fn memory_grow_and_size() {
     let mut mb = ModuleBuilder::new();
     mb.memory(1, Some(3));
-    let f = mb.begin_func("grow", FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    let f = mb.begin_func(
+        "grow",
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+    );
     {
         let mut b = mb.func_mut(f);
         let p = b.param(0);
@@ -316,18 +325,24 @@ fn call_indirect_dispatch_and_traps() {
         let config = MemoryConfig::new(BoundsStrategy::Trap, 0, 0);
         let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
         assert_eq!(
-            inst.invoke("disp", &[Value::I32(0), Value::I32(21)]).unwrap(),
+            inst.invoke("disp", &[Value::I32(0), Value::I32(21)])
+                .unwrap(),
             Some(Value::I32(42)),
             "{}",
             e.name()
         );
         assert_eq!(
-            inst.invoke("disp", &[Value::I32(1), Value::I32(7)]).unwrap(),
+            inst.invoke("disp", &[Value::I32(1), Value::I32(7)])
+                .unwrap(),
             Some(Value::I32(49))
         );
-        let t = inst.invoke("disp", &[Value::I32(2), Value::I32(7)]).unwrap_err();
+        let t = inst
+            .invoke("disp", &[Value::I32(2), Value::I32(7)])
+            .unwrap_err();
         assert_eq!(*t.kind(), TrapKind::IndirectCallTypeMismatch);
-        let t = inst.invoke("disp", &[Value::I32(9), Value::I32(7)]).unwrap_err();
+        let t = inst
+            .invoke("disp", &[Value::I32(9), Value::I32(7)])
+            .unwrap_err();
         assert_eq!(*t.kind(), TrapKind::TableOutOfBounds);
     }
 }
@@ -490,8 +505,12 @@ fn sub_width_memory_ops() {
     let f = mb.begin_func("go", FuncType::new(vec![], vec![ValType::I64]));
     {
         let mut b = mb.func_mut(f);
-        b.i32_const(10).i32_const(0x1FF).emit(Instr::I32Store8(MemArg::offset(0)));
-        b.i32_const(20).i64_const(-2).emit(Instr::I64Store16(MemArg::offset(0)));
+        b.i32_const(10)
+            .i32_const(0x1FF)
+            .emit(Instr::I32Store8(MemArg::offset(0)));
+        b.i32_const(20)
+            .i64_const(-2)
+            .emit(Instr::I64Store16(MemArg::offset(0)));
         // load8_u(10) + load16_s(20 as i64)
         b.i32_const(10).emit(Instr::I32Load8U(MemArg::offset(0)));
         b.emit(Instr::I64ExtendI32U);

@@ -44,12 +44,7 @@ impl Dataset {
 }
 
 /// Assemble the standard three-function kernel module.
-pub fn assemble(
-    layout: &Layout,
-    init: DslFunc,
-    kernel: DslFunc,
-    checksum: DslFunc,
-) -> Module {
+pub fn assemble(layout: &Layout, init: DslFunc, kernel: DslFunc, checksum: DslFunc) -> Module {
     let mut km = KernelModule::new();
     km.memory(layout.pages(), Some(layout.pages() + 4));
     km.add_exported(init);
@@ -58,7 +53,9 @@ pub fn assemble(
     km.finish()
 }
 
-pub use lb_dsl::kernel::{checksum_fn, checksum_fn_i32, checksum_slices, checksum_slices_i32, weight};
+pub use lb_dsl::kernel::{
+    checksum_fn, checksum_fn_i32, checksum_slices, checksum_slices_i32, weight,
+};
 
 /// The standard PolyBench-style initialization value:
 /// `((i * a + j + b) % m) as f64 / m` — pure integer math, so the wasm and

@@ -22,7 +22,12 @@ pub fn covariance(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(n), |f| {
             f.for_i32(j, ci(0), ci(m), |f| {
-                data.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+                data.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
             });
         });
     }
@@ -150,7 +155,12 @@ pub fn correlation(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(n), |f| {
             f.for_i32(j, ci(0), ci(m), |f| {
-                data.set(f, i.get(), j.get(), init_val_expr(i.get(), 7, j.get(), 2, 93));
+                data.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 7, j.get(), 2, 93),
+                );
             });
         });
     }

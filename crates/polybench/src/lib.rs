@@ -30,7 +30,10 @@ pub use lb_dsl::Benchmark;
 
 /// Construct every PolyBench benchmark at the given dataset size.
 pub fn all(d: Dataset) -> Vec<Benchmark> {
-    NAMES.iter().map(|n| by_name(n, d).expect("known name")).collect()
+    NAMES
+        .iter()
+        .map(|n| by_name(n, d).expect("known name"))
+        .collect()
 }
 
 /// The benchmark names, in PolyBench's customary order.

@@ -27,17 +27,32 @@ pub fn gemm(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(ni), |f| {
             f.for_i32(j, ci(0), ci(nj), |f| {
-                c.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+                c.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
             });
         });
         fi.for_i32(i, ci(0), ci(ni), |f| {
             f.for_i32(j, ci(0), ci(nk), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 5, j.get(), 2, 97));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 5, j.get(), 2, 97),
+                );
             });
         });
         fi.for_i32(i, ci(0), ci(nk), |f| {
             f.for_i32(j, ci(0), ci(nj), |f| {
-                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 7, j.get(), 3, 89));
+                b.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 7, j.get(), 3, 89),
+                );
             });
         });
     }
@@ -110,8 +125,7 @@ pub fn gemm(d: Dataset) -> Benchmark {
                     }
                     for k in 0..s.nk {
                         for j in 0..s.nj {
-                            s.c[i * s.nj + j] +=
-                                ALPHA * s.a[i * s.nk + k] * s.b[k * s.nj + j];
+                            s.c[i * s.nj + j] += ALPHA * s.a[i * s.nk + k] * s.b[k * s.nj + j];
                         }
                     }
                 }
@@ -143,22 +157,42 @@ pub fn two_mm(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(ni), |f| {
             f.for_i32(j, ci(0), ci(nk), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 0, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 0, 100),
+                );
             });
         });
         fi.for_i32(i, ci(0), ci(nk), |f| {
             f.for_i32(j, ci(0), ci(nj), |f| {
-                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 1, 99));
+                b.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 2, j.get(), 1, 99),
+                );
             });
         });
         fi.for_i32(i, ci(0), ci(nj), |f| {
             f.for_i32(j, ci(0), ci(nl), |f| {
-                c.set(f, i.get(), j.get(), init_val_expr(i.get(), 4, j.get(), 2, 98));
+                c.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 4, j.get(), 2, 98),
+                );
             });
         });
         fi.for_i32(i, ci(0), ci(ni), |f| {
             f.for_i32(j, ci(0), ci(nl), |f| {
-                dd.set(f, i.get(), j.get(), init_val_expr(i.get(), 5, j.get(), 3, 97));
+                dd.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 5, j.get(), 3, 97),
+                );
             });
         });
     }
@@ -190,8 +224,7 @@ pub fn two_mm(d: Dataset) -> Benchmark {
                         f,
                         i.get(),
                         j.get(),
-                        dd.at(i.get(), j.get())
-                            + tmp.at(i.get(), k.get()) * c.at(k.get(), j.get()),
+                        dd.at(i.get(), j.get()) + tmp.at(i.get(), k.get()) * c.at(k.get(), j.get()),
                     );
                 });
             });
@@ -252,8 +285,7 @@ pub fn two_mm(d: Dataset) -> Benchmark {
                     for j in 0..s.nj {
                         s.tmp[i * s.nj + j] = 0.0;
                         for k in 0..s.nk {
-                            s.tmp[i * s.nj + j] +=
-                                ALPHA * s.a[i * s.nk + k] * s.b[k * s.nj + j];
+                            s.tmp[i * s.nj + j] += ALPHA * s.a[i * s.nk + k] * s.b[k * s.nj + j];
                         }
                     }
                 }
@@ -296,22 +328,42 @@ pub fn three_mm(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(ni), |f| {
             f.for_i32(j, ci(0), ci(nk), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
             });
         });
         fi.for_i32(i, ci(0), ci(nk), |f| {
             f.for_i32(j, ci(0), ci(nj), |f| {
-                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 2, 99));
+                b.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 2, j.get(), 2, 99),
+                );
             });
         });
         fi.for_i32(i, ci(0), ci(nj), |f| {
             f.for_i32(j, ci(0), ci(nm), |f| {
-                c.set(f, i.get(), j.get(), init_val_expr(i.get(), 4, j.get(), 3, 98));
+                c.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 4, j.get(), 3, 98),
+                );
             });
         });
         fi.for_i32(i, ci(0), ci(nm), |f| {
             f.for_i32(j, ci(0), ci(nl), |f| {
-                dd.set(f, i.get(), j.get(), init_val_expr(i.get(), 5, j.get(), 4, 97));
+                dd.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 5, j.get(), 4, 97),
+                );
             });
         });
     }
@@ -330,8 +382,7 @@ pub fn three_mm(d: Dataset) -> Benchmark {
                         f,
                         i.get(),
                         j.get(),
-                        e.at(i.get(), j.get())
-                            + a.at(i.get(), k.get()) * b.at(k.get(), j.get()),
+                        e.at(i.get(), j.get()) + a.at(i.get(), k.get()) * b.at(k.get(), j.get()),
                     );
                 });
             });
@@ -345,8 +396,7 @@ pub fn three_mm(d: Dataset) -> Benchmark {
                         f,
                         i.get(),
                         j.get(),
-                        ff.at(i.get(), j.get())
-                            + c.at(i.get(), k.get()) * dd.at(k.get(), j.get()),
+                        ff.at(i.get(), j.get()) + c.at(i.get(), k.get()) * dd.at(k.get(), j.get()),
                     );
                 });
             });
@@ -360,8 +410,7 @@ pub fn three_mm(d: Dataset) -> Benchmark {
                         f,
                         i.get(),
                         j.get(),
-                        g.at(i.get(), j.get())
-                            + e.at(i.get(), k.get()) * ff.at(k.get(), j.get()),
+                        g.at(i.get(), j.get()) + e.at(i.get(), k.get()) * ff.at(k.get(), j.get()),
                     );
                 });
             });
@@ -483,7 +532,12 @@ pub fn mvt(d: Dataset) -> Benchmark {
             y1.set(f, i.get(), init_val_expr(i.get(), 3, ci(0), 2, 98));
             y2.set(f, i.get(), init_val_expr(i.get(), 4, ci(0), 3, 97));
             f.for_i32(j, ci(0), ci(n), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 5, j.get(), 4, 96));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 5, j.get(), 4, 96),
+                );
             });
         });
     }
@@ -583,7 +637,12 @@ pub fn atax(d: Dataset) -> Benchmark {
         });
         fi.for_i32(i, ci(0), ci(m), |f| {
             f.for_i32(j, ci(0), ci(n), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
             });
         });
     }
@@ -688,7 +747,12 @@ pub fn bicg(d: Dataset) -> Benchmark {
         fi.for_i32(i, ci(0), ci(n), |f| {
             r.set(f, i.get(), init_val_expr(i.get(), 2, ci(0), 2, 103));
             f.for_i32(j, ci(0), ci(m), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
             });
         });
     }
@@ -788,8 +852,18 @@ pub fn gesummv(d: Dataset) -> Benchmark {
         fi.for_i32(i, ci(0), ci(n), |f| {
             x.set(f, i.get(), init_val_expr(i.get(), 1, ci(0), 0, 101));
             f.for_i32(j, ci(0), ci(n), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
-                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 4, j.get(), 2, 99));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
+                b.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 4, j.get(), 2, 99),
+                );
             });
         });
     }
@@ -813,7 +887,11 @@ pub fn gesummv(d: Dataset) -> Benchmark {
                     b.at(i.get(), j.get()) * x.at(j.get()) + y.at(i.get()),
                 );
             });
-            y.set(f, i.get(), cf(ALPHA) * tmp.at(i.get()) + cf(BETA) * y.at(i.get()));
+            y.set(
+                f,
+                i.get(),
+                cf(ALPHA) * tmp.at(i.get()) + cf(BETA) * y.at(i.get()),
+            );
         });
     }
 
@@ -894,7 +972,12 @@ pub fn gemver(d: Dataset) -> Benchmark {
             x.set(f, i.get(), cf(0.0));
             w.set(f, i.get(), cf(0.0));
             f.for_i32(j, ci(0), ci(n), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 7, j.get(), 1, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 7, j.get(), 1, 100),
+                );
             });
         });
     }
@@ -985,8 +1068,7 @@ pub fn gemver(d: Dataset) -> Benchmark {
             kernel: |s: &mut St| {
                 for i in 0..s.n {
                     for j in 0..s.n {
-                        s.a[i * s.n + j] =
-                            s.a[i * s.n + j] + s.u1[i] * s.v1[j] + s.u2[i] * s.v2[j];
+                        s.a[i * s.n + j] = s.a[i * s.n + j] + s.u1[i] * s.v1[j] + s.u2[i] * s.v2[j];
                     }
                 }
                 for i in 0..s.n {
@@ -1041,7 +1123,12 @@ pub fn doitgen(d: Dataset) -> Benchmark {
         });
         fi.for_i32(q, ci(0), ci(np), |f| {
             f.for_i32(p, ci(0), ci(np), |f| {
-                c4.set(f, q.get(), p.get(), init_val_expr(q.get(), 2, p.get(), 2, 99));
+                c4.set(
+                    f,
+                    q.get(),
+                    p.get(),
+                    init_val_expr(q.get(), 2, p.get(), 2, 99),
+                );
             });
         });
     }
@@ -1114,8 +1201,7 @@ pub fn doitgen(d: Dataset) -> Benchmark {
                         for p in 0..s.np {
                             s.sum[p] = 0.0;
                             for k in 0..s.np {
-                                s.sum[p] +=
-                                    s.a[(r * s.nq + q) * s.np + k] * s.c4[k * s.np + p];
+                                s.sum[p] += s.a[(r * s.nq + q) * s.np + k] * s.c4[k * s.np + p];
                             }
                         }
                         for p in 0..s.np {

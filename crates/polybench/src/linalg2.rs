@@ -25,10 +25,20 @@ pub fn syrk(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(n), |f| {
             f.for_i32(j, ci(0), ci(m), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
             });
             f.for_i32(j, ci(0), ci(n), |f| {
-                c.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 2, 99));
+                c.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 2, j.get(), 2, 99),
+                );
             });
         });
     }
@@ -90,8 +100,7 @@ pub fn syrk(d: Dataset) -> Benchmark {
                     }
                     for k in 0..s.m {
                         for j in 0..=i {
-                            s.c[i * s.n + j] +=
-                                ALPHA * s.a[i * s.m + k] * s.a[j * s.m + k];
+                            s.c[i * s.n + j] += ALPHA * s.a[i * s.m + k] * s.a[j * s.m + k];
                         }
                     }
                 }
@@ -119,11 +128,26 @@ pub fn syr2k(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(n), |f| {
             f.for_i32(j, ci(0), ci(m), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
-                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 4, j.get(), 2, 99));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
+                b.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 4, j.get(), 2, 99),
+                );
             });
             f.for_i32(j, ci(0), ci(n), |f| {
-                c.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 3, 98));
+                c.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 2, j.get(), 3, 98),
+                );
             });
         });
     }
@@ -218,11 +242,26 @@ pub fn symm(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(m), |f| {
             f.for_i32(j, ci(0), ci(m), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
             });
             f.for_i32(j, ci(0), ci(n), |f| {
-                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 2, 99));
-                c.set(f, i.get(), j.get(), init_val_expr(i.get(), 4, j.get(), 3, 98));
+                b.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 2, j.get(), 2, 99),
+                );
+                c.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 4, j.get(), 3, 98),
+                );
             });
         });
     }
@@ -296,8 +335,7 @@ pub fn symm(d: Dataset) -> Benchmark {
                     for j in 0..s.n {
                         let mut temp2 = 0.0;
                         for k in 0..i {
-                            s.c[k * s.n + j] +=
-                                ALPHA * s.b[i * s.n + j] * s.a[i * s.m + k];
+                            s.c[k * s.n + j] += ALPHA * s.b[i * s.n + j] * s.a[i * s.m + k];
                             temp2 += s.b[k * s.n + j] * s.a[i * s.m + k];
                         }
                         s.c[i * s.n + j] = BETA * s.c[i * s.n + j]
@@ -328,10 +366,20 @@ pub fn trmm(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(m), |f| {
             f.for_i32(j, ci(0), ci(m), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 1, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 1, 100),
+                );
             });
             f.for_i32(j, ci(0), ci(n), |f| {
-                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 2, 99));
+                b.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 2, j.get(), 2, 99),
+                );
             });
         });
     }
@@ -348,8 +396,7 @@ pub fn trmm(d: Dataset) -> Benchmark {
                         f,
                         i.get(),
                         j.get(),
-                        b.at(i.get(), j.get())
-                            + a.at(k.get(), i.get()) * b.at(k.get(), j.get()),
+                        b.at(i.get(), j.get()) + a.at(k.get(), i.get()) * b.at(k.get(), j.get()),
                     );
                 });
                 b.set(f, i.get(), j.get(), b.at(i.get(), j.get()) * cf(ALPHA));
@@ -426,7 +473,12 @@ pub fn trisolv(d: Dataset) -> Benchmark {
                     init_val_expr(i.get(), 3, j.get(), 1, 97) * cf(0.1),
                 );
             });
-            lo.set(f, i.get(), i.get(), cf(1.0) + init_val_expr(i.get(), 1, ci(0), 0, 7));
+            lo.set(
+                f,
+                i.get(),
+                i.get(),
+                cf(1.0) + init_val_expr(i.get(), 1, ci(0), 0, 7),
+            );
         });
     }
 

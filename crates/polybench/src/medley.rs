@@ -203,8 +203,7 @@ pub fn deriche(d: Dataset) -> Benchmark {
             init: |s: &mut St| {
                 for i in 0..s.w {
                     for j in 0..s.h {
-                        s.img_in[i * s.h + j] =
-                            init_val(i as i64, 313, j as i64, 991, 65536);
+                        s.img_in[i * s.h + j] = init_val(i as i64, 313, j as i64, 991, 65536);
                     }
                 }
             },
@@ -214,8 +213,7 @@ pub fn deriche(d: Dataset) -> Benchmark {
                 for i in 0..w {
                     let (mut ym1, mut ym2, mut xm1) = (0.0f64, 0.0f64, 0.0f64);
                     for j in 0..h {
-                        s.y1[i * h + j] =
-                            a1 * s.img_in[i * h + j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+                        s.y1[i * h + j] = a1 * s.img_in[i * h + j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
                         xm1 = s.img_in[i * h + j];
                         ym2 = ym1;
                         ym1 = s.y1[i * h + j];

@@ -51,8 +51,7 @@ pub fn cholesky(d: Dataset) -> Benchmark {
                         f,
                         i.get(),
                         j.get(),
-                        a.at(i.get(), j.get())
-                            - a.at(i.get(), k.get()) * a.at(j.get(), k.get()),
+                        a.at(i.get(), j.get()) - a.at(i.get(), k.get()) * a.at(j.get(), k.get()),
                     );
                 });
                 a.set(
@@ -148,10 +147,7 @@ pub fn durbin(d: Dataset) -> Benchmark {
         y.set(&mut fk, ci(0), -r.at(ci(0)));
         // A copy of the loop body per PolyBench's reference kernel.
         fk.for_i32(k, ci(1), ci(n), |f| {
-            f.assign(
-                beta,
-                (cf(1.0) - alpha.get() * alpha.get()) * beta.get(),
-            );
+            f.assign(beta, (cf(1.0) - alpha.get() * alpha.get()) * beta.get());
             f.assign(sum, cf(0.0));
             f.for_i32(i, ci(0), k.get(), |f| {
                 f.assign(
@@ -289,8 +285,7 @@ pub fn gramschmidt(d: Dataset) -> Benchmark {
                         f,
                         k.get(),
                         j.get(),
-                        r.at(k.get(), j.get())
-                            + q.at(i.get(), k.get()) * a.at(i.get(), j.get()),
+                        r.at(k.get(), j.get()) + q.at(i.get(), k.get()) * a.at(i.get(), j.get()),
                     );
                 });
                 f.for_i32(i, ci(0), ci(m), |f| {
@@ -298,8 +293,7 @@ pub fn gramschmidt(d: Dataset) -> Benchmark {
                         f,
                         i.get(),
                         j.get(),
-                        a.at(i.get(), j.get())
-                            - q.at(i.get(), k.get()) * r.at(k.get(), j.get()),
+                        a.at(i.get(), j.get()) - q.at(i.get(), k.get()) * r.at(k.get(), j.get()),
                     );
                 });
             });
@@ -407,8 +401,7 @@ pub fn lu(d: Dataset) -> Benchmark {
                         f,
                         i.get(),
                         j.get(),
-                        a.at(i.get(), j.get())
-                            - a.at(i.get(), k.get()) * a.at(k.get(), j.get()),
+                        a.at(i.get(), j.get()) - a.at(i.get(), k.get()) * a.at(k.get(), j.get()),
                     );
                 });
                 a.set(
@@ -424,8 +417,7 @@ pub fn lu(d: Dataset) -> Benchmark {
                         f,
                         i.get(),
                         j.get(),
-                        a.at(i.get(), j.get())
-                            - a.at(i.get(), k.get()) * a.at(k.get(), j.get()),
+                        a.at(i.get(), j.get()) - a.at(i.get(), k.get()) * a.at(k.get(), j.get()),
                     );
                 });
             });

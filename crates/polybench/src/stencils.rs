@@ -34,16 +34,14 @@ pub fn jacobi_1d(d: Dataset) -> Benchmark {
                 b.set(
                     f,
                     i.get(),
-                    cf(0.33333)
-                        * (a.at(i.get() - ci(1)) + a.at(i.get()) + a.at(i.get() + ci(1))),
+                    cf(0.33333) * (a.at(i.get() - ci(1)) + a.at(i.get()) + a.at(i.get() + ci(1))),
                 );
             });
             f.for_i32(i, ci(1), ci(n - 1), |f| {
                 a.set(
                     f,
                     i.get(),
-                    cf(0.33333)
-                        * (b.at(i.get() - ci(1)) + b.at(i.get()) + b.at(i.get() + ci(1))),
+                    cf(0.33333) * (b.at(i.get() - ci(1)) + b.at(i.get()) + b.at(i.get() + ci(1))),
                 );
             });
         });
@@ -104,8 +102,18 @@ pub fn jacobi_2d(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(n), |f| {
             f.for_i32(j, ci(0), ci(n), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 2, 100));
-                b.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 3, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 2, j.get(), 2, 100),
+                );
+                b.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 3, 100),
+                );
             });
         });
     }
@@ -227,9 +235,24 @@ pub fn fdtd_2d(d: Dataset) -> Benchmark {
         });
         fi.for_i32(i, ci(0), ci(nx), |f| {
             f.for_i32(j, ci(0), ci(ny), |f| {
-                ex.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 1, 100));
-                ey.set(f, i.get(), j.get(), init_val_expr(i.get(), 3, j.get(), 2, 99));
-                hz.set(f, i.get(), j.get(), init_val_expr(i.get(), 4, j.get(), 3, 98));
+                ex.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 2, j.get(), 1, 100),
+                );
+                ey.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 3, j.get(), 2, 99),
+                );
+                hz.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 4, j.get(), 3, 98),
+                );
             });
         });
     }
@@ -325,14 +348,12 @@ pub fn fdtd_2d(d: Dataset) -> Benchmark {
                     }
                     for i in 1..nx {
                         for j in 0..ny {
-                            s.ey[i * ny + j] -=
-                                0.5 * (s.hz[i * ny + j] - s.hz[(i - 1) * ny + j]);
+                            s.ey[i * ny + j] -= 0.5 * (s.hz[i * ny + j] - s.hz[(i - 1) * ny + j]);
                         }
                     }
                     for i in 0..nx {
                         for j in 1..ny {
-                            s.ex[i * ny + j] -=
-                                0.5 * (s.hz[i * ny + j] - s.hz[i * ny + j - 1]);
+                            s.ex[i * ny + j] -= 0.5 * (s.hz[i * ny + j] - s.hz[i * ny + j - 1]);
                         }
                     }
                     for i in 0..nx - 1 {
@@ -393,24 +414,15 @@ pub fn heat_3d(d: Dataset) -> Benchmark {
                         f.for_i32(k, ci(1), ci(n - 1), |f| {
                             let c = src.at(i.get(), j.get(), k.get());
                             let term_i = cf(0.125)
-                                * (src.at(i.get() + ci(1), j.get(), k.get())
-                                    - cf(2.0) * c.clone()
+                                * (src.at(i.get() + ci(1), j.get(), k.get()) - cf(2.0) * c.clone()
                                     + src.at(i.get() - ci(1), j.get(), k.get()));
                             let term_j = cf(0.125)
-                                * (src.at(i.get(), j.get() + ci(1), k.get())
-                                    - cf(2.0) * c.clone()
+                                * (src.at(i.get(), j.get() + ci(1), k.get()) - cf(2.0) * c.clone()
                                     + src.at(i.get(), j.get() - ci(1), k.get()));
                             let term_k = cf(0.125)
-                                * (src.at(i.get(), j.get(), k.get() + ci(1))
-                                    - cf(2.0) * c.clone()
+                                * (src.at(i.get(), j.get(), k.get() + ci(1)) - cf(2.0) * c.clone()
                                     + src.at(i.get(), j.get(), k.get() - ci(1)));
-                            dst.set(
-                                f,
-                                i.get(),
-                                j.get(),
-                                k.get(),
-                                term_i + term_j + term_k + c,
-                            );
+                            dst.set(f, i.get(), j.get(), k.get(), term_i + term_j + term_k + c);
                         });
                     });
                 });
@@ -491,7 +503,12 @@ pub fn seidel_2d(d: Dataset) -> Benchmark {
         let j = fi.local_i32();
         fi.for_i32(i, ci(0), ci(n), |f| {
             f.for_i32(j, ci(0), ci(n), |f| {
-                a.set(f, i.get(), j.get(), init_val_expr(i.get(), 2, j.get(), 2, 100));
+                a.set(
+                    f,
+                    i.get(),
+                    j.get(),
+                    init_val_expr(i.get(), 2, j.get(), 2, 100),
+                );
             });
         });
     }
@@ -739,8 +756,7 @@ pub fn adi(d: Dataset) -> Benchmark {
                         }
                         s.v[(n - 1) * n + i] = 1.0;
                         for j in (1..n - 1).rev() {
-                            s.v[j * n + i] =
-                                s.p[i * n + j] * s.v[(j + 1) * n + i] + s.q[i * n + j];
+                            s.v[j * n + i] = s.p[i * n + j] * s.v[(j + 1) * n + i] + s.q[i * n + j];
                         }
                     }
                     for i in 1..n - 1 {
@@ -758,8 +774,7 @@ pub fn adi(d: Dataset) -> Benchmark {
                         }
                         s.u[i * n + n - 1] = 1.0;
                         for j in (1..n - 1).rev() {
-                            s.u[i * n + j] =
-                                s.p[i * n + j] * s.u[i * n + j + 1] + s.q[i * n + j];
+                            s.u[i * n + j] = s.p[i * n + j] * s.u[i * n + j + 1] + s.q[i * n + j];
                         }
                     }
                 }

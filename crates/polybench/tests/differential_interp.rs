@@ -11,7 +11,9 @@ fn wasm_checksum(bench: &lb_polybench::Benchmark, strategy: BoundsStrategy) -> f
     let loaded = engine.load(&bench.module).expect("load");
     // Modest reservation: mini datasets fit in a few pages.
     let config = MemoryConfig::new(strategy, 1, 256).with_reserve(512 * 65536);
-    let mut inst = loaded.instantiate(&config, &Linker::new()).expect("instantiate");
+    let mut inst = loaded
+        .instantiate(&config, &Linker::new())
+        .expect("instantiate");
     inst.invoke("init", &[]).expect("init");
     inst.invoke("kernel", &[]).expect("kernel");
     inst.invoke("checksum", &[])

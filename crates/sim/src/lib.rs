@@ -473,51 +473,77 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Randomized invariant checks on a deterministic SplitMix64 stream
+    //! (offline build — no proptest; fixed seeds keep failures
+    //! reproducible).
+
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    struct Rng(u64);
 
-        /// The simulator conserves work: every thread completes exactly its
-        /// iterations, wall time is at least the critical path, and busy
-        /// time never exceeds cores × wall.
-        #[test]
-        fn conservation_invariants(
-            threads in 1usize..16,
-            iters in 1u32..30,
-            compute_us in 1u64..500,
-            strat in 0usize..3,
-        ) {
-            let strategy = [SimStrategy::Plain, SimStrategy::Mprotect, SimStrategy::Uffd][strat];
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[lo, hi)`.
+        fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.next_u64() % (hi - lo)
+        }
+    }
+
+    /// The simulator conserves work: every thread completes exactly its
+    /// iterations, wall time is at least the critical path, and busy
+    /// time never exceeds cores × wall.
+    #[test]
+    fn conservation_invariants() {
+        let mut rng = Rng(0x51A_C0DE);
+        for _ in 0..32 {
+            let threads = rng.in_range(1, 16) as usize;
+            let iters = rng.in_range(1, 30) as u32;
+            let compute_us = rng.in_range(1, 500);
+            let strategy = [SimStrategy::Plain, SimStrategy::Mprotect, SimStrategy::Uffd]
+                [rng.in_range(0, 3) as usize];
             let mut p = SimParams::new(strategy, threads, compute_us * 1000);
             p.iters = iters;
             let r = simulate(&p);
-            prop_assert_eq!(r.iter_ns.len(), threads);
+            let ctx = format!("threads={threads} iters={iters} compute_us={compute_us}");
+            assert_eq!(r.iter_ns.len(), threads, "{ctx}");
             for t in &r.iter_ns {
-                prop_assert_eq!(t.len(), iters as usize);
+                assert_eq!(t.len(), iters as usize, "{ctx}");
             }
             // Wall ≥ one thread's serial work.
             let per_iter_min = p.compute_ns;
-            prop_assert!(r.wall_ns >= u64::from(iters) * per_iter_min);
+            assert!(r.wall_ns >= u64::from(iters) * per_iter_min, "{ctx}");
             // Busy time fits on the machine.
-            prop_assert!(r.busy_ns <= r.wall_ns * p.cores as u64 + 1);
+            assert!(r.busy_ns <= r.wall_ns * p.cores as u64 + 1, "{ctx}");
             // Iteration times are at least the compute time.
             for t in r.iter_ns.iter().flatten() {
-                prop_assert!(*t >= per_iter_min);
+                assert!(*t >= per_iter_min, "{ctx}");
             }
         }
+    }
 
-        /// Adding threads never reduces aggregate throughput.
-        #[test]
-        fn throughput_is_monotone_in_threads(compute_us in 20u64..500) {
+    /// Adding threads never reduces aggregate throughput.
+    #[test]
+    fn throughput_is_monotone_in_threads() {
+        let mut rng = Rng(0x7409_0CE);
+        for _ in 0..32 {
+            let compute_us = rng.in_range(20, 500);
             let mut last = 0.0;
             for threads in [1usize, 2, 4, 8] {
                 let mut p = SimParams::new(SimStrategy::Uffd, threads, compute_us * 1000);
                 p.iters = 30;
                 let r = simulate(&p);
                 let tput = r.iters_per_sec();
-                prop_assert!(tput >= last * 0.99, "{threads} threads: {tput} < {last}");
+                assert!(
+                    tput >= last * 0.99,
+                    "{threads} threads (compute_us={compute_us}): {tput} < {last}"
+                );
                 last = tput;
             }
         }

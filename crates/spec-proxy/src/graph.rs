@@ -4,8 +4,8 @@
 //! integer arc scanning with data-dependent branches).
 
 use crate::common::{
-    assemble, checksum_fn_i32, checksum_slices_i32, lcg_next, lcg_pick, lcg_pick_native,
-    lcg_step, ClosureKernel, Scale,
+    assemble, checksum_fn_i32, checksum_slices_i32, lcg_next, lcg_pick, lcg_pick_native, lcg_step,
+    ClosureKernel, Scale,
 };
 use lb_dsl::expr::i32 as ci;
 use lb_dsl::{Benchmark, DslFunc, Layout};
@@ -151,7 +151,7 @@ pub fn deepsjeng(s: Scale) -> Benchmark {
         f.assign(alpha, p_alpha.get());
         // h = node * 2654435761
         f.assign(h, node.get().mul(ci(-1640531535i32))); // 2654435761 as i32
-        // Leaf: eval = (h >>> 16) % 2001 - 1000
+                                                         // Leaf: eval = (h >>> 16) % 2001 - 1000
         f.if_then(depth.get().eqz(), |f| {
             f.ret(h.get().shr_u(ci(16)).rem_u(ci(2001)) - ci(1000));
         });
@@ -163,12 +163,7 @@ pub fn deepsjeng(s: Scale) -> Benchmark {
                 score,
                 -lb_dsl::call(
                     negamax,
-                    vec![
-                        child.get(),
-                        depth.get() - ci(1),
-                        -beta.get(),
-                        -alpha.get(),
-                    ],
+                    vec![child.get(), depth.get() - ci(1), -beta.get(), -alpha.get()],
                 ),
             );
             f.if_then(score.get().gt(alpha.get()), |f| {
@@ -203,12 +198,7 @@ pub fn deepsjeng(s: Scale) -> Benchmark {
                 i.get(),
                 lb_dsl::call(
                     negamax,
-                    vec![
-                        i.get() + ci(1),
-                        ci(depth),
-                        ci(-(1 << 20)),
-                        ci(1 << 20),
-                    ],
+                    vec![i.get() + ci(1), ci(depth), ci(-(1 << 20)), ci(1 << 20)],
                 ),
             );
         });
@@ -256,13 +246,8 @@ pub fn deepsjeng(s: Scale) -> Benchmark {
             },
             kernel: |s: &mut St| {
                 for i in 0..s.roots {
-                    s.results[i] = negamax_native(
-                        i as i32 + 1,
-                        s.depth,
-                        -(1 << 20),
-                        1 << 20,
-                        s.branch,
-                    );
+                    s.results[i] =
+                        negamax_native(i as i32 + 1, s.depth, -(1 << 20), 1 << 20, s.branch);
                 }
             },
             checksum: |s: &St| checksum_slices_i32(&[&s.results]),

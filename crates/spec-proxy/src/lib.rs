@@ -33,7 +33,10 @@ pub const NAMES: [&str; 7] = ["mcf", "namd", "lbm", "x264", "deepsjeng", "nab", 
 
 /// Construct every SPEC-proxy benchmark at the given scale.
 pub fn all(s: Scale) -> Vec<Benchmark> {
-    NAMES.iter().map(|n| by_name(n, s).expect("known name")).collect()
+    NAMES
+        .iter()
+        .map(|n| by_name(n, s).expect("known name"))
+        .collect()
 }
 
 /// Construct one proxy by name.

@@ -81,24 +81,20 @@ pub fn namd(s: Scale) -> Benchmark {
                         r2,
                         dx.get() * dx.get() + dy.get() * dy.get() + dz.get() * dz.get(),
                     );
-                    f.if_then(
-                        r2.get().lt(cf(cutoff2)).and(r2.get().gt(cf(1e-6))),
-                        |f| {
-                            f.assign(s2, cf(sigma2).fdiv(r2.get()));
-                            f.assign(s6, s2.get() * s2.get() * s2.get());
-                            // f = 24*eps*(2*s6^2 - s6)/r2
-                            f.assign(
-                                ff,
-                                (cf(24.0 * eps)
-                                    * (cf(2.0) * s6.get() * s6.get() - s6.get()))
+                    f.if_then(r2.get().lt(cf(cutoff2)).and(r2.get().gt(cf(1e-6))), |f| {
+                        f.assign(s2, cf(sigma2).fdiv(r2.get()));
+                        f.assign(s6, s2.get() * s2.get() * s2.get());
+                        // f = 24*eps*(2*s6^2 - s6)/r2
+                        f.assign(
+                            ff,
+                            (cf(24.0 * eps) * (cf(2.0) * s6.get() * s6.get() - s6.get()))
                                 .fdiv(r2.get()),
-                            );
-                            for (fa, d) in [(fx, dx), (fy, dy), (fz, dz)] {
-                                fa.set(f, i.get(), fa.at(i.get()) + ff.get() * d.get());
-                                fa.set(f, j.get(), fa.at(j.get()) - ff.get() * d.get());
-                            }
-                        },
-                    );
+                        );
+                        for (fa, d) in [(fx, dx), (fy, dy), (fz, dz)] {
+                            fa.set(f, i.get(), fa.at(i.get()) + ff.get() * d.get());
+                            fa.set(f, j.get(), fa.at(j.get()) - ff.get() * d.get());
+                        }
+                    });
                 });
             });
             // Nudge positions along the force (gradient step).
@@ -235,8 +231,7 @@ pub fn nab(s: Scale) -> Benchmark {
                     f.assign(dz, pz.at(i.get()) - pz.at(j.get()));
                     f.assign(
                         r2,
-                        dx.get() * dx.get() + dy.get() * dy.get() + dz.get() * dz.get()
-                            + cf(1e-3),
+                        dx.get() * dx.get() + dy.get() * dy.get() + dz.get() * dz.get() + cf(1e-3),
                     );
                     f.assign(inv, cf(1.0).fdiv(r2.get().sqrt()));
                     let e = q.at(i.get()) * q.at(j.get()) * inv.get();

@@ -100,35 +100,24 @@ pub fn lbm(s: Scale) -> Benchmark {
                         }
                         f.assign(ux, ux.get().fdiv(rho.get()));
                         f.assign(uy, uy.get().fdiv(rho.get()));
-                        f.assign(
-                            usq,
-                            cf(1.5) * (ux.get() * ux.get() + uy.get() * uy.get()),
-                        );
+                        f.assign(usq, cf(1.5) * (ux.get() * ux.get() + uy.get() * uy.get()));
                         // Collide + stream each direction to (x+cx, y+cy).
                         for d in 0..9usize {
                             f.assign(
                                 cu,
                                 cf(3.0)
-                                    * (ux.get() * cf(CX[d] as f64)
-                                        + uy.get() * cf(CY[d] as f64)),
+                                    * (ux.get() * cf(CX[d] as f64) + uy.get() * cf(CY[d] as f64)),
                             );
                             f.assign(
                                 feq,
                                 cf(WGT[d])
                                     * rho.get()
-                                    * (cf(1.0) + cu.get()
-                                        + cf(0.5) * cu.get() * cu.get()
+                                    * (cf(1.0) + cu.get() + cf(0.5) * cu.get() * cu.get()
                                         - usq.get()),
                             );
                             // periodic neighbor
-                            f.assign(
-                                xs,
-                                (x.get() + ci(CX[d]) + ci(nx)).rem_s(ci(nx)),
-                            );
-                            f.assign(
-                                ys,
-                                (y.get() + ci(CY[d]) + ci(ny)).rem_s(ci(ny)),
-                            );
+                            f.assign(xs, (x.get() + ci(CX[d]) + ci(nx)).rem_s(ci(nx)));
+                            f.assign(ys, (y.get() + ci(CY[d]) + ci(ny)).rem_s(ci(ny)));
                             let old = src.at(ci(d as i32), y.get(), x.get());
                             dst.set(
                                 f,
@@ -168,9 +157,8 @@ pub fn lbm(s: Scale) -> Benchmark {
                 for y in 0..ny {
                     for x in 0..nx {
                         for d in 0..9 {
-                            let pert = ((x as i32 * 7 + y as i32 * 13 + d as i32) % 37)
-                                as f64
-                                * 0.001;
+                            let pert =
+                                ((x as i32 * 7 + y as i32 * 13 + d as i32) % 37) as f64 * 0.001;
                             s.f0[(d * ny + y) * nx + x] = WGT[d] * (1.0 + pert);
                             s.f1[(d * ny + y) * nx + x] = 0.0;
                         }
@@ -201,12 +189,9 @@ pub fn lbm(s: Scale) -> Benchmark {
                             let usq = 1.5 * (ux * ux + uy * uy);
                             for d in 0..9 {
                                 let cu = 3.0 * (ux * CX[d] as f64 + uy * CY[d] as f64);
-                                let feq =
-                                    WGT[d] * rho * (1.0 + cu + 0.5 * cu * cu - usq);
-                                let xs = ((x as i32 + CX[d] + nx as i32)
-                                    % nx as i32) as usize;
-                                let ys = ((y as i32 + CY[d] + ny as i32)
-                                    % ny as i32) as usize;
+                                let feq = WGT[d] * rho * (1.0 + cu + 0.5 * cu * cu - usq);
+                                let xs = ((x as i32 + CX[d] + nx as i32) % nx as i32) as usize;
+                                let ys = ((y as i32 + CY[d] + ny as i32) % ny as i32) as usize;
                                 let old = src[idx(d, y, x)];
                                 dst[idx(d, ys, xs)] = old + OMEGA * (feq - old);
                             }
@@ -264,7 +249,12 @@ pub fn x264(s: Scale) -> Benchmark {
         fi.assign(rng, ci(99));
         fi.for_i32(i, ci(0), ci(w * h), |f| {
             lcg_step(f, rng);
-            store8(f, frame0.base(), i.get(), rng.get().shr_u(ci(9)).and(ci(0xFF)));
+            store8(
+                f,
+                frame0.base(),
+                i.get(),
+                rng.get().shr_u(ci(9)).and(ci(0xFF)),
+            );
             // Frame 1 is frame 0 shifted by (3, 2) with noise.
             lcg_step(f, rng);
             store8(
@@ -312,44 +302,27 @@ pub fn x264(s: Scale) -> Benchmark {
                                 let cy = by.get().mul(ci(B)) + yy.get();
                                 let cx = bx.get().mul(ci(B)) + xx.get();
                                 // Reference pixel in frame1.
-                                let rp = load8(
-                                    frame1.base(),
-                                    cy.clone().mul(ci(w)) + cx.clone(),
-                                );
+                                let rp = load8(frame1.base(), cy.clone().mul(ci(w)) + cx.clone());
                                 // Candidate pixel in frame0, offset by
                                 // (dx-search, dy-search), clamped via max 0
                                 // and min w-1/h-1 expressed with selects.
                                 let ox = cx + dx.get() - ci(search);
                                 let oy = cy + dy.get() - ci(search);
                                 let oxc = ci(0).select(ox.clone(), ox.clone().lt(ci(0)));
-                                let oxc = ci(w - 1).select(
-                                    oxc.clone(),
-                                    oxc.ge(ci(w)),
-                                );
+                                let oxc = ci(w - 1).select(oxc.clone(), oxc.ge(ci(w)));
                                 let oyc = ci(0).select(oy.clone(), oy.clone().lt(ci(0)));
-                                let oyc = ci(h - 1).select(
-                                    oyc.clone(),
-                                    oyc.ge(ci(h)),
-                                );
-                                let cp =
-                                    load8(frame0.base(), oyc.mul(ci(w)) + oxc);
+                                let oyc = ci(h - 1).select(oyc.clone(), oyc.ge(ci(h)));
+                                let cp = load8(frame0.base(), oyc.mul(ci(w)) + oxc);
                                 f.assign(diff, rp - cp);
                                 // |diff| via select
                                 let neg = -diff.get();
-                                f.assign(
-                                    diff,
-                                    neg.select(diff.get(), diff.get().lt(ci(0))),
-                                );
+                                f.assign(diff, neg.select(diff.get(), diff.get().lt(ci(0))));
                                 f.assign(sad, sad.get() + diff.get());
                             });
                         });
                         f.if_then(sad.get().lt(best_sad.at(bidx.get())), |f| {
                             best_sad.set(f, bidx.get(), sad.get());
-                            best_mv.set(
-                                f,
-                                bidx.get(),
-                                dy.get().mul(ci(64)) + dx.get(),
-                            );
+                            best_mv.set(f, bidx.get(), dy.get().mul(ci(64)) + dx.get());
                         });
                     });
                 });
@@ -412,14 +385,10 @@ pub fn x264(s: Scale) -> Benchmark {
                                     for xx in 0..B {
                                         let cy = (by * B + yy) as i32;
                                         let cx = (bx * B + xx) as i32;
-                                        let rp =
-                                            s.f1[cy as usize * w + cx as usize] as i32;
-                                        let ox =
-                                            (cx + dx - search).clamp(0, w as i32 - 1);
-                                        let oy =
-                                            (cy + dy - search).clamp(0, h as i32 - 1);
-                                        let cp =
-                                            s.f0[oy as usize * w + ox as usize] as i32;
+                                        let rp = s.f1[cy as usize * w + cx as usize] as i32;
+                                        let ox = (cx + dx - search).clamp(0, w as i32 - 1);
+                                        let oy = (cy + dy - search).clamp(0, h as i32 - 1);
+                                        let cp = s.f0[oy as usize * w + ox as usize] as i32;
                                         sad += (rp - cp).abs();
                                     }
                                 }

@@ -48,11 +48,7 @@ pub fn xz(s: Scale) -> Benchmark {
         fi.for_i32(i, ci(0), ci(n), |f| {
             lcg_step(f, rng);
             // byte = (rng >>> 10) % 19 + 'a'
-            store8(
-                f,
-                i.get(),
-                rng.get().shr_u(ci(10)).rem_u(ci(19)) + ci(97),
-            );
+            store8(f, i.get(), rng.get().shr_u(ci(10)).rem_u(ci(19)) + ci(97));
         });
         // Copy a phrase every 256 bytes to create long matches.
         fi.for_i32(i, ci(512), ci(n - 64), |f| {
@@ -107,8 +103,7 @@ pub fn xz(s: Scale) -> Benchmark {
                         f.while_loop(
                             || {
                                 len.get().lt(ci(MAX_MATCH)).and(
-                                    load8(cand.get() + len.get())
-                                        .eq(load8(pos.get() + len.get())),
+                                    load8(cand.get() + len.get()).eq(load8(pos.get() + len.get())),
                                 )
                             },
                             |f| {
@@ -191,8 +186,8 @@ pub fn xz(s: Scale) -> Benchmark {
                 let mut pos = 0i32;
                 while pos < n - MAX_MATCH {
                     let b = |i: i32| s.data[i as usize] as i32;
-                    let hash = ((b(pos) ^ (b(pos + 1) << 4) ^ (b(pos + 2) << 8))
-                        & (HASH_SIZE - 1)) as usize;
+                    let hash = ((b(pos) ^ (b(pos + 1) << 4) ^ (b(pos + 2) << 8)) & (HASH_SIZE - 1))
+                        as usize;
                     let mut best = 0i32;
                     let mut cand = s.head[hash];
                     let mut chain = 0;

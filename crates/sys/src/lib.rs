@@ -1,0 +1,338 @@
+//! A minimal, in-tree replacement for the `libc` crate.
+//!
+//! The build environment for this workspace is fully offline — no crates.io
+//! registry is reachable — so external dependencies cannot be fetched. The
+//! runtime only needs a narrow slice of the POSIX/Linux surface (memory
+//! mapping, signal handling, userfaultfd, poll, CPU affinity), and only on
+//! Linux x86_64 with glibc, so we declare exactly that slice here. Dependent
+//! crates rename this package back to `libc` in their manifests
+//! (`libc = { path = "../sys", package = "lb-sys" }`), keeping every call
+//! site unchanged.
+//!
+//! Struct layouts below follow the glibc x86_64 ABI; they are checked by the
+//! layout tests at the bottom of this file.
+
+#![warn(missing_docs)]
+#![allow(non_camel_case_types)]
+#![cfg(all(target_os = "linux", target_arch = "x86_64"))]
+
+pub use std::ffi::c_void;
+
+/// C `int`.
+pub type c_int = i32;
+/// C `unsigned int`.
+pub type c_uint = u32;
+/// C `long` (64-bit on x86_64).
+pub type c_long = i64;
+/// C `unsigned long`.
+pub type c_ulong = u64;
+/// C `short`.
+pub type c_short = i16;
+/// C `unsigned short`.
+pub type c_ushort = u16;
+/// C `char` (signed on x86_64 Linux).
+pub type c_char = i8;
+/// C `size_t`.
+pub type size_t = usize;
+/// C `ssize_t`.
+pub type ssize_t = isize;
+/// C `off_t`.
+pub type off_t = i64;
+/// C `pid_t`.
+pub type pid_t = i32;
+/// General-purpose register value in `mcontext_t` (`greg_t`).
+pub type greg_t = i64;
+/// Count of `pollfd` entries (`nfds_t`).
+pub type nfds_t = c_ulong;
+
+/// glibc `sigset_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [u64; 16],
+}
+
+/// glibc `sigaction` (x86_64): handler, mask, flags, restorer.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigaction {
+    /// Handler address (`SIG_DFL`, `SIG_IGN`, or a function pointer cast
+    /// to `usize`; interpretation depends on `SA_SIGINFO` in `sa_flags`).
+    pub sa_sigaction: usize,
+    /// Signals blocked during handler execution.
+    pub sa_mask: sigset_t,
+    /// `SA_*` flags.
+    pub sa_flags: c_int,
+    /// Obsolete restorer field (set by glibc, never by callers).
+    pub sa_restorer: Option<unsafe extern "C" fn()>,
+}
+
+/// Alternate signal stack descriptor (`stack_t`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct stack_t {
+    /// Stack base.
+    pub ss_sp: *mut c_void,
+    /// `SS_DISABLE` / `SS_ONSTACK` flags.
+    pub ss_flags: c_int,
+    /// Stack size in bytes.
+    pub ss_size: size_t,
+}
+
+/// glibc `siginfo_t`: 128 bytes; only the leading fields and the fault
+/// address arm of the union are exposed.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct siginfo_t {
+    /// Signal number.
+    pub si_signo: c_int,
+    /// Errno value associated with the signal.
+    pub si_errno: c_int,
+    /// Signal-specific code (e.g. `SEGV_MAPERR`).
+    pub si_code: c_int,
+    _pad0: c_int,
+    // Union area. For SIGSEGV/SIGBUS the first pointer-sized field is the
+    // fault address.
+    _sifields: [u64; 14],
+}
+
+impl siginfo_t {
+    /// The faulting address, valid for SIGSEGV/SIGBUS/SIGILL/SIGFPE.
+    ///
+    /// # Safety
+    /// Only meaningful when the signal actually carries an address.
+    pub unsafe fn si_addr(&self) -> *mut c_void {
+        self._sifields[0] as *mut c_void
+    }
+}
+
+/// glibc x86_64 `mcontext_t`: the general-purpose register array plus
+/// opaque FP state.
+#[repr(C)]
+pub struct mcontext_t {
+    /// General-purpose registers, indexed by the `REG_*` constants.
+    pub gregs: [greg_t; 23],
+    /// FP state pointer (into `__fpregs_mem` of the enclosing ucontext).
+    pub fpregs: *mut c_void,
+    __reserved1: [u64; 8],
+}
+
+/// glibc x86_64 `ucontext_t`.
+#[repr(C)]
+pub struct ucontext_t {
+    /// Context flags.
+    pub uc_flags: c_ulong,
+    /// Link to the context to resume when this one returns.
+    pub uc_link: *mut ucontext_t,
+    /// Stack in use when the signal was delivered.
+    pub uc_stack: stack_t,
+    /// Machine context (registers) at the point of delivery.
+    pub uc_mcontext: mcontext_t,
+    /// Blocked-signal mask to restore.
+    pub uc_sigmask: sigset_t,
+    __fpregs_mem: [u64; 64],
+    __ssp: [u64; 4],
+}
+
+/// CPU affinity mask (1024 bits).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    __bits: [u64; 16],
+}
+
+/// Set CPU `cpu` in the affinity mask (the `CPU_SET` macro).
+#[allow(non_snake_case)]
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < 1024 {
+        set.__bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+/// Poll descriptor.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct pollfd {
+    /// File descriptor to poll.
+    pub fd: c_int,
+    /// Requested events.
+    pub events: c_short,
+    /// Returned events.
+    pub revents: c_short,
+}
+
+/// Page may not be accessed.
+pub const PROT_NONE: c_int = 0;
+/// Page may be read.
+pub const PROT_READ: c_int = 1;
+/// Page may be written.
+pub const PROT_WRITE: c_int = 2;
+/// Page may be executed.
+pub const PROT_EXEC: c_int = 4;
+
+/// Private copy-on-write mapping.
+pub const MAP_PRIVATE: c_int = 0x02;
+/// Mapping not backed by a file.
+pub const MAP_ANONYMOUS: c_int = 0x20;
+/// Do not reserve swap space for the mapping.
+pub const MAP_NORESERVE: c_int = 0x4000;
+/// `mmap` failure sentinel.
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+/// Free the given pages' backing store (`madvise`).
+pub const MADV_DONTNEED: c_int = 4;
+
+/// `sysconf` name for the page size.
+pub const _SC_PAGESIZE: c_int = 30;
+
+/// Illegal instruction.
+pub const SIGILL: c_int = 4;
+/// Bus error (bad memory access).
+pub const SIGBUS: c_int = 7;
+/// Floating-point exception (includes integer divide-by-zero).
+pub const SIGFPE: c_int = 8;
+/// User-defined signal 1.
+pub const SIGUSR1: c_int = 10;
+/// Invalid memory reference.
+pub const SIGSEGV: c_int = 11;
+
+/// Handler takes three arguments (`sa_sigaction` form).
+pub const SA_SIGINFO: c_int = 4;
+/// Deliver on the alternate signal stack.
+pub const SA_ONSTACK: c_int = 0x0800_0000;
+/// Restart interruptible syscalls after the handler returns.
+pub const SA_RESTART: c_int = 0x1000_0000;
+/// Default signal disposition.
+pub const SIG_DFL: usize = 0;
+/// Ignore the signal.
+pub const SIG_IGN: usize = 1;
+/// Disable the alternate signal stack.
+pub const SS_DISABLE: c_int = 2;
+
+/// File or page already exists / is populated.
+pub const EEXIST: c_int = 17;
+/// Resource temporarily unavailable.
+pub const EAGAIN: c_int = 11;
+/// Interrupted system call.
+pub const EINTR: c_int = 4;
+
+/// Close the descriptor on `execve`.
+pub const O_CLOEXEC: c_int = 0o2000000;
+
+/// There is data to read.
+pub const POLLIN: c_short = 0x1;
+
+/// `userfaultfd(2)` syscall number (x86_64).
+#[allow(non_upper_case_globals)] // matches the libc crate's spelling
+pub const SYS_userfaultfd: c_long = 323;
+
+/// Index of RAX in `mcontext_t::gregs`.
+pub const REG_RAX: c_int = 13;
+/// Index of RSP in `mcontext_t::gregs`.
+pub const REG_RSP: c_int = 15;
+/// Index of RIP in `mcontext_t::gregs`.
+pub const REG_RIP: c_int = 16;
+
+extern "C" {
+    /// Map pages of memory. See `mmap(2)`.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// Unmap pages of memory. See `munmap(2)`.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    /// Change page protections. See `mprotect(2)`.
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    /// Give advice about memory use. See `madvise(2)`.
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
+    /// Query a system configuration value. See `sysconf(3)`.
+    pub fn sysconf(name: c_int) -> c_long;
+    /// Indirect system call. See `syscall(2)`.
+    pub fn syscall(num: c_long, ...) -> c_long;
+    /// Device control. See `ioctl(2)`.
+    pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    /// Close a file descriptor. See `close(2)`.
+    pub fn close(fd: c_int) -> c_int;
+    /// Read from a file descriptor. See `read(2)`.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// Wait for events on file descriptors. See `poll(2)`.
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    /// Examine or change a signal action. See `sigaction(2)`.
+    pub fn sigaction(sig: c_int, act: *const sigaction, old: *mut sigaction) -> c_int;
+    /// Initialize an empty signal set. See `sigemptyset(3)`.
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    /// Set or query the alternate signal stack. See `sigaltstack(2)`.
+    pub fn sigaltstack(ss: *const stack_t, old: *mut stack_t) -> c_int;
+    /// Address of the thread-local `errno`.
+    pub fn __errno_location() -> *mut c_int;
+    /// Set a thread's CPU affinity mask. See `sched_setaffinity(2)`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+    /// Send a signal to the calling process. See `raise(3)`.
+    pub fn raise(sig: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem::size_of;
+
+    // Layout checks against the glibc x86_64 ABI. Sizes come from
+    // <bits/sigaction.h>, <sys/ucontext.h>, <bits/types/siginfo_t.h>.
+    #[test]
+    fn abi_sizes_match_glibc() {
+        assert_eq!(size_of::<sigset_t>(), 128);
+        assert_eq!(size_of::<sigaction>(), 152);
+        assert_eq!(size_of::<siginfo_t>(), 128);
+        assert_eq!(size_of::<stack_t>(), 24);
+        assert_eq!(size_of::<mcontext_t>(), 256);
+        assert_eq!(size_of::<ucontext_t>(), 968);
+        assert_eq!(size_of::<cpu_set_t>(), 128);
+        assert_eq!(size_of::<pollfd>(), 8);
+    }
+
+    #[test]
+    fn ucontext_mcontext_offset() {
+        // uc_flags(8) + uc_link(8) + uc_stack(24) puts uc_mcontext at 40,
+        // so gregs[REG_RIP] sits at byte 40 + 16*8 = 168 as glibc expects.
+        assert_eq!(std::mem::offset_of!(ucontext_t, uc_mcontext), 40);
+        assert_eq!(std::mem::offset_of!(ucontext_t, uc_sigmask), 40 + 256);
+    }
+
+    #[test]
+    fn sysconf_page_size_works() {
+        let ps = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(ps == 4096 || ps > 0);
+    }
+
+    #[test]
+    fn mmap_roundtrip_works() {
+        unsafe {
+            let p = mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u8) = 7;
+            assert_eq!(*(p as *mut u8), 7);
+            assert_eq!(mprotect(p, 4096, PROT_READ), 0);
+            assert_eq!(munmap(p, 4096), 0);
+        }
+    }
+
+    #[test]
+    fn cpu_set_sets_bits() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        CPU_SET(0, &mut set);
+        CPU_SET(65, &mut set);
+        assert_eq!(set.__bits[0], 1);
+        assert_eq!(set.__bits[1], 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Named monotonic counters.
+//!
+//! Values live in a fixed static table of atomics; names live in a
+//! mutex-guarded registry consulted only at registration and snapshot
+//! time. Incrementing a registered [`Counter`] is a single
+//! `fetch_add(Relaxed)` — async-signal-safe and wait-free.
+//!
+//! # Ordering
+//!
+//! All accesses are `Relaxed`. That is deliberate and safe here: each
+//! counter is an independent monotonic event count, never used to
+//! establish happens-before edges with other data. A [`snapshot`]
+//! (`crate::snapshot`) is therefore *not* an atomic cut across counters —
+//! concurrent increments may land on one counter but not another within
+//! the same snapshot. Consumers (the harness) only compare before/after
+//! deltas around a run on the same thread, where every increment of
+//! interest is already ordered by the thread joins that end the run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum number of distinct counters.
+pub const MAX_COUNTERS: usize = 256;
+
+static VALUES: [AtomicU64; MAX_COUNTERS] = [const { AtomicU64::new(0) }; MAX_COUNTERS];
+static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Handle to a registered counter. Copy it into a static and increment
+/// freely, including from signal handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    idx: u32,
+}
+
+/// Register (or look up) the counter named `name`.
+///
+/// Takes a mutex: call from normal context only, ideally once, caching
+/// the returned handle. Panics if [`MAX_COUNTERS`] distinct names are
+/// exceeded — a static budget overrun, not a runtime condition.
+pub fn counter(name: &'static str) -> Counter {
+    let mut names = NAMES.lock().unwrap();
+    if let Some(i) = names.iter().position(|n| *n == name) {
+        return Counter { idx: i as u32 };
+    }
+    assert!(
+        names.len() < MAX_COUNTERS,
+        "counter table full ({MAX_COUNTERS})"
+    );
+    names.push(name);
+    Counter {
+        idx: (names.len() - 1) as u32,
+    }
+}
+
+impl Counter {
+    /// Add `n`. Wait-free, async-signal-safe.
+    #[inline]
+    pub fn add(self, n: u64) {
+        VALUES[self.idx as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1. Wait-free, async-signal-safe.
+    #[inline]
+    pub fn inc(self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        VALUES[self.idx as usize].load(Ordering::Relaxed)
+    }
+}
+
+/// A counter's name and value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterValue {
+    /// Registered name.
+    pub name: &'static str,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// All registered counters with their current values, in registration
+/// order. Not an atomic cut (see module docs).
+pub fn snapshot_counters() -> Vec<CounterValue> {
+    let names = NAMES.lock().unwrap();
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| CounterValue {
+            name,
+            value: VALUES[i].load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_dedupes_and_counts() {
+        let a = counter("test.counters.a");
+        let b = counter("test.counters.a");
+        assert_eq!(a, b);
+        let before = a.get();
+        a.inc();
+        a.add(4);
+        assert_eq!(a.get(), before + 5);
+        let snap = snapshot_counters();
+        let got = snap.iter().find(|c| c.name == "test.counters.a").unwrap();
+        assert_eq!(got.value, before + 5);
+    }
+
+    #[test]
+    fn concurrent_increments_sum() {
+        let c = counter("test.counters.concurrent");
+        let before = c.get();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), before + 40_000);
+    }
+}

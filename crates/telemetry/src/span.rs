@@ -1,0 +1,186 @@
+//! Spans (RAII timers) and instant events.
+//!
+//! A [`crate::span!`] expands to [`SpanGuard::enter`]: when spans are
+//! disabled this is one relaxed atomic load and nothing else; when
+//! enabled it takes a timestamp and, on drop, pushes one fixed-size
+//! record into the calling thread's ring.
+//!
+//! Span *names* are interned into a small registry so ring records stay
+//! fixed-size. Interning takes a mutex; signal handlers must use a name
+//! pre-registered with [`register_span_name`] and push through
+//! [`record_span_raw`].
+
+use crate::clock::now_ns;
+use crate::ring::{self, EventKind};
+use std::sync::Mutex;
+
+/// Maximum number of distinct span/instant names.
+pub const MAX_SPAN_NAMES: usize = 256;
+
+static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// A pre-interned span name, safe to use from signal handlers via
+/// [`record_span_raw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u16);
+
+/// Intern `name`, returning its id. Takes a mutex — normal context only.
+pub fn register_span_name(name: &'static str) -> SpanId {
+    let mut names = NAMES.lock().unwrap();
+    if let Some(i) = names.iter().position(|n| *n == name) {
+        return SpanId(i as u16);
+    }
+    assert!(
+        names.len() < MAX_SPAN_NAMES,
+        "span name table full ({MAX_SPAN_NAMES})"
+    );
+    names.push(name);
+    SpanId((names.len() - 1) as u16)
+}
+
+/// The name behind an interned id (`"?"` for an unknown id).
+pub(crate) fn name_of(id: u16) -> &'static str {
+    NAMES
+        .lock()
+        .unwrap()
+        .get(id as usize)
+        .copied()
+        .unwrap_or("?")
+}
+
+/// One drained event record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Interned span name.
+    pub name: &'static str,
+    /// Span (timed region) or instant (point event).
+    pub kind: EventKind,
+    /// Caller-supplied argument (e.g. a function index).
+    pub arg: u64,
+    /// Monotonic start time in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Id of the thread whose ring held the record.
+    pub thread: u32,
+}
+
+/// RAII timer created by [`crate::span!`]; records a span on drop.
+#[must_use = "a span measures the scope it is bound to — bind it to a variable"]
+pub struct SpanGuard {
+    id: SpanId,
+    arg: u64,
+    start_ns: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Start a span if spans are enabled; otherwise return an inert
+    /// guard whose total cost was one atomic load.
+    #[inline]
+    pub fn enter(name: &'static str, arg: u64) -> SpanGuard {
+        if !crate::spans_enabled() {
+            return SpanGuard {
+                id: SpanId(0),
+                arg: 0,
+                start_ns: 0,
+                active: false,
+            };
+        }
+        SpanGuard {
+            id: register_span_name(name),
+            arg,
+            start_ns: now_ns(),
+            active: true,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let dur = now_ns().saturating_sub(self.start_ns);
+            let (id, arg, start) = (self.id, self.arg, self.start_ns);
+            ring::with_ring(|r| r.push(id.0, EventKind::Span, arg, start, dur));
+        }
+    }
+}
+
+/// Record a point event (no duration) if spans are enabled.
+#[inline]
+pub fn instant(name: &'static str, arg: u64) {
+    if !crate::spans_enabled() {
+        return;
+    }
+    let id = register_span_name(name);
+    let t = now_ns();
+    ring::with_ring(|r| r.push(id.0, EventKind::Instant, arg, t, 0));
+}
+
+/// Push a span record with explicit timing, using a pre-interned name.
+///
+/// Async-signal-safe *provided* the calling thread already ran
+/// [`crate::ensure_thread_ring`] in normal context: the push touches only
+/// the existing ring. No-op when spans are disabled or the ring was
+/// never created.
+#[inline]
+pub fn record_span_raw(id: SpanId, arg: u64, start_ns: u64, dur_ns: u64) {
+    if !crate::spans_enabled() {
+        return;
+    }
+    ring::with_ring_signal_safe(|r| r.push(id.0, EventKind::Span, arg, start_ns, dur_ns));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _g = crate::test_drain_lock();
+        crate::set_spans_enabled(false);
+        ring::drain_spans();
+        {
+            let _s = crate::span!("test.span.disabled", 1);
+        }
+        assert!(ring::drain_spans()
+            .iter()
+            .all(|r| r.name != "test.span.disabled"));
+    }
+
+    #[test]
+    fn enabled_span_measures_scope() {
+        let _g = crate::test_drain_lock();
+        crate::set_spans_enabled(true);
+        ring::drain_spans();
+        {
+            let _s = crate::span!("test.span.enabled", 42);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        instant("test.span.point", 7);
+        crate::set_spans_enabled(false);
+        let drained = ring::drain_spans();
+        let span = drained
+            .iter()
+            .find(|r| r.name == "test.span.enabled")
+            .expect("span recorded");
+        assert_eq!(span.arg, 42);
+        assert_eq!(span.kind, EventKind::Span);
+        assert!(span.dur_ns >= 1_000_000, "dur {}", span.dur_ns);
+        let point = drained
+            .iter()
+            .find(|r| r.name == "test.span.point")
+            .expect("instant recorded");
+        assert_eq!(point.kind, EventKind::Instant);
+        assert_eq!(point.dur_ns, 0);
+        assert_eq!(point.arg, 7);
+    }
+
+    #[test]
+    fn names_dedupe() {
+        let a = register_span_name("test.span.name");
+        let b = register_span_name("test.span.name");
+        assert_eq!(a, b);
+        assert_eq!(name_of(a.0), "test.span.name");
+    }
+}

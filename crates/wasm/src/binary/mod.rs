@@ -32,11 +32,7 @@ mod tests {
         mb.memory(2, Some(16));
         mb.table(4);
         let g = mb.global(Mutability::Var, Value::F64(3.5));
-        let imp = mb.import_func(
-            "env",
-            "tick",
-            FuncType::new(vec![ValType::I64], vec![]),
-        );
+        let imp = mb.import_func("env", "tick", FuncType::new(vec![ValType::I64], vec![]));
         let f = mb.begin_func(
             "kernel",
             FuncType::new(vec![ValType::I32], vec![ValType::F64]),

@@ -143,7 +143,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "stack underflow in func {func} at {at}")
             }
             ValidateError::BadBranchDepth { func, at, depth } => {
-                write!(f, "branch depth {depth} out of range in func {func} at {at}")
+                write!(
+                    f,
+                    "branch depth {depth} out of range in func {func} at {at}"
+                )
             }
             ValidateError::UnbalancedControl { func, at } => {
                 write!(f, "unbalanced control structure in func {func} at {at}")
@@ -155,7 +158,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "global.set of immutable global {global} in func {func}")
             }
             ValidateError::NoMemory { func, at } => {
-                write!(f, "memory instruction without memory in func {func} at {at}")
+                write!(
+                    f,
+                    "memory instruction without memory in func {func} at {at}"
+                )
             }
             ValidateError::NoTable { func, at } => {
                 write!(f, "call_indirect without table in func {func} at {at}")

@@ -20,10 +20,7 @@ pub fn print_module(m: &Module) -> String {
             s,
             "  (memory {}{})",
             mem.limits.min,
-            mem.limits
-                .max
-                .map(|x| format!(" {x}"))
-                .unwrap_or_default()
+            mem.limits.max.map(|x| format!(" {x}")).unwrap_or_default()
         );
     }
     if let Some(t) = m.table {

@@ -556,6 +556,58 @@ pub enum CostClass {
 /// Number of [`CostClass`] variants.
 pub const COST_CLASS_COUNT: usize = 20;
 
+impl CostClass {
+    /// Every variant, in `repr` order (matches `OpCounts` indexing).
+    pub const ALL: [CostClass; COST_CLASS_COUNT] = [
+        CostClass::Control,
+        CostClass::Branch,
+        CostClass::Call,
+        CostClass::LocalVar,
+        CostClass::Global,
+        CostClass::Const,
+        CostClass::MemLoad,
+        CostClass::MemStore,
+        CostClass::MemMgmt,
+        CostClass::IntAlu,
+        CostClass::IntMul,
+        CostClass::IntDiv,
+        CostClass::IntCmp,
+        CostClass::FpAdd,
+        CostClass::FpMul,
+        CostClass::FpDiv,
+        CostClass::FpSqrt,
+        CostClass::FpCmp,
+        CostClass::Convert,
+        CostClass::Parametric,
+    ];
+
+    /// Stable lowercase label (used as a telemetry counter suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::Control => "control",
+            CostClass::Branch => "branch",
+            CostClass::Call => "call",
+            CostClass::LocalVar => "local_var",
+            CostClass::Global => "global",
+            CostClass::Const => "const",
+            CostClass::MemLoad => "mem_load",
+            CostClass::MemStore => "mem_store",
+            CostClass::MemMgmt => "mem_mgmt",
+            CostClass::IntAlu => "int_alu",
+            CostClass::IntMul => "int_mul",
+            CostClass::IntDiv => "int_div",
+            CostClass::IntCmp => "int_cmp",
+            CostClass::FpAdd => "fp_add",
+            CostClass::FpMul => "fp_mul",
+            CostClass::FpDiv => "fp_div",
+            CostClass::FpSqrt => "fp_sqrt",
+            CostClass::FpCmp => "fp_cmp",
+            CostClass::Convert => "convert",
+            CostClass::Parametric => "parametric",
+        }
+    }
+}
+
 /// Dynamic instruction counts by [`CostClass`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpCounts(pub [u64; COST_CLASS_COUNT]);
@@ -587,8 +639,8 @@ impl OpCounts {
 impl Instr {
     /// The instruction's [`CostClass`].
     pub fn cost_class(&self) -> CostClass {
-        use Instr::*;
         use CostClass::*;
+        use Instr::*;
         match self {
             Unreachable | Nop | Block(_) | Loop(_) | End | Else => Control,
             If(_) | Br(_) | BrIf(_) | BrTable(_) => Branch,
@@ -598,19 +650,19 @@ impl Instr {
             I32Const(_) | I64Const(_) | F32Const(_) | F64Const(_) => Const,
             MemorySize | MemoryGrow => MemMgmt,
             I32Add | I32Sub | I32And | I32Or | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl
-            | I32Rotr | I32Clz | I32Ctz | I32Popcnt | I64Add | I64Sub | I64And | I64Or
-            | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr | I64Clz | I64Ctz
-            | I64Popcnt => IntAlu,
-            I32Mul | I64Mul => IntMul,
-            I32DivS | I32DivU | I32RemS | I32RemU | I64DivS | I64DivU | I64RemS | I64RemU => {
-                IntDiv
+            | I32Rotr | I32Clz | I32Ctz | I32Popcnt | I64Add | I64Sub | I64And | I64Or | I64Xor
+            | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr | I64Clz | I64Ctz | I64Popcnt => {
+                IntAlu
             }
+            I32Mul | I64Mul => IntMul,
+            I32DivS | I32DivU | I32RemS | I32RemU | I64DivS | I64DivU | I64RemS | I64RemU => IntDiv,
             I32Eqz | I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU
             | I32GeS | I32GeU | I64Eqz | I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU
             | I64LeS | I64LeU | I64GeS | I64GeU => IntCmp,
             F32Add | F32Sub | F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest
-            | F64Add | F64Sub | F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc
-            | F64Nearest => FpAdd,
+            | F64Add | F64Sub | F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest => {
+                FpAdd
+            }
             F32Mul | F64Mul => FpMul,
             F32Div | F64Div => FpDiv,
             F32Sqrt | F64Sqrt => FpSqrt,
@@ -620,10 +672,10 @@ impl Instr {
             }
             I32WrapI64 | I32TruncF32S | I32TruncF32U | I32TruncF64S | I32TruncF64U
             | I64ExtendI32S | I64ExtendI32U | I64TruncF32S | I64TruncF32U | I64TruncF64S
-            | I64TruncF64U | F32ConvertI32S | F32ConvertI32U | F32ConvertI64S
-            | F32ConvertI64U | F32DemoteF64 | F64ConvertI32S | F64ConvertI32U
-            | F64ConvertI64S | F64ConvertI64U | F64PromoteF32 | I32ReinterpretF32
-            | I64ReinterpretF64 | F32ReinterpretI32 | F64ReinterpretI64 => Convert,
+            | I64TruncF64U | F32ConvertI32S | F32ConvertI32U | F32ConvertI64S | F32ConvertI64U
+            | F32DemoteF64 | F64ConvertI32S | F64ConvertI32U | F64ConvertI64S | F64ConvertI64U
+            | F64PromoteF32 | I32ReinterpretF32 | I64ReinterpretF64 | F32ReinterpretI32
+            | F64ReinterpretI64 => Convert,
             Drop | Select => Parametric,
             other => {
                 if let Some(a) = other.mem_access() {

@@ -310,7 +310,10 @@ mod tests {
 
         assert_eq!(trunc_f_to_i64_s(-9.223372036854776e18), Ok(i64::MIN));
         assert!(trunc_f_to_i64_s(9.223372036854776e18).is_err());
-        assert_eq!(trunc_f_to_i64_u(1.8446744073709550e19).map(|v| v > 0), Ok(true));
+        assert_eq!(
+            trunc_f_to_i64_u(1.8446744073709550e19).map(|v| v > 0),
+            Ok(true)
+        );
         assert!(trunc_f_to_i64_u(1.8446744073709552e19).is_err());
     }
 
@@ -330,51 +333,101 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Randomized property checks on a deterministic SplitMix64 stream
+    //! (this repo builds offline, so proptest is unavailable; fixed seeds
+    //! keep failures reproducible).
 
-    proptest! {
-        /// Truncations agree with Rust's saturating casts whenever they
-        /// succeed, and fail exactly when the value is outside range.
-        #[test]
-        fn trunc_i32_matches_reference(v in any::<f64>()) {
+    use super::*;
+
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Any f64 bit pattern — includes NaNs, infinities, subnormals.
+        fn any_f64(&mut self) -> f64 {
+            f64::from_bits(self.next_u64())
+        }
+
+        fn any_i32(&mut self) -> i32 {
+            self.next_u64() as i32
+        }
+
+        /// Uniform in `[lo, hi)` (finite operands only).
+        fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+            let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            lo + u * (hi - lo)
+        }
+    }
+
+    const CASES: u32 = 2000;
+
+    /// Truncations agree with Rust's casts whenever they succeed, and
+    /// fail exactly when the value is outside range.
+    #[test]
+    fn trunc_i32_matches_reference() {
+        let mut rng = Rng(0xDEC0DE);
+        for _ in 0..CASES {
+            let v = rng.any_f64();
             match trunc_f_to_i32_s(v) {
                 Ok(x) => {
-                    prop_assert!(!v.is_nan());
-                    prop_assert_eq!(x, v.trunc() as i32);
+                    assert!(!v.is_nan());
+                    assert_eq!(x, v.trunc() as i32, "v = {v:?}");
                 }
                 Err(_) => {
-                    prop_assert!(v.is_nan() || v.trunc() < i32::MIN as f64 || v.trunc() > i32::MAX as f64);
+                    assert!(
+                        v.is_nan() || v.trunc() < i32::MIN as f64 || v.trunc() > i32::MAX as f64,
+                        "v = {v:?}"
+                    );
                 }
             }
         }
+    }
 
-        #[test]
-        fn fmin_fmax_are_commutative_modulo_nan(a in any::<f64>(), b in any::<f64>()) {
+    #[test]
+    fn fmin_fmax_are_commutative_modulo_nan() {
+        let mut rng = Rng(0xF10A7);
+        for _ in 0..CASES {
+            let (a, b) = (rng.any_f64(), rng.any_f64());
             let m1 = wasm_fmin(a, b);
             let m2 = wasm_fmin(b, a);
-            prop_assert_eq!(m1.is_nan(), m2.is_nan());
+            assert_eq!(m1.is_nan(), m2.is_nan(), "a = {a:?}, b = {b:?}");
             if !m1.is_nan() {
-                prop_assert_eq!(m1.to_bits(), m2.to_bits());
+                assert_eq!(m1.to_bits(), m2.to_bits(), "a = {a:?}, b = {b:?}");
             }
             let x1 = wasm_fmax(a, b);
             let x2 = wasm_fmax(b, a);
-            prop_assert_eq!(x1.is_nan(), x2.is_nan());
+            assert_eq!(x1.is_nan(), x2.is_nan(), "a = {a:?}, b = {b:?}");
             if !x1.is_nan() {
-                prop_assert_eq!(x1.to_bits(), x2.to_bits());
+                assert_eq!(x1.to_bits(), x2.to_bits(), "a = {a:?}, b = {b:?}");
             }
         }
+    }
 
-        /// min ≤ max for ordered operands.
-        #[test]
-        fn fmin_le_fmax(a in -1e300f64..1e300, b in -1e300f64..1e300) {
-            prop_assert!(wasm_fmin(a, b) <= wasm_fmax(a, b));
+    /// min ≤ max for ordered operands.
+    #[test]
+    fn fmin_le_fmax() {
+        let mut rng = Rng(0x3C0FE);
+        for _ in 0..CASES {
+            let a = rng.f64_in(-1e300, 1e300);
+            let b = rng.f64_in(-1e300, 1e300);
+            assert!(wasm_fmin(a, b) <= wasm_fmax(a, b), "a = {a}, b = {b}");
         }
+    }
 
-        #[test]
-        fn div_rem_identity(a in any::<i32>(), b in any::<i32>()) {
+    #[test]
+    fn div_rem_identity() {
+        let mut rng = Rng(0xD1F);
+        for _ in 0..CASES {
+            let (a, b) = (rng.any_i32(), rng.any_i32());
             if let (Ok(q), Ok(r)) = (i32_div_s(a, b), i32_rem_s(a, b)) {
-                prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+                assert_eq!(q.wrapping_mul(b).wrapping_add(r), a, "a = {a}, b = {b}");
             }
         }
     }

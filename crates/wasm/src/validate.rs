@@ -74,9 +74,7 @@ pub fn validate(module: &Module) -> Result<ModuleMeta, ValidateError> {
     // Module-level checks.
     for (i, ty) in module.types.iter().enumerate() {
         if ty.results.len() > 1 {
-            return Err(ValidateError::UnsupportedMultiValue {
-                type_idx: i as u32,
-            });
+            return Err(ValidateError::UnsupportedMultiValue { type_idx: i as u32 });
         }
     }
     for (i, g) in module.globals.iter().enumerate() {
@@ -91,7 +89,9 @@ pub fn validate(module: &Module) -> Result<ModuleMeta, ValidateError> {
         }
     }
     for (si, seg) in module.elems.iter().enumerate() {
-        let table = module.table.ok_or(ValidateError::BadElemSegment { segment: si })?;
+        let table = module
+            .table
+            .ok_or(ValidateError::BadElemSegment { segment: si })?;
         let end = seg.offset as u64 + seg.funcs.len() as u64;
         if end > table.limits.min as u64 {
             return Err(ValidateError::BadElemSegment { segment: si });
@@ -103,7 +103,9 @@ pub fn validate(module: &Module) -> Result<ModuleMeta, ValidateError> {
         }
     }
     for (si, seg) in module.data.iter().enumerate() {
-        let mem = module.memory.ok_or(ValidateError::BadDataSegment { segment: si })?;
+        let mem = module
+            .memory
+            .ok_or(ValidateError::BadDataSegment { segment: si })?;
         let end = seg.offset as u64 + seg.bytes.len() as u64;
         if end > mem.limits.min as u64 * PAGE_SIZE as u64 {
             return Err(ValidateError::BadDataSegment { segment: si });
@@ -187,9 +189,7 @@ fn scan_control(
                 let &opener = stack
                     .last()
                     .ok_or(ValidateError::UnbalancedControl { func, at: pc })?;
-                if !matches!(body[opener as usize], Instr::If(_))
-                    || else_of.contains_key(&opener)
-                {
+                if !matches!(body[opener as usize], Instr::If(_)) || else_of.contains_key(&opener) {
                     return Err(ValidateError::UnbalancedControl { func, at: pc });
                 }
                 else_of.insert(opener, pc as u32);
@@ -675,13 +675,9 @@ impl Checker<'_> {
             I32Clz | I32Ctz | I32Popcnt => (&[I32], Some(I32)),
             I64Clz | I64Ctz | I64Popcnt => (&[I64], Some(I64)),
             I32Add | I32Sub | I32Mul | I32DivS | I32DivU | I32RemS | I32RemU | I32And | I32Or
-            | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr => {
-                (&[I32, I32], Some(I32))
-            }
+            | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr => (&[I32, I32], Some(I32)),
             I64Add | I64Sub | I64Mul | I64DivS | I64DivU | I64RemS | I64RemU | I64And | I64Or
-            | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr => {
-                (&[I64, I64], Some(I64))
-            }
+            | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr => (&[I64, I64], Some(I64)),
 
             F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt => {
                 (&[F32], Some(F32))
@@ -841,11 +837,7 @@ mod tests {
     #[test]
     fn branch_to_function_label_is_return() {
         use Instr::*;
-        let m = single_func(
-            vec![],
-            vec![ValType::I32],
-            vec![I32Const(7), Br(0), End],
-        );
+        let m = single_func(vec![], vec![ValType::I32], vec![I32Const(7), Br(0), End]);
         let meta = validate(&m).unwrap();
         let f = &meta.funcs[0];
         let dest = f.branch_table[f.ctrl[1] as usize];
@@ -879,13 +871,13 @@ mod tests {
             vec![],
             vec![],
             vec![
-                I32Const(1),           // 0
-                If(BlockType::Empty),  // 1
-                Nop,                   // 2
-                Else,                  // 3
-                Nop,                   // 4
-                End,                   // 5
-                End,                   // 6
+                I32Const(1),          // 0
+                If(BlockType::Empty), // 1
+                Nop,                  // 2
+                Else,                 // 3
+                Nop,                  // 4
+                End,                  // 5
+                End,                  // 6
             ],
         );
         let meta = validate(&m).unwrap();
@@ -917,7 +909,12 @@ mod tests {
         let m = single_func(
             vec![],
             vec![],
-            vec![I32Const(0), I32Load(crate::instr::MemArg::default()), Drop, End],
+            vec![
+                I32Const(0),
+                I32Load(crate::instr::MemArg::default()),
+                Drop,
+                End,
+            ],
         );
         assert!(matches!(validate(&m), Err(ValidateError::NoMemory { .. })));
     }
@@ -941,16 +938,16 @@ mod tests {
             vec![ValType::I32],
             vec![],
             vec![
-                Block(BlockType::Empty),                // 0
-                Block(BlockType::Empty),                // 1
-                LocalGet(0),                            // 2
+                Block(BlockType::Empty), // 0
+                Block(BlockType::Empty), // 1
+                LocalGet(0),             // 2
                 BrTable(Box::new(crate::instr::BrTable {
                     targets: vec![0, 1],
                     default: 1,
-                })),                                    // 3
-                End,                                    // 4
-                End,                                    // 5
-                End,                                    // 6
+                })), // 3
+                End,                     // 4
+                End,                     // 5
+                End,                     // 6
             ],
         );
         let meta = validate(&m).unwrap();
@@ -965,11 +962,7 @@ mod tests {
     fn unreachable_code_is_polymorphic() {
         use Instr::*;
         // After `unreachable`, bogus-but-balanced code must validate.
-        let m = single_func(
-            vec![],
-            vec![ValType::I32],
-            vec![Unreachable, I32Add, End],
-        );
+        let m = single_func(vec![], vec![ValType::I32], vec![Unreachable, I32Add, End]);
         validate(&m).unwrap();
     }
 
@@ -979,14 +972,7 @@ mod tests {
         let m = single_func(
             vec![],
             vec![],
-            vec![
-                I32Const(1),
-                F64Const(2.0),
-                I32Const(0),
-                Select,
-                Drop,
-                End,
-            ],
+            vec![I32Const(1), F64Const(2.0), I32Const(0), Select, Drop, End],
         );
         assert!(matches!(
             validate(&m),

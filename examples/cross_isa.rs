@@ -15,7 +15,10 @@ use leaps_and_bounds::polybench::{by_name, Dataset};
 fn main() {
     let kernels = ["gemm", "jacobi-2d", "cholesky", "atax"];
     println!("per-strategy overhead vs no bounds checks, by ISA (cost model)\n");
-    println!("{:<12} {:>10} {:>10} {:>10}", "kernel", "isa", "clamp", "trap");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "kernel", "isa", "clamp", "trap"
+    );
 
     let mut spreads: Vec<f64> = Vec::new();
     for k in kernels {
@@ -41,9 +44,7 @@ fn main() {
     }
 
     let worst = spreads.iter().cloned().fold(0.0f64, f64::max);
-    println!(
-        "largest cross-ISA spread of the trap strategy: {worst:.1} percentage points"
-    );
+    println!("largest cross-ISA spread of the trap strategy: {worst:.1} percentage points");
     println!(
         "paper (key result 1): \"the relative differences between architectures are\n\
          within 2 percentage points of each other for the commonly used mechanisms\""

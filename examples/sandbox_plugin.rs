@@ -41,7 +41,11 @@ fn main() {
         let p = b.param(0);
         // log(input); return input * 2 + 1
         b.get(p).emit(Instr::I64ExtendI32S).call(log);
-        b.get(p).i32_const(2).emit(Instr::I32Mul).i32_const(1).emit(Instr::I32Add);
+        b.get(p)
+            .i32_const(2)
+            .emit(Instr::I32Mul)
+            .i32_const(1)
+            .emit(Instr::I32Add);
     }
     mb.export_func("transform", good);
 
@@ -52,7 +56,9 @@ fn main() {
     {
         let mut b = mb.func_mut(wild);
         // Write far outside the single committed page.
-        b.i32_const(40 * 65536).i32_const(0xDEAD).emit(Instr::I32Store(MemArg::offset(0)));
+        b.i32_const(40 * 65536)
+            .i32_const(0xDEAD)
+            .emit(Instr::I32Store(MemArg::offset(0)));
     }
     mb.export_func("wild_write", wild);
 

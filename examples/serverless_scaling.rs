@@ -28,7 +28,10 @@ fn main() {
     let loaded = engine.load(&bench.module).unwrap();
     let requests: u32 = 100;
 
-    println!("serving {requests} isolate-per-request invocations of {}\n", bench.name);
+    println!(
+        "serving {requests} isolate-per-request invocations of {}\n",
+        bench.name
+    );
     let mut calibrated_ns = 0u64;
     for strategy in [BoundsStrategy::Mprotect, BoundsStrategy::Uffd] {
         if strategy == BoundsStrategy::Uffd
@@ -63,7 +66,10 @@ fn main() {
     println!("(the mechanism: mprotect serializes isolates on the kernel's mmap_lock)\n");
     println!("threads  strategy  throughput(req/s)  per-core-utilization  lock-wait");
     for threads in [1, 4, 16] {
-        for (name, s) in [("mprotect", SimStrategy::Mprotect), ("uffd", SimStrategy::Uffd)] {
+        for (name, s) in [
+            ("mprotect", SimStrategy::Mprotect),
+            ("uffd", SimStrategy::Uffd),
+        ] {
             let mut p = SimParams::new(s, threads, calibrated_ns.max(1000));
             p.iters = 50;
             let r = simulate(&p);

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-0a2518c13feebae6.d: crates/spec-proxy/tests/differential.rs
+
+/root/repo/target/release/deps/differential-0a2518c13feebae6: crates/spec-proxy/tests/differential.rs
+
+crates/spec-proxy/tests/differential.rs:

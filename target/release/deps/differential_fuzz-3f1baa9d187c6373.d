@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential_fuzz-3f1baa9d187c6373.d: tests/differential_fuzz.rs
+
+/root/repo/target/release/deps/differential_fuzz-3f1baa9d187c6373: tests/differential_fuzz.rs
+
+tests/differential_fuzz.rs:

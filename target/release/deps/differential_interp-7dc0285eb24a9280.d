@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential_interp-7dc0285eb24a9280.d: crates/polybench/tests/differential_interp.rs
+
+/root/repo/target/release/deps/differential_interp-7dc0285eb24a9280: crates/polybench/tests/differential_interp.rs
+
+crates/polybench/tests/differential_interp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential_jit-7b7a33c64840e226.d: crates/polybench/tests/differential_jit.rs
+
+/root/repo/target/release/deps/differential_jit-7b7a33c64840e226: crates/polybench/tests/differential_jit.rs
+
+crates/polybench/tests/differential_jit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engines-0e21ec7262cd403b.d: crates/bench/benches/engines.rs
+
+/root/repo/target/release/deps/libengines-0e21ec7262cd403b.rmeta: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exec-5e4c3c7ec8088f33.d: crates/jit/tests/exec.rs
+
+/root/repo/target/release/deps/exec-5e4c3c7ec8088f33: crates/jit/tests/exec.rs
+
+crates/jit/tests/exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-48e8264130160537.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-48e8264130160537: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-51b46b99d0944f0f.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-51b46b99d0944f0f: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

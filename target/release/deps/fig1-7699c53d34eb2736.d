@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-7699c53d34eb2736.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-7699c53d34eb2736: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

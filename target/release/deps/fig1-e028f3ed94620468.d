@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-e028f3ed94620468.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/libfig1-e028f3ed94620468.rmeta: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-6b06bc7ece2e9155.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/libfig2-6b06bc7ece2e9155.rmeta: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-c7174e0fd033ecd1.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-c7174e0fd033ecd1: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-db85551e2c5a8af4.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-db85551e2c5a8af4: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

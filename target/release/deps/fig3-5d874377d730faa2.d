@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-5d874377d730faa2.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-5d874377d730faa2: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

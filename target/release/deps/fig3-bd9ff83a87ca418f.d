@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-bd9ff83a87ca418f.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/libfig3-bd9ff83a87ca418f.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-c2434fd78955f23f.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-c2434fd78955f23f: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-0f101cefb6c2e197.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-0f101cefb6c2e197: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

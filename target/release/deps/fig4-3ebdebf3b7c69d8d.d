@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-3ebdebf3b7c69d8d.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-3ebdebf3b7c69d8d: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-aa63a01f020ffe3f.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/libfig4-aa63a01f020ffe3f.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

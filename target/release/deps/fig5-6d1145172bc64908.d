@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-6d1145172bc64908.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/libfig5-6d1145172bc64908.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-bae4df38696af31e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-bae4df38696af31e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-bbf1f9aa3e0f4183.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-bbf1f9aa3e0f4183: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-8aadb150ca8d3851.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-8aadb150ca8d3851: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-aea328a637019ccb.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/libfig6-aea328a637019ccb.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

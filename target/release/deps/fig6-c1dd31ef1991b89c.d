@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-c1dd31ef1991b89c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-c1dd31ef1991b89c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-ce13ae19551ccbcb.d: tests/integration.rs
+
+/root/repo/target/release/deps/integration-ce13ae19551ccbcb: tests/integration.rs
+
+tests/integration.rs:

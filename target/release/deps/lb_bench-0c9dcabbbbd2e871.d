@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/lb_bench-0c9dcabbbbd2e871.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/liblb_bench-0c9dcabbbbd2e871.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

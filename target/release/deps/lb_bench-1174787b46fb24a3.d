@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lb_bench-1174787b46fb24a3.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/liblb_bench-1174787b46fb24a3.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/liblb_bench-1174787b46fb24a3.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/lb_bench-25e0582c2df0bb86.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/lb_bench-25e0582c2df0bb86: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lb_bench-32d4d8a69e6cbb31.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/liblb_bench-32d4d8a69e6cbb31.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/liblb_bench-32d4d8a69e6cbb31.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

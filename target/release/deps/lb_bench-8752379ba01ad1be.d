@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/lb_bench-8752379ba01ad1be.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/lb_bench-8752379ba01ad1be: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/lb_bench-e2a1174481e0a808.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/liblb_bench-e2a1174481e0a808.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

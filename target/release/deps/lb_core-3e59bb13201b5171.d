@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lb_core-3e59bb13201b5171.d: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+/root/repo/target/release/deps/liblb_core-3e59bb13201b5171.rmeta: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exec.rs:
+crates/core/src/memory.rs:
+crates/core/src/region.rs:
+crates/core/src/registry.rs:
+crates/core/src/signals.rs:
+crates/core/src/stats.rs:
+crates/core/src/strategy.rs:
+crates/core/src/trap.rs:
+crates/core/src/uffd.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lb_core-801c059e59d41906.d: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+/root/repo/target/release/deps/liblb_core-801c059e59d41906.rlib: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+/root/repo/target/release/deps/liblb_core-801c059e59d41906.rmeta: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exec.rs:
+crates/core/src/memory.rs:
+crates/core/src/region.rs:
+crates/core/src/registry.rs:
+crates/core/src/signals.rs:
+crates/core/src/stats.rs:
+crates/core/src/strategy.rs:
+crates/core/src/trap.rs:
+crates/core/src/uffd.rs:

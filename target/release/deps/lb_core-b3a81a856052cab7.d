@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lb_core-b3a81a856052cab7.d: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+/root/repo/target/release/deps/lb_core-b3a81a856052cab7: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exec.rs:
+crates/core/src/memory.rs:
+crates/core/src/region.rs:
+crates/core/src/registry.rs:
+crates/core/src/signals.rs:
+crates/core/src/stats.rs:
+crates/core/src/strategy.rs:
+crates/core/src/trap.rs:
+crates/core/src/uffd.rs:

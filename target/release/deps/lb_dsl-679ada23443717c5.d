@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lb_dsl-679ada23443717c5.d: crates/dsl/src/lib.rs crates/dsl/src/expr.rs crates/dsl/src/func.rs crates/dsl/src/kernel.rs crates/dsl/src/layout.rs crates/dsl/src/module.rs
+
+/root/repo/target/release/deps/lb_dsl-679ada23443717c5: crates/dsl/src/lib.rs crates/dsl/src/expr.rs crates/dsl/src/func.rs crates/dsl/src/kernel.rs crates/dsl/src/layout.rs crates/dsl/src/module.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/expr.rs:
+crates/dsl/src/func.rs:
+crates/dsl/src/kernel.rs:
+crates/dsl/src/layout.rs:
+crates/dsl/src/module.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lb_dsl-b3085caa9df56143.d: crates/dsl/src/lib.rs crates/dsl/src/expr.rs crates/dsl/src/func.rs crates/dsl/src/kernel.rs crates/dsl/src/layout.rs crates/dsl/src/module.rs
+
+/root/repo/target/release/deps/liblb_dsl-b3085caa9df56143.rlib: crates/dsl/src/lib.rs crates/dsl/src/expr.rs crates/dsl/src/func.rs crates/dsl/src/kernel.rs crates/dsl/src/layout.rs crates/dsl/src/module.rs
+
+/root/repo/target/release/deps/liblb_dsl-b3085caa9df56143.rmeta: crates/dsl/src/lib.rs crates/dsl/src/expr.rs crates/dsl/src/func.rs crates/dsl/src/kernel.rs crates/dsl/src/layout.rs crates/dsl/src/module.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/expr.rs:
+crates/dsl/src/func.rs:
+crates/dsl/src/kernel.rs:
+crates/dsl/src/layout.rs:
+crates/dsl/src/module.rs:

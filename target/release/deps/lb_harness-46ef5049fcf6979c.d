@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lb_harness-46ef5049fcf6979c.d: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+/root/repo/target/release/deps/liblb_harness-46ef5049fcf6979c.rmeta: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/procstat.rs:
+crates/harness/src/report.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lb_harness-999c22288c0f0050.d: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+/root/repo/target/release/deps/liblb_harness-999c22288c0f0050.rlib: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+/root/repo/target/release/deps/liblb_harness-999c22288c0f0050.rmeta: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/procstat.rs:
+crates/harness/src/report.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lb_harness-d65e1ed14e4bc5bc.d: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+/root/repo/target/release/deps/lb_harness-d65e1ed14e4bc5bc: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/procstat.rs:
+crates/harness/src/report.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/stats.rs:

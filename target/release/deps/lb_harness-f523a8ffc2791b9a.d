@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lb_harness-f523a8ffc2791b9a.d: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+/root/repo/target/release/deps/liblb_harness-f523a8ffc2791b9a.rmeta: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/procstat.rs:
+crates/harness/src/report.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lb_interp-5f189b81372d914b.d: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+/root/repo/target/release/deps/lb_interp-5f189b81372d914b: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/engine.rs:
+crates/interp/src/run.rs:

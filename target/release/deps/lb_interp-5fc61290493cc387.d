@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lb_interp-5fc61290493cc387.d: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+/root/repo/target/release/deps/liblb_interp-5fc61290493cc387.rmeta: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/engine.rs:
+crates/interp/src/run.rs:

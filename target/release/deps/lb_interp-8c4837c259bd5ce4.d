@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lb_interp-8c4837c259bd5ce4.d: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+/root/repo/target/release/deps/liblb_interp-8c4837c259bd5ce4.rmeta: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/engine.rs:
+crates/interp/src/run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lb_interp-dd4507e6948fc231.d: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+/root/repo/target/release/deps/liblb_interp-dd4507e6948fc231.rlib: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+/root/repo/target/release/deps/liblb_interp-dd4507e6948fc231.rmeta: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/engine.rs:
+crates/interp/src/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lb_isa_model-32b2c9da0c2606da.d: crates/isa-model/src/lib.rs
+
+/root/repo/target/release/deps/liblb_isa_model-32b2c9da0c2606da.rmeta: crates/isa-model/src/lib.rs
+
+crates/isa-model/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lb_isa_model-54fdc055c0f1c490.d: crates/isa-model/src/lib.rs
+
+/root/repo/target/release/deps/liblb_isa_model-54fdc055c0f1c490.rmeta: crates/isa-model/src/lib.rs
+
+crates/isa-model/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lb_isa_model-9c90aa4d9a73ab20.d: crates/isa-model/src/lib.rs
+
+/root/repo/target/release/deps/liblb_isa_model-9c90aa4d9a73ab20.rlib: crates/isa-model/src/lib.rs
+
+/root/repo/target/release/deps/liblb_isa_model-9c90aa4d9a73ab20.rmeta: crates/isa-model/src/lib.rs
+
+crates/isa-model/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lb_isa_model-ce04b90f87874785.d: crates/isa-model/src/lib.rs
+
+/root/repo/target/release/deps/lb_isa_model-ce04b90f87874785: crates/isa-model/src/lib.rs
+
+crates/isa-model/src/lib.rs:

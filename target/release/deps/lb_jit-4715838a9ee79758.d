@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lb_jit-4715838a9ee79758.d: crates/jit/src/lib.rs crates/jit/src/asm.rs crates/jit/src/codebuf.rs crates/jit/src/codegen.rs crates/jit/src/engine.rs crates/jit/src/runtime.rs
+
+/root/repo/target/release/deps/lb_jit-4715838a9ee79758: crates/jit/src/lib.rs crates/jit/src/asm.rs crates/jit/src/codebuf.rs crates/jit/src/codegen.rs crates/jit/src/engine.rs crates/jit/src/runtime.rs
+
+crates/jit/src/lib.rs:
+crates/jit/src/asm.rs:
+crates/jit/src/codebuf.rs:
+crates/jit/src/codegen.rs:
+crates/jit/src/engine.rs:
+crates/jit/src/runtime.rs:

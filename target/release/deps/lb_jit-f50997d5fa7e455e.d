@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lb_jit-f50997d5fa7e455e.d: crates/jit/src/lib.rs crates/jit/src/asm.rs crates/jit/src/codebuf.rs crates/jit/src/codegen.rs crates/jit/src/engine.rs crates/jit/src/runtime.rs
+
+/root/repo/target/release/deps/liblb_jit-f50997d5fa7e455e.rlib: crates/jit/src/lib.rs crates/jit/src/asm.rs crates/jit/src/codebuf.rs crates/jit/src/codegen.rs crates/jit/src/engine.rs crates/jit/src/runtime.rs
+
+/root/repo/target/release/deps/liblb_jit-f50997d5fa7e455e.rmeta: crates/jit/src/lib.rs crates/jit/src/asm.rs crates/jit/src/codebuf.rs crates/jit/src/codegen.rs crates/jit/src/engine.rs crates/jit/src/runtime.rs
+
+crates/jit/src/lib.rs:
+crates/jit/src/asm.rs:
+crates/jit/src/codebuf.rs:
+crates/jit/src/codegen.rs:
+crates/jit/src/engine.rs:
+crates/jit/src/runtime.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lb_polybench-0cb11a0eb94afe1a.d: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+/root/repo/target/release/deps/liblb_polybench-0cb11a0eb94afe1a.rmeta: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+crates/polybench/src/lib.rs:
+crates/polybench/src/common.rs:
+crates/polybench/src/data.rs:
+crates/polybench/src/linalg1.rs:
+crates/polybench/src/linalg2.rs:
+crates/polybench/src/medley.rs:
+crates/polybench/src/solvers.rs:
+crates/polybench/src/stencils.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lb_polybench-4d43e6fa99026587.d: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+/root/repo/target/release/deps/lb_polybench-4d43e6fa99026587: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+crates/polybench/src/lib.rs:
+crates/polybench/src/common.rs:
+crates/polybench/src/data.rs:
+crates/polybench/src/linalg1.rs:
+crates/polybench/src/linalg2.rs:
+crates/polybench/src/medley.rs:
+crates/polybench/src/solvers.rs:
+crates/polybench/src/stencils.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lb_polybench-577bde43b8d85ec5.d: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+/root/repo/target/release/deps/liblb_polybench-577bde43b8d85ec5.rlib: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+/root/repo/target/release/deps/liblb_polybench-577bde43b8d85ec5.rmeta: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+crates/polybench/src/lib.rs:
+crates/polybench/src/common.rs:
+crates/polybench/src/data.rs:
+crates/polybench/src/linalg1.rs:
+crates/polybench/src/linalg2.rs:
+crates/polybench/src/medley.rs:
+crates/polybench/src/solvers.rs:
+crates/polybench/src/stencils.rs:

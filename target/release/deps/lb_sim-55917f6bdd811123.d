@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lb_sim-55917f6bdd811123.d: crates/sim/src/lib.rs
+
+/root/repo/target/release/deps/liblb_sim-55917f6bdd811123.rmeta: crates/sim/src/lib.rs
+
+crates/sim/src/lib.rs:

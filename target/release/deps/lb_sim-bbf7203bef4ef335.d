@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lb_sim-bbf7203bef4ef335.d: crates/sim/src/lib.rs
+
+/root/repo/target/release/deps/liblb_sim-bbf7203bef4ef335.rlib: crates/sim/src/lib.rs
+
+/root/repo/target/release/deps/liblb_sim-bbf7203bef4ef335.rmeta: crates/sim/src/lib.rs
+
+crates/sim/src/lib.rs:

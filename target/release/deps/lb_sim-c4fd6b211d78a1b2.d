@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lb_sim-c4fd6b211d78a1b2.d: crates/sim/src/lib.rs
+
+/root/repo/target/release/deps/lb_sim-c4fd6b211d78a1b2: crates/sim/src/lib.rs
+
+crates/sim/src/lib.rs:

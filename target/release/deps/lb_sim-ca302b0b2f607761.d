@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lb_sim-ca302b0b2f607761.d: crates/sim/src/lib.rs
+
+/root/repo/target/release/deps/liblb_sim-ca302b0b2f607761.rmeta: crates/sim/src/lib.rs
+
+crates/sim/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lb_spec_proxy-018fe8df9bb763a4.d: crates/spec-proxy/src/lib.rs crates/spec-proxy/src/common.rs crates/spec-proxy/src/graph.rs crates/spec-proxy/src/md.rs crates/spec-proxy/src/media.rs crates/spec-proxy/src/xz.rs
+
+/root/repo/target/release/deps/liblb_spec_proxy-018fe8df9bb763a4.rmeta: crates/spec-proxy/src/lib.rs crates/spec-proxy/src/common.rs crates/spec-proxy/src/graph.rs crates/spec-proxy/src/md.rs crates/spec-proxy/src/media.rs crates/spec-proxy/src/xz.rs
+
+crates/spec-proxy/src/lib.rs:
+crates/spec-proxy/src/common.rs:
+crates/spec-proxy/src/graph.rs:
+crates/spec-proxy/src/md.rs:
+crates/spec-proxy/src/media.rs:
+crates/spec-proxy/src/xz.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lb_spec_proxy-bb0beddccf5a701f.d: crates/spec-proxy/src/lib.rs crates/spec-proxy/src/common.rs crates/spec-proxy/src/graph.rs crates/spec-proxy/src/md.rs crates/spec-proxy/src/media.rs crates/spec-proxy/src/xz.rs
+
+/root/repo/target/release/deps/liblb_spec_proxy-bb0beddccf5a701f.rlib: crates/spec-proxy/src/lib.rs crates/spec-proxy/src/common.rs crates/spec-proxy/src/graph.rs crates/spec-proxy/src/md.rs crates/spec-proxy/src/media.rs crates/spec-proxy/src/xz.rs
+
+/root/repo/target/release/deps/liblb_spec_proxy-bb0beddccf5a701f.rmeta: crates/spec-proxy/src/lib.rs crates/spec-proxy/src/common.rs crates/spec-proxy/src/graph.rs crates/spec-proxy/src/md.rs crates/spec-proxy/src/media.rs crates/spec-proxy/src/xz.rs
+
+crates/spec-proxy/src/lib.rs:
+crates/spec-proxy/src/common.rs:
+crates/spec-proxy/src/graph.rs:
+crates/spec-proxy/src/md.rs:
+crates/spec-proxy/src/media.rs:
+crates/spec-proxy/src/xz.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lb_sys-2f741afc1bc25c17.d: crates/sys/src/lib.rs
+
+/root/repo/target/release/deps/liblb_sys-2f741afc1bc25c17.rlib: crates/sys/src/lib.rs
+
+/root/repo/target/release/deps/liblb_sys-2f741afc1bc25c17.rmeta: crates/sys/src/lib.rs
+
+crates/sys/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lb_sys-347fc1ce5ebbbab6.d: crates/sys/src/lib.rs
+
+/root/repo/target/release/deps/liblb_sys-347fc1ce5ebbbab6.rmeta: crates/sys/src/lib.rs
+
+crates/sys/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lb_sys-59b27a283bbee079.d: crates/sys/src/lib.rs
+
+/root/repo/target/release/deps/lb_sys-59b27a283bbee079: crates/sys/src/lib.rs
+
+crates/sys/src/lib.rs:

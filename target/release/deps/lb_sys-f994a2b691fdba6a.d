@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lb_sys-f994a2b691fdba6a.d: crates/sys/src/lib.rs
+
+/root/repo/target/release/deps/liblb_sys-f994a2b691fdba6a.rmeta: crates/sys/src/lib.rs
+
+crates/sys/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lb_telemetry-6546fb42dc45af47.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/counters.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/ring.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/liblb_telemetry-6546fb42dc45af47.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/counters.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/ring.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/liblb_telemetry-6546fb42dc45af47.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/counters.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/ring.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/ring.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lb_telemetry-bb91d2f4eac60bfd.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/counters.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/ring.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/liblb_telemetry-bb91d2f4eac60bfd.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/counters.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/ring.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/ring.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/span.rs:

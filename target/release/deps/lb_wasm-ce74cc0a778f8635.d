@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/lb_wasm-ce74cc0a778f8635.d: crates/wasm/src/lib.rs crates/wasm/src/binary/mod.rs crates/wasm/src/binary/decode.rs crates/wasm/src/binary/encode.rs crates/wasm/src/binary/leb.rs crates/wasm/src/builder.rs crates/wasm/src/error.rs crates/wasm/src/fmt.rs crates/wasm/src/instr.rs crates/wasm/src/module.rs crates/wasm/src/numeric.rs crates/wasm/src/types.rs crates/wasm/src/validate.rs crates/wasm/src/value.rs
+
+/root/repo/target/release/deps/liblb_wasm-ce74cc0a778f8635.rlib: crates/wasm/src/lib.rs crates/wasm/src/binary/mod.rs crates/wasm/src/binary/decode.rs crates/wasm/src/binary/encode.rs crates/wasm/src/binary/leb.rs crates/wasm/src/builder.rs crates/wasm/src/error.rs crates/wasm/src/fmt.rs crates/wasm/src/instr.rs crates/wasm/src/module.rs crates/wasm/src/numeric.rs crates/wasm/src/types.rs crates/wasm/src/validate.rs crates/wasm/src/value.rs
+
+/root/repo/target/release/deps/liblb_wasm-ce74cc0a778f8635.rmeta: crates/wasm/src/lib.rs crates/wasm/src/binary/mod.rs crates/wasm/src/binary/decode.rs crates/wasm/src/binary/encode.rs crates/wasm/src/binary/leb.rs crates/wasm/src/builder.rs crates/wasm/src/error.rs crates/wasm/src/fmt.rs crates/wasm/src/instr.rs crates/wasm/src/module.rs crates/wasm/src/numeric.rs crates/wasm/src/types.rs crates/wasm/src/validate.rs crates/wasm/src/value.rs
+
+crates/wasm/src/lib.rs:
+crates/wasm/src/binary/mod.rs:
+crates/wasm/src/binary/decode.rs:
+crates/wasm/src/binary/encode.rs:
+crates/wasm/src/binary/leb.rs:
+crates/wasm/src/builder.rs:
+crates/wasm/src/error.rs:
+crates/wasm/src/fmt.rs:
+crates/wasm/src/instr.rs:
+crates/wasm/src/module.rs:
+crates/wasm/src/numeric.rs:
+crates/wasm/src/types.rs:
+crates/wasm/src/validate.rs:
+crates/wasm/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leaps_and_bounds-674c91b66219c3d8.d: src/lib.rs
+
+/root/repo/target/release/deps/libleaps_and_bounds-674c91b66219c3d8.rmeta: src/lib.rs
+
+src/lib.rs:

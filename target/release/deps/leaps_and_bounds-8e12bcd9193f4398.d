@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leaps_and_bounds-8e12bcd9193f4398.d: src/lib.rs
+
+/root/repo/target/release/deps/libleaps_and_bounds-8e12bcd9193f4398.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libleaps_and_bounds-8e12bcd9193f4398.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leaps_and_bounds-ca3cca440d959c42.d: src/lib.rs
+
+/root/repo/target/release/deps/leaps_and_bounds-ca3cca440d959c42: src/lib.rs
+
+src/lib.rs:

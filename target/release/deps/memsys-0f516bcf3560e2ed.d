@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/memsys-0f516bcf3560e2ed.d: crates/bench/benches/memsys.rs
+
+/root/repo/target/release/deps/libmemsys-0f516bcf3560e2ed.rmeta: crates/bench/benches/memsys.rs
+
+crates/bench/benches/memsys.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickperf-9b0ccb81051421c0.d: crates/bench/src/bin/quickperf.rs
+
+/root/repo/target/release/deps/quickperf-9b0ccb81051421c0: crates/bench/src/bin/quickperf.rs
+
+crates/bench/src/bin/quickperf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickperf-a1ca9d1857852614.d: crates/bench/src/bin/quickperf.rs
+
+/root/repo/target/release/deps/quickperf-a1ca9d1857852614: crates/bench/src/bin/quickperf.rs
+
+crates/bench/src/bin/quickperf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickperf-d0d3bbf31892fd3a.d: crates/bench/src/bin/quickperf.rs
+
+/root/repo/target/release/deps/quickperf-d0d3bbf31892fd3a: crates/bench/src/bin/quickperf.rs
+
+crates/bench/src/bin/quickperf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickperf-dd958160d27dcfd2.d: crates/bench/src/bin/quickperf.rs
+
+/root/repo/target/release/deps/libquickperf-dd958160d27dcfd2.rmeta: crates/bench/src/bin/quickperf.rs
+
+crates/bench/src/bin/quickperf.rs:

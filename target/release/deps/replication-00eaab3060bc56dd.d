@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replication-00eaab3060bc56dd.d: crates/bench/src/bin/replication.rs
+
+/root/repo/target/release/deps/replication-00eaab3060bc56dd: crates/bench/src/bin/replication.rs
+
+crates/bench/src/bin/replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replication-2e40c7bb4763c534.d: crates/bench/src/bin/replication.rs
+
+/root/repo/target/release/deps/libreplication-2e40c7bb4763c534.rmeta: crates/bench/src/bin/replication.rs
+
+crates/bench/src/bin/replication.rs:

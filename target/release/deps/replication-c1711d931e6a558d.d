@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replication-c1711d931e6a558d.d: crates/bench/src/bin/replication.rs
+
+/root/repo/target/release/deps/replication-c1711d931e6a558d: crates/bench/src/bin/replication.rs
+
+crates/bench/src/bin/replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replication-d6e89ac4c87e0265.d: crates/bench/src/bin/replication.rs
+
+/root/repo/target/release/deps/replication-d6e89ac4c87e0265: crates/bench/src/bin/replication.rs
+
+crates/bench/src/bin/replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semantics-49c5e3c91e173b10.d: crates/interp/tests/semantics.rs
+
+/root/repo/target/release/deps/semantics-49c5e3c91e173b10: crates/interp/tests/semantics.rs
+
+crates/interp/tests/semantics.rs:

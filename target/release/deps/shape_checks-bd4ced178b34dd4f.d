@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shape_checks-bd4ced178b34dd4f.d: tests/shape_checks.rs
+
+/root/repo/target/release/deps/shape_checks-bd4ced178b34dd4f: tests/shape_checks.rs
+
+tests/shape_checks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/signal_safety-79a3071d811f7cf4.d: crates/telemetry/tests/signal_safety.rs
+
+/root/repo/target/release/deps/signal_safety-79a3071d811f7cf4: crates/telemetry/tests/signal_safety.rs
+
+crates/telemetry/tests/signal_safety.rs:

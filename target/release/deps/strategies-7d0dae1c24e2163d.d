@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/strategies-7d0dae1c24e2163d.d: crates/bench/benches/strategies.rs
+
+/root/repo/target/release/deps/libstrategies-7d0dae1c24e2163d.rmeta: crates/bench/benches/strategies.rs
+
+crates/bench/benches/strategies.rs:

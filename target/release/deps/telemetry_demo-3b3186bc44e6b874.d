@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_demo-3b3186bc44e6b874.d: crates/bench/src/bin/telemetry_demo.rs
+
+/root/repo/target/release/deps/telemetry_demo-3b3186bc44e6b874: crates/bench/src/bin/telemetry_demo.rs
+
+crates/bench/src/bin/telemetry_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_demo-d8d10c950ce2e190.d: crates/bench/src/bin/telemetry_demo.rs
+
+/root/repo/target/release/deps/telemetry_demo-d8d10c950ce2e190: crates/bench/src/bin/telemetry_demo.rs
+
+crates/bench/src/bin/telemetry_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_demo-fa004a1f0587dbbd.d: crates/bench/src/bin/telemetry_demo.rs
+
+/root/repo/target/release/deps/telemetry_demo-fa004a1f0587dbbd: crates/bench/src/bin/telemetry_demo.rs
+
+crates/bench/src/bin/telemetry_demo.rs:

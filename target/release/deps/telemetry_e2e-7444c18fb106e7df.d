@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_e2e-7444c18fb106e7df.d: tests/telemetry_e2e.rs
+
+/root/repo/target/release/deps/telemetry_e2e-7444c18fb106e7df: tests/telemetry_e2e.rs
+
+tests/telemetry_e2e.rs:

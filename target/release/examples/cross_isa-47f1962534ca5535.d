@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cross_isa-47f1962534ca5535.d: examples/cross_isa.rs
+
+/root/repo/target/release/examples/cross_isa-47f1962534ca5535: examples/cross_isa.rs
+
+examples/cross_isa.rs:

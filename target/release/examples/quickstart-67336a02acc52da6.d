@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-67336a02acc52da6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-67336a02acc52da6: examples/quickstart.rs
+
+examples/quickstart.rs:

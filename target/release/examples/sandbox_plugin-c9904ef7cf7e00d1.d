@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sandbox_plugin-c9904ef7cf7e00d1.d: examples/sandbox_plugin.rs
+
+/root/repo/target/release/examples/sandbox_plugin-c9904ef7cf7e00d1: examples/sandbox_plugin.rs
+
+examples/sandbox_plugin.rs:

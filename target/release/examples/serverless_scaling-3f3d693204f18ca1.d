@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serverless_scaling-3f3d693204f18ca1.d: examples/serverless_scaling.rs
+
+/root/repo/target/release/examples/serverless_scaling-3f3d693204f18ca1: examples/serverless_scaling.rs
+
+examples/serverless_scaling.rs:

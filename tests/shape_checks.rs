@@ -10,7 +10,11 @@ use leaps_and_bounds::jit::{JitEngine, JitProfile};
 use leaps_and_bounds::polybench::{by_name, Dataset};
 use std::time::{Duration, Instant};
 
-fn kernel_time(engine: &dyn Engine, module: &leaps_and_bounds::wasm::Module, s: BoundsStrategy) -> Duration {
+fn kernel_time(
+    engine: &dyn Engine,
+    module: &leaps_and_bounds::wasm::Module,
+    s: BoundsStrategy,
+) -> Duration {
     let loaded = engine.load(module).unwrap();
     let config = MemoryConfig::new(s, 0, 512).with_reserve(256 << 20);
     let mut inst = loaded.instantiate(&config, &Linker::new()).unwrap();
@@ -89,7 +93,11 @@ fn strategies_issue_the_expected_syscalls() {
     };
 
     let mp = churn(BoundsStrategy::Mprotect);
-    assert!(mp.mprotect >= 10, "one mprotect per isolate: {}", mp.mprotect);
+    assert!(
+        mp.mprotect >= 10,
+        "one mprotect per isolate: {}",
+        mp.mprotect
+    );
     assert_eq!(mp.uffd_zeropage, 0);
 
     let tr = churn(BoundsStrategy::Trap);
@@ -98,7 +106,10 @@ fn strategies_issue_the_expected_syscalls() {
     if leaps_and_bounds::core::uffd::sigbus_mode_available() {
         let uf = churn(BoundsStrategy::Uffd);
         assert_eq!(uf.mprotect, 0, "uffd must not call mprotect");
-        assert!(uf.uffd_zeropage >= 10, "uffd resolves faults in the handler");
+        assert!(
+            uf.uffd_zeropage >= 10,
+            "uffd resolves faults in the handler"
+        );
         assert!(uf.uffd_register >= 10);
     }
 
