@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_fuzz-46dcb7e806216608.d: tests/differential_fuzz.rs
+
+/root/repo/target/debug/deps/differential_fuzz-46dcb7e806216608: tests/differential_fuzz.rs
+
+tests/differential_fuzz.rs:

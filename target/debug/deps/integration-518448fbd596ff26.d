@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-518448fbd596ff26.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-518448fbd596ff26: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lb_core-6cfcad87df6dd6ec.d: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+/root/repo/target/debug/deps/liblb_core-6cfcad87df6dd6ec.rlib: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+/root/repo/target/debug/deps/liblb_core-6cfcad87df6dd6ec.rmeta: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/memory.rs crates/core/src/region.rs crates/core/src/registry.rs crates/core/src/signals.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/trap.rs crates/core/src/uffd.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exec.rs:
+crates/core/src/memory.rs:
+crates/core/src/region.rs:
+crates/core/src/registry.rs:
+crates/core/src/signals.rs:
+crates/core/src/stats.rs:
+crates/core/src/strategy.rs:
+crates/core/src/trap.rs:
+crates/core/src/uffd.rs:

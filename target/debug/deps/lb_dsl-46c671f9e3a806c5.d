@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lb_dsl-46c671f9e3a806c5.d: crates/dsl/src/lib.rs crates/dsl/src/expr.rs crates/dsl/src/func.rs crates/dsl/src/kernel.rs crates/dsl/src/layout.rs crates/dsl/src/module.rs
+
+/root/repo/target/debug/deps/liblb_dsl-46c671f9e3a806c5.rlib: crates/dsl/src/lib.rs crates/dsl/src/expr.rs crates/dsl/src/func.rs crates/dsl/src/kernel.rs crates/dsl/src/layout.rs crates/dsl/src/module.rs
+
+/root/repo/target/debug/deps/liblb_dsl-46c671f9e3a806c5.rmeta: crates/dsl/src/lib.rs crates/dsl/src/expr.rs crates/dsl/src/func.rs crates/dsl/src/kernel.rs crates/dsl/src/layout.rs crates/dsl/src/module.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/expr.rs:
+crates/dsl/src/func.rs:
+crates/dsl/src/kernel.rs:
+crates/dsl/src/layout.rs:
+crates/dsl/src/module.rs:

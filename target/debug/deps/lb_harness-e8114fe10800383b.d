@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lb_harness-e8114fe10800383b.d: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+/root/repo/target/debug/deps/liblb_harness-e8114fe10800383b.rlib: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+/root/repo/target/debug/deps/liblb_harness-e8114fe10800383b.rmeta: crates/harness/src/lib.rs crates/harness/src/procstat.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/stats.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/procstat.rs:
+crates/harness/src/report.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/stats.rs:

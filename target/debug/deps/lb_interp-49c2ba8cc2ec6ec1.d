@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lb_interp-49c2ba8cc2ec6ec1.d: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+/root/repo/target/debug/deps/liblb_interp-49c2ba8cc2ec6ec1.rlib: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+/root/repo/target/debug/deps/liblb_interp-49c2ba8cc2ec6ec1.rmeta: crates/interp/src/lib.rs crates/interp/src/engine.rs crates/interp/src/run.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/engine.rs:
+crates/interp/src/run.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lb_isa_model-2714ab1c08bfdcf2.d: crates/isa-model/src/lib.rs
+
+/root/repo/target/debug/deps/liblb_isa_model-2714ab1c08bfdcf2.rlib: crates/isa-model/src/lib.rs
+
+/root/repo/target/debug/deps/liblb_isa_model-2714ab1c08bfdcf2.rmeta: crates/isa-model/src/lib.rs
+
+crates/isa-model/src/lib.rs:

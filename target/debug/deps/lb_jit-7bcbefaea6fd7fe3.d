@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lb_jit-7bcbefaea6fd7fe3.d: crates/jit/src/lib.rs crates/jit/src/asm.rs crates/jit/src/codebuf.rs crates/jit/src/codegen.rs crates/jit/src/engine.rs crates/jit/src/runtime.rs
+
+/root/repo/target/debug/deps/liblb_jit-7bcbefaea6fd7fe3.rlib: crates/jit/src/lib.rs crates/jit/src/asm.rs crates/jit/src/codebuf.rs crates/jit/src/codegen.rs crates/jit/src/engine.rs crates/jit/src/runtime.rs
+
+/root/repo/target/debug/deps/liblb_jit-7bcbefaea6fd7fe3.rmeta: crates/jit/src/lib.rs crates/jit/src/asm.rs crates/jit/src/codebuf.rs crates/jit/src/codegen.rs crates/jit/src/engine.rs crates/jit/src/runtime.rs
+
+crates/jit/src/lib.rs:
+crates/jit/src/asm.rs:
+crates/jit/src/codebuf.rs:
+crates/jit/src/codegen.rs:
+crates/jit/src/engine.rs:
+crates/jit/src/runtime.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lb_polybench-4137a56334fac31c.d: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+/root/repo/target/debug/deps/liblb_polybench-4137a56334fac31c.rlib: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+/root/repo/target/debug/deps/liblb_polybench-4137a56334fac31c.rmeta: crates/polybench/src/lib.rs crates/polybench/src/common.rs crates/polybench/src/data.rs crates/polybench/src/linalg1.rs crates/polybench/src/linalg2.rs crates/polybench/src/medley.rs crates/polybench/src/solvers.rs crates/polybench/src/stencils.rs
+
+crates/polybench/src/lib.rs:
+crates/polybench/src/common.rs:
+crates/polybench/src/data.rs:
+crates/polybench/src/linalg1.rs:
+crates/polybench/src/linalg2.rs:
+crates/polybench/src/medley.rs:
+crates/polybench/src/solvers.rs:
+crates/polybench/src/stencils.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lb_sim-4912255940f92cab.d: crates/sim/src/lib.rs
+
+/root/repo/target/debug/deps/liblb_sim-4912255940f92cab.rlib: crates/sim/src/lib.rs
+
+/root/repo/target/debug/deps/liblb_sim-4912255940f92cab.rmeta: crates/sim/src/lib.rs
+
+crates/sim/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lb_spec_proxy-d8329125aa13b97e.d: crates/spec-proxy/src/lib.rs crates/spec-proxy/src/common.rs crates/spec-proxy/src/graph.rs crates/spec-proxy/src/md.rs crates/spec-proxy/src/media.rs crates/spec-proxy/src/xz.rs
+
+/root/repo/target/debug/deps/liblb_spec_proxy-d8329125aa13b97e.rlib: crates/spec-proxy/src/lib.rs crates/spec-proxy/src/common.rs crates/spec-proxy/src/graph.rs crates/spec-proxy/src/md.rs crates/spec-proxy/src/media.rs crates/spec-proxy/src/xz.rs
+
+/root/repo/target/debug/deps/liblb_spec_proxy-d8329125aa13b97e.rmeta: crates/spec-proxy/src/lib.rs crates/spec-proxy/src/common.rs crates/spec-proxy/src/graph.rs crates/spec-proxy/src/md.rs crates/spec-proxy/src/media.rs crates/spec-proxy/src/xz.rs
+
+crates/spec-proxy/src/lib.rs:
+crates/spec-proxy/src/common.rs:
+crates/spec-proxy/src/graph.rs:
+crates/spec-proxy/src/md.rs:
+crates/spec-proxy/src/media.rs:
+crates/spec-proxy/src/xz.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lb_sys-fbe3df81aeef529b.d: crates/sys/src/lib.rs
+
+/root/repo/target/debug/deps/liblb_sys-fbe3df81aeef529b.rlib: crates/sys/src/lib.rs
+
+/root/repo/target/debug/deps/liblb_sys-fbe3df81aeef529b.rmeta: crates/sys/src/lib.rs
+
+crates/sys/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/lb_wasm-5803b26bf0bd5cee.d: crates/wasm/src/lib.rs crates/wasm/src/binary/mod.rs crates/wasm/src/binary/decode.rs crates/wasm/src/binary/encode.rs crates/wasm/src/binary/leb.rs crates/wasm/src/builder.rs crates/wasm/src/error.rs crates/wasm/src/fmt.rs crates/wasm/src/instr.rs crates/wasm/src/module.rs crates/wasm/src/numeric.rs crates/wasm/src/types.rs crates/wasm/src/validate.rs crates/wasm/src/value.rs
+
+/root/repo/target/debug/deps/liblb_wasm-5803b26bf0bd5cee.rlib: crates/wasm/src/lib.rs crates/wasm/src/binary/mod.rs crates/wasm/src/binary/decode.rs crates/wasm/src/binary/encode.rs crates/wasm/src/binary/leb.rs crates/wasm/src/builder.rs crates/wasm/src/error.rs crates/wasm/src/fmt.rs crates/wasm/src/instr.rs crates/wasm/src/module.rs crates/wasm/src/numeric.rs crates/wasm/src/types.rs crates/wasm/src/validate.rs crates/wasm/src/value.rs
+
+/root/repo/target/debug/deps/liblb_wasm-5803b26bf0bd5cee.rmeta: crates/wasm/src/lib.rs crates/wasm/src/binary/mod.rs crates/wasm/src/binary/decode.rs crates/wasm/src/binary/encode.rs crates/wasm/src/binary/leb.rs crates/wasm/src/builder.rs crates/wasm/src/error.rs crates/wasm/src/fmt.rs crates/wasm/src/instr.rs crates/wasm/src/module.rs crates/wasm/src/numeric.rs crates/wasm/src/types.rs crates/wasm/src/validate.rs crates/wasm/src/value.rs
+
+crates/wasm/src/lib.rs:
+crates/wasm/src/binary/mod.rs:
+crates/wasm/src/binary/decode.rs:
+crates/wasm/src/binary/encode.rs:
+crates/wasm/src/binary/leb.rs:
+crates/wasm/src/builder.rs:
+crates/wasm/src/error.rs:
+crates/wasm/src/fmt.rs:
+crates/wasm/src/instr.rs:
+crates/wasm/src/module.rs:
+crates/wasm/src/numeric.rs:
+crates/wasm/src/types.rs:
+crates/wasm/src/validate.rs:
+crates/wasm/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leaps_and_bounds-e9f86091243631b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libleaps_and_bounds-e9f86091243631b3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libleaps_and_bounds-e9f86091243631b3.rmeta: src/lib.rs
+
+src/lib.rs:

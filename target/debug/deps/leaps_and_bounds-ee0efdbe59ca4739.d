@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leaps_and_bounds-ee0efdbe59ca4739.d: src/lib.rs
+
+/root/repo/target/debug/deps/leaps_and_bounds-ee0efdbe59ca4739: src/lib.rs
+
+src/lib.rs:

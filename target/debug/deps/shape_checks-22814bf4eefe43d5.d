@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_checks-22814bf4eefe43d5.d: tests/shape_checks.rs
+
+/root/repo/target/debug/deps/shape_checks-22814bf4eefe43d5: tests/shape_checks.rs
+
+tests/shape_checks.rs:

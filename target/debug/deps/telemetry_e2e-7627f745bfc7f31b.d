@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_e2e-7627f745bfc7f31b.d: tests/telemetry_e2e.rs
+
+/root/repo/target/debug/deps/telemetry_e2e-7627f745bfc7f31b: tests/telemetry_e2e.rs
+
+tests/telemetry_e2e.rs:

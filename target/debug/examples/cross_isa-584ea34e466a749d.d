@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_isa-584ea34e466a749d.d: examples/cross_isa.rs
+
+/root/repo/target/debug/examples/cross_isa-584ea34e466a749d: examples/cross_isa.rs
+
+examples/cross_isa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sandbox_plugin-372755d955b8406b.d: examples/sandbox_plugin.rs
+
+/root/repo/target/debug/examples/sandbox_plugin-372755d955b8406b: examples/sandbox_plugin.rs
+
+examples/sandbox_plugin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serverless_scaling-bdd8fffb9becb236.d: examples/serverless_scaling.rs
+
+/root/repo/target/debug/examples/serverless_scaling-bdd8fffb9becb236: examples/serverless_scaling.rs
+
+examples/serverless_scaling.rs:
