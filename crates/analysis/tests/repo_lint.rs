@@ -1,0 +1,231 @@
+//! In-tree static lint, run as a normal test so CI needs no extra tooling.
+//!
+//! Two invariants the runtime's safety story depends on:
+//!
+//! 1. **`unsafe` containment** — all `unsafe` code lives in an explicitly
+//!    allowlisted module set (memory mapping, signal handling, the JIT's
+//!    code buffers and runtime thunks, the libc shim, the vDSO clock).
+//!    Everything else — the wasm front end, both engines' logic, the
+//!    analysis, the harness — must be safe Rust.
+//! 2. **Async-signal-safety** — the functions that run in (or may be
+//!    reached from) signal context in `crates/core/src/signals.rs` must
+//!    not allocate or do formatted I/O: no `format!`/`println!`/`vec!`/
+//!    `Box::new`/`.to_string()`-style calls.
+//!
+//! Failures name `file:line` so the offending code is one click away.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/analysis → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Modules allowed to contain `unsafe` code, as workspace-relative paths.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/core/src/memory.rs",
+    "crates/core/src/region.rs",
+    "crates/core/src/registry.rs",
+    "crates/core/src/signals.rs",
+    "crates/core/src/uffd.rs",
+    "crates/harness/src/procstat.rs",
+    "crates/jit/src/codebuf.rs",
+    "crates/jit/src/engine.rs",
+    "crates/jit/src/runtime.rs",
+    "crates/sys/src/lib.rs",
+    "crates/telemetry/src/clock.rs",
+    "crates/telemetry/tests/signal_safety.rs",
+];
+
+/// Functions in `signals.rs` that execute in signal context (the handler
+/// chain) or on the trap-resume path that abandons frames.
+const HANDLER_FNS: &[&str] = &[
+    "raise_trap",
+    "trap_handler",
+    "trap_handler_inner",
+    "deliver_or_chain",
+    "chain",
+];
+
+/// Tokens that allocate or format — forbidden in signal context.
+const BANNED_IN_HANDLERS: &[&str] = &[
+    "format!",
+    "println!",
+    "print!",
+    "eprintln!",
+    "eprint!",
+    "String::",
+    "Vec::new",
+    "Vec::with_capacity",
+    "vec!",
+    "Box::new",
+    ".to_string(",
+    ".to_owned(",
+    ".to_vec(",
+];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            rust_sources(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Strip `//` line comments (keeps column positions up to the comment).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Does `line` contain `word` delimited by non-identifier characters?
+fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(i) = line[start..].find(word) {
+        let at = start + i;
+        let before_ok = at == 0 || {
+            let c = bytes[at - 1] as char;
+            !c.is_alphanumeric() && c != '_' && c != '-'
+        };
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || {
+            let c = bytes[end] as char;
+            !c.is_alphanumeric() && c != '_'
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+#[test]
+fn unsafe_only_in_allowlisted_modules() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests"] {
+        rust_sources(&root.join(dir), &mut files);
+    }
+    assert!(files.len() > 50, "workspace scan found too few files");
+
+    let mut violations = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(&root)
+            .expect("file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The linter's own pattern strings would match themselves.
+        if UNSAFE_ALLOWLIST.contains(&rel.as_str()) || rel == "crates/analysis/tests/repo_lint.rs" {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(f) else {
+            continue;
+        };
+        for (ln, raw) in text.lines().enumerate() {
+            let line = strip_line_comment(raw);
+            if contains_word(line, "unsafe") {
+                violations.push(format!("{rel}:{}: {}", ln + 1, raw.trim()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "`unsafe` outside the allowlisted modules:\n{}",
+        violations.join("\n")
+    );
+}
+
+/// Extract the body of `fn name` from `text` as (start_line, body_text),
+/// by brace matching with line comments stripped.
+fn fn_body(text: &str, name: &str) -> Option<(usize, String)> {
+    let needle = format!("fn {name}");
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, raw) in lines.iter().enumerate() {
+        let line = strip_line_comment(raw);
+        if !line.contains(&needle) {
+            continue;
+        }
+        // Confirm word boundary after the name (avoid `chain` matching
+        // `chained_fault_count`).
+        let at = line.find(&needle)?;
+        let end = at + needle.len();
+        if let Some(c) = line[end..].chars().next() {
+            if c.is_alphanumeric() || c == '_' {
+                continue;
+            }
+        }
+        // Brace-match from the first `{` at or after this line.
+        let mut depth = 0i32;
+        let mut started = false;
+        let mut body = String::new();
+        for l in &lines[i..] {
+            let l = strip_line_comment(l);
+            for ch in l.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            body.push_str(l);
+            body.push('\n');
+            if started && depth == 0 {
+                return Some((i + 1, body));
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn signal_handlers_do_not_allocate_or_format() {
+    let root = workspace_root();
+    let path = root.join("crates/core/src/signals.rs");
+    let text = fs::read_to_string(&path).expect("read signals.rs");
+
+    let mut violations = Vec::new();
+    for name in HANDLER_FNS {
+        let (start, body) = fn_body(&text, name)
+            .unwrap_or_else(|| panic!("handler fn `{name}` not found in signals.rs"));
+        for (off, line) in body.lines().enumerate() {
+            for tok in BANNED_IN_HANDLERS {
+                if line.contains(tok) {
+                    violations.push(format!(
+                        "crates/core/src/signals.rs:{}: `{tok}` in handler fn `{name}`: {}",
+                        start + off,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "allocation/formatting in signal-handler paths:\n{}",
+        violations.join("\n")
+    );
+}

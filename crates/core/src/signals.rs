@@ -330,7 +330,7 @@ pub fn catch_traps<R, F: FnOnce() -> Result<R, Trap>>(f: F) -> Result<R, Trap> {
         )
     };
     CURRENT_FRAME.with(|c| c.set(prev));
-    if code == 0 {
+    let result = if code == 0 {
         match state.out.expect("closure ran") {
             Ok(r) => r,
             Err(p) => resume_unwind(p),
@@ -345,7 +345,25 @@ pub fn catch_traps<R, F: FnOnce() -> Result<R, Trap>>(f: F) -> Result<R, Trap> {
             stats::record_trap_latency(dur);
         }
         Err(Trap::from_signal(code as u32, frame.fault_addr))
+    };
+    // Count bounds checks that actually fired at runtime, whichever path
+    // delivered them (software `Err` from an engine's check, or a hardware
+    // fault) — the dynamic complement of the static elision counters.
+    // This runs in normal context after the trampoline returned, so the
+    // counter's one-time registration lock is safe here.
+    if let Err(t) = &result {
+        if *t.kind() == TrapKind::OutOfBounds {
+            dynamic_oob_counter().inc();
+        }
     }
+    result
+}
+
+/// Counter of bounds violations observed at runtime (cached — counter
+/// registration takes a lock; this path runs per trap, not per access).
+fn dynamic_oob_counter() -> lb_telemetry::Counter {
+    static C: std::sync::OnceLock<lb_telemetry::Counter> = std::sync::OnceLock::new();
+    *C.get_or_init(|| lb_telemetry::counter("checks.dynamic_oob"))
 }
 
 /// Global count of faults chained to previous handlers (diagnostics).

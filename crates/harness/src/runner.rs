@@ -183,6 +183,17 @@ pub fn run_benchmark(bench: &Benchmark, spec: &RunSpec) -> RunResult {
             ("engine", spec.engine.name().to_string()),
             ("strategy", spec.strategy.name().to_string()),
             ("threads", spec.threads.to_string()),
+            // Static bounds-check decisions for this run (compile-time
+            // counters from lb-analysis via the JIT), for the paper-style
+            // "checks eliminated" column.
+            (
+                "checks_static_elided",
+                telemetry.counter("jit.checks.static_elided").to_string(),
+            ),
+            (
+                "checks_emitted",
+                telemetry.counter("jit.checks.emitted").to_string(),
+            ),
         ],
         &telemetry,
     );

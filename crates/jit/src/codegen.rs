@@ -55,6 +55,27 @@ pub struct CompileParams<'a> {
     pub safepoints: bool,
     /// Address of function-pointer table entry 0.
     pub funcptrs_base: usize,
+    /// Module-level bounds-check plan from `lb-analysis`. `None` falls
+    /// back to the legacy per-basic-block peephole (kept for differential
+    /// testing).
+    pub plans: Option<&'a lb_analysis::ModulePlan>,
+}
+
+/// Telemetry counters for bounds-check decisions, cached because counter
+/// registration takes a lock and these sites run once per compiled access.
+struct CheckCounters {
+    elided: lb_telemetry::Counter,
+    emitted: lb_telemetry::Counter,
+    static_oob: lb_telemetry::Counter,
+}
+
+fn check_counters() -> &'static CheckCounters {
+    static C: std::sync::OnceLock<CheckCounters> = std::sync::OnceLock::new();
+    C.get_or_init(|| CheckCounters {
+        elided: lb_telemetry::counter("jit.checks.static_elided"),
+        emitted: lb_telemetry::counter("jit.checks.emitted"),
+        static_oob: lb_telemetry::counter("jit.checks.static_oob"),
+    })
 }
 
 const INT_POOL: [Reg; 8] = [
@@ -98,6 +119,11 @@ struct Gen<'a> {
     p: CompileParams<'a>,
     fmeta: &'a FuncMeta,
     body: &'a [Instr],
+    /// Plan for this function, when module analysis ran.
+    plan: Option<&'a lb_analysis::FuncPlan>,
+    /// Program counter of the instruction currently being lowered (indexes
+    /// into the plan).
+    cur_pc: usize,
     n_locals: usize,
     local_types: &'a [ValType],
     stack: Vec<AVal>,
@@ -141,6 +167,8 @@ pub fn compile_function(p: CompileParams<'_>, defined_idx: usize) -> Vec<u8> {
         p,
         fmeta,
         body: &func.body,
+        plan: p.plans.and_then(|mp| mp.funcs.get(defined_idx)),
+        cur_pc: 0,
         n_locals: fmeta.local_types.len(),
         local_types: &fmeta.local_types,
         stack: Vec::new(),
@@ -708,44 +736,109 @@ impl<'a> Gen<'a> {
     /// Returns the memory operand; the caller must `release_i(addr)` after
     /// the access.
     fn mem_operand(&mut self, addr: Reg, offset: u32, size: u32) -> Mem {
+        use lb_analysis::CheckKind;
         let origin = self.origin.get(&addr.0).copied();
+        // The analysis plan is consulted at the optimizing tiers only:
+        // `OptLevel::None` models a baseline compiler that emits every
+        // check (and is the differential-testing reference).
+        let plan_kind = if self.p.opt == OptLevel::None {
+            None
+        } else {
+            self.plan.map(|pl| pl.kind_at(self.cur_pc))
+        };
         match self.p.strategy {
             BoundsStrategy::None | BoundsStrategy::Mprotect | BoundsStrategy::Uffd => {
                 self.access_mem(addr, offset)
             }
             BoundsStrategy::Trap => {
                 let extent = u64::from(offset) + u64::from(size);
-                // Redundant-check elimination (Full): if an earlier check on
-                // the same (local, shift) origin covered at least this
-                // addend+extent, the access cannot newly go out of bounds.
-                let mut skip = false;
-                if self.p.opt == OptLevel::Full {
-                    if let Some((l, sh, add)) = origin {
-                        let key = (l, sh);
-                        let need = add + extent;
-                        match self.checked.get(&key) {
-                            Some(&have) if have >= need => skip = true,
-                            _ => {
-                                self.checked.insert(key, need);
+                enum Act {
+                    Skip,
+                    Check,
+                    Dead,
+                }
+                let act = match plan_kind {
+                    // Both elisions are sound under trap: in-bounds is
+                    // proven against the declared minimum memory, and a
+                    // dominating check has already trapped any OOB path.
+                    Some(CheckKind::ElideInBounds | CheckKind::ElideDominated) => Act::Skip,
+                    Some(CheckKind::StaticOob) => Act::Dead,
+                    Some(CheckKind::Emit) => Act::Check,
+                    None => {
+                        // Legacy per-basic-block peephole (Full): if an
+                        // earlier check on the same (local, shift) origin
+                        // covered at least this addend+extent, the access
+                        // cannot newly go out of bounds. Kept as the
+                        // fallback mode for differential testing.
+                        let mut skip = false;
+                        if self.p.opt == OptLevel::Full {
+                            if let Some((l, sh, add)) = origin {
+                                let key = (l, sh);
+                                let need = add + extent;
+                                match self.checked.get(&key) {
+                                    Some(&have) if have >= need => skip = true,
+                                    _ => {
+                                        self.checked.insert(key, need);
+                                    }
+                                }
                             }
                         }
+                        if skip {
+                            Act::Skip
+                        } else {
+                            Act::Check
+                        }
                     }
-                }
-                if !skip {
-                    let ext = i32::try_from(extent).expect("offset+size fits i32");
-                    self.a.lea(W::W64, SCRATCH, Mem::base(addr, ext));
-                    self.a
-                        .cmp_rm(W::W64, SCRATCH, Mem::base(Reg::R15, ctx_off::MEM_SIZE));
-                    let t = self.trap_label(TrapKind::OutOfBounds);
-                    self.a.jcc(Cc::A, t);
+                };
+                let c = check_counters();
+                match act {
+                    Act::Skip => c.elided.inc(),
+                    Act::Dead => {
+                        // Provably out of bounds: trap unconditionally.
+                        // The access code that follows is unreachable but
+                        // keeps register/stack bookkeeping uniform.
+                        c.static_oob.inc();
+                        let t = self.trap_label(TrapKind::OutOfBounds);
+                        self.a.jmp(t);
+                    }
+                    Act::Check => {
+                        c.emitted.inc();
+                        match i32::try_from(extent) {
+                            Ok(ext) => self.a.lea(W::W64, SCRATCH, Mem::base(addr, ext)),
+                            Err(_) => {
+                                // offset near u32::MAX: extent exceeds an
+                                // i32 displacement (max < 2^33, fits i64).
+                                self.a.mov_ri64(SCRATCH, extent as i64);
+                                self.a.add_rr(W::W64, SCRATCH, addr);
+                            }
+                        }
+                        self.a
+                            .cmp_rm(W::W64, SCRATCH, Mem::base(Reg::R15, ctx_off::MEM_SIZE));
+                        let t = self.trap_label(TrapKind::OutOfBounds);
+                        self.a.jcc(Cc::A, t);
+                    }
                 }
                 self.access_mem(addr, offset)
             }
             BoundsStrategy::Clamp => {
+                let c = check_counters();
+                // Only the in-bounds proof survives clamping: a dominating
+                // *clamp* redirects instead of trapping, so it proves
+                // nothing about this access.
+                if plan_kind == Some(CheckKind::ElideInBounds) {
+                    c.elided.inc();
+                    return self.access_mem(addr, offset);
+                }
+                c.emitted.inc();
                 // ea = min(addr + offset, mem_size - size), as the paper's
                 // clamp redirects out-of-bounds accesses to the memory end.
-                let off = i32::try_from(offset).expect("offset fits i32");
-                self.a.lea(W::W64, SCRATCH, Mem::base(addr, off));
+                match i32::try_from(offset) {
+                    Ok(off) => self.a.lea(W::W64, SCRATCH, Mem::base(addr, off)),
+                    Err(_) => {
+                        self.a.mov_ri64(SCRATCH, i64::from(offset));
+                        self.a.add_rr(W::W64, SCRATCH, addr);
+                    }
+                }
                 let t = self.alloc_i();
                 self.a
                     .mov_rm(W::W64, t, Mem::base(Reg::R15, ctx_off::MEM_SIZE));
@@ -1117,6 +1210,7 @@ impl<'a> Gen<'a> {
     fn walk(&mut self) {
         use Instr::*;
         for pc in 0..self.body.len() {
+            self.cur_pc = pc;
             // Label binding (and revival of dead code).
             if let Some(&l) = self.labels.get(&(pc as u32)) {
                 if !self.dead {

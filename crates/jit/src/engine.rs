@@ -43,9 +43,20 @@ pub struct JitProfile {
     pub safepoints: bool,
     /// Run the periodic GC pauser thread (V8's worker-thread pauses).
     pub gc_pause: bool,
+    /// Run the `lb-analysis` bounds-check elimination pass at load time
+    /// and consume its plan at the optimizing tiers.
+    pub analysis: bool,
 }
 
 impl JitProfile {
+    /// Toggle the static bounds-check analysis (on by default; turning it
+    /// off restores the legacy per-basic-block peephole, for differential
+    /// testing).
+    pub fn with_analysis(mut self, on: bool) -> JitProfile {
+        self.analysis = on;
+        self
+    }
+
     /// WAVM: LLVM-quality AOT — our `Full` tier at load time.
     pub fn wavm() -> JitProfile {
         JitProfile {
@@ -54,6 +65,7 @@ impl JitProfile {
             tiered: false,
             safepoints: false,
             gc_pause: false,
+            analysis: true,
         }
     }
 
@@ -66,6 +78,7 @@ impl JitProfile {
             tiered: false,
             safepoints: false,
             gc_pause: false,
+            analysis: true,
         }
     }
 
@@ -78,6 +91,7 @@ impl JitProfile {
             tiered: true,
             safepoints: true,
             gc_pause: true,
+            analysis: true,
         }
     }
 }
@@ -148,6 +162,9 @@ pub struct JitModule {
     pauser: Option<Arc<Pauser>>,
     /// Canonical type id per type index (types may repeat after decode).
     canon_types: Vec<usize>,
+    /// Bounds-check plan from `lb-analysis` (absent when the profile
+    /// disables analysis).
+    plan: Option<Arc<lb_analysis::ModulePlan>>,
     code: Mutex<HashMap<BoundsStrategy, Arc<StrategyCode>>>,
 }
 
@@ -179,12 +196,17 @@ impl Engine for JitEngine {
             }
         }
         let canon_types = canonical_type_ids(module);
+        let plan = self
+            .profile
+            .analysis
+            .then(|| Arc::new(lb_analysis::analyze_module(module, &meta)));
         Ok(Arc::new(JitModule {
             module: module.clone(),
             meta,
             profile: self.profile,
             pauser: self.pauser(),
             canon_types,
+            plan,
             code: Mutex::new(HashMap::new()),
         }))
     }
@@ -213,6 +235,7 @@ impl JitModule {
             opt,
             safepoints: self.profile.safepoints,
             funcptrs_base: funcptrs.base_addr(),
+            plans: self.plan.as_deref(),
         };
         let ni = self.module.num_imported_funcs() as usize;
         let mut blob = Vec::new();
@@ -300,6 +323,7 @@ impl JitModule {
         let module = self.module.clone();
         let metas = self.meta.clone();
         let safepoints = self.profile.safepoints;
+        let plan = self.plan.clone();
         std::thread::Builder::new()
             .name("lb-tierup".into())
             .spawn(move || {
@@ -318,6 +342,7 @@ impl JitModule {
                         opt: OptLevel::Full,
                         safepoints,
                         funcptrs_base: sc.funcptrs.base_addr(),
+                        plans: plan.as_deref(),
                     };
                     let t0 = lb_telemetry::clock::now_ns();
                     let code = compile_function(params, di);
