@@ -11,6 +11,12 @@
 //!    reached from) signal context in `crates/core/src/signals.rs` must
 //!    not allocate or do formatted I/O: no `format!`/`println!`/`vec!`/
 //!    `Box::new`/`.to_string()`-style calls.
+//! 3. **No new aborts on the measurement path** — non-test code in
+//!    `lb-core` and `lb-harness` must not call `.unwrap()`/`.expect()`:
+//!    every fallible OS boundary there feeds the failure model (fault
+//!    injection, fallback chains, per-run failure records), and a stray
+//!    unwrap turns an injectable error back into a process abort. The
+//!    few deliberate keepers are allowlisted with their justification.
 //!
 //! Failures name `file:line` so the offending code is one click away.
 
@@ -28,6 +34,7 @@ fn workspace_root() -> PathBuf {
 
 /// Modules allowed to contain `unsafe` code, as workspace-relative paths.
 const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/chaos/src/lib.rs",
     "crates/core/src/memory.rs",
     "crates/core/src/region.rs",
     "crates/core/src/registry.rs",
@@ -199,6 +206,93 @@ fn fn_body(text: &str, name: &str) -> Option<(usize, String)> {
         }
     }
     None
+}
+
+/// Deliberate `.unwrap()`/`.expect()` keepers in non-test lb-core and
+/// lb-harness code, as (workspace-relative file, line substring) pairs.
+/// Each is an invariant violation or unrecoverable host condition where
+/// aborting *is* the correct behavior — not a fallible OS boundary:
+///
+/// * region.rs — mmap returned success with a null pointer: kernel
+///   contract violation, not an error a caller can handle.
+/// * signals.rs — trap-resume bookkeeping invariants inside
+///   `catch_traps`; if these fire, the jump-buffer state machine is
+///   corrupt and continuing would execute on poisoned state.
+/// * uffd.rs / procstat.rs — `std::thread::Builder::spawn` refusing to
+///   create a thread (host out of tids/memory); the harness cannot run
+///   at all, and both sites are documented with `# Panics`.
+const UNWRAP_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/core/src/region.rs",
+        "expect(\"mmap returned non-null\")",
+    ),
+    ("crates/core/src/signals.rs", "expect(\"closure present\")"),
+    ("crates/core/src/signals.rs", "expect(\"closure ran\")"),
+    (
+        "crates/core/src/uffd.rs",
+        "expect(\"spawn uffd poll thread\")",
+    ),
+    (
+        "crates/core/src/uffd.rs",
+        "expect(\"spawn uffd watchdog thread\")",
+    ),
+    (
+        "crates/harness/src/procstat.rs",
+        "expect(\"spawn sampler\")",
+    ),
+    (
+        "crates/harness/src/procstat.rs",
+        "expect(\"sampler running\")",
+    ),
+    (
+        "crates/harness/src/procstat.rs",
+        "expect(\"sampler joins\")",
+    ),
+];
+
+#[test]
+fn no_new_unwrap_or_expect_in_core_and_harness() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    rust_sources(&root.join("crates/core/src"), &mut files);
+    rust_sources(&root.join("crates/harness/src"), &mut files);
+    assert!(files.len() >= 10, "scan found too few files");
+
+    let mut violations = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(&root)
+            .expect("file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = fs::read_to_string(f) else {
+            continue;
+        };
+        for (ln, raw) in text.lines().enumerate() {
+            // Repo convention: the `#[cfg(test)]` module is the last item
+            // in a file, so everything after it is test-only.
+            if raw.contains("#[cfg(test)]") {
+                break;
+            }
+            let line = strip_line_comment(raw);
+            if !(line.contains(".unwrap()") || line.contains(".expect(")) {
+                continue;
+            }
+            if UNWRAP_ALLOWLIST
+                .iter()
+                .any(|(file, frag)| *file == rel && line.contains(frag))
+            {
+                continue;
+            }
+            violations.push(format!("{rel}:{}: {}", ln + 1, raw.trim()));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "new `.unwrap()`/`.expect()` in non-test lb-core/lb-harness code \
+         (handle the error or extend UNWRAP_ALLOWLIST with justification):\n{}",
+        violations.join("\n")
+    );
 }
 
 #[test]

@@ -88,8 +88,37 @@ pub struct LinearMemory {
     desc_slot: SlotId,
     desc: *const ArenaDesc,
     strategy: BoundsStrategy,
+    requested: BoundsStrategy,
     max_pages: u32,
     uffd: Option<Uffd>,
+}
+
+/// Next strategy to try when `strategy` failed to initialize with `err`.
+///
+/// This is the degradation chain the failure model documents: `uffd` setup
+/// failures (no kernel support, container seccomp/EPERM, fd exhaustion)
+/// degrade to `mprotect`, whose own initial-protect failure degrades to
+/// `trap` (software checks need no syscalls beyond the reservation).
+/// Reservation failures and bad configs never fall back: every strategy
+/// needs the same mmap, so retrying cannot help.
+fn fallback_next(strategy: BoundsStrategy, err: &MemoryError) -> Option<BoundsStrategy> {
+    match (strategy, err) {
+        (BoundsStrategy::Uffd, MemoryError::Uffd(_)) => Some(BoundsStrategy::Mprotect),
+        (BoundsStrategy::Mprotect, MemoryError::Protect(_)) => Some(BoundsStrategy::Trap),
+        _ => None,
+    }
+}
+
+fn fallback_edge_counter(from: BoundsStrategy, to: BoundsStrategy) -> &'static str {
+    match (from, to) {
+        (BoundsStrategy::Uffd, BoundsStrategy::Mprotect) => {
+            "core.strategy.fallback.uffd_to_mprotect"
+        }
+        (BoundsStrategy::Mprotect, BoundsStrategy::Trap) => {
+            "core.strategy.fallback.mprotect_to_trap"
+        }
+        _ => "core.strategy.fallback.other",
+    }
 }
 
 // SAFETY: the raw desc pointer stays valid until Drop unregisters it; all
@@ -98,12 +127,22 @@ unsafe impl Send for LinearMemory {}
 unsafe impl Sync for LinearMemory {}
 
 impl LinearMemory {
-    /// Create a memory per `config`.
+    /// Create a memory per `config`, degrading along the strategy fallback
+    /// chain (`uffd → mprotect → trap`) when a guard-based backend cannot
+    /// initialize on this host.
+    ///
+    /// The effective strategy is reported by [`LinearMemory::strategy`];
+    /// the originally requested one by [`LinearMemory::requested_strategy`].
+    /// Each degradation increments the `core.strategy.fallback` telemetry
+    /// counter (plus a per-edge counter naming the transition).
     ///
     /// # Errors
-    /// See [`MemoryError`]. In particular, the `uffd` strategy requires a
-    /// kernel with `UFFD_FEATURE_SIGBUS` and suitable privileges; probe
-    /// with [`crate::uffd::sigbus_mode_available`].
+    /// See [`MemoryError`]. Errors are returned only when the end of the
+    /// fallback chain is reached (or the failure is strategy-independent,
+    /// like a failed reservation or a bad config). In particular, the
+    /// `uffd` strategy requires a kernel with `UFFD_FEATURE_SIGBUS` and
+    /// suitable privileges; probe with
+    /// [`crate::uffd::sigbus_mode_available`].
     pub fn new(config: &MemoryConfig) -> Result<LinearMemory, MemoryError> {
         if config.initial_pages > config.max_pages {
             return Err(MemoryError::BadConfig(format!(
@@ -111,23 +150,52 @@ impl LinearMemory {
                 config.initial_pages, config.max_pages
             )));
         }
+        let mut strategy = config.strategy;
+        loop {
+            match Self::try_new(config, strategy) {
+                Ok(m) => return Ok(m),
+                Err(e) => match fallback_next(strategy, &e) {
+                    Some(next) => {
+                        lb_telemetry::counter("core.strategy.fallback").inc();
+                        lb_telemetry::counter(fallback_edge_counter(strategy, next)).inc();
+                        strategy = next;
+                    }
+                    None => return Err(e),
+                },
+            }
+        }
+    }
+
+    /// One attempt at constructing the memory with a fixed `strategy`.
+    ///
+    /// All partially-acquired resources are RAII-owned (`Reservation`
+    /// unmaps, `Uffd` closes its fd), so an error return here leaks
+    /// nothing — `chaos_matrix.rs` verifies this by injecting failures in
+    /// a loop and watching `/proc/self/{fd,maps}`.
+    fn try_new(
+        config: &MemoryConfig,
+        strategy: BoundsStrategy,
+    ) -> Result<LinearMemory, MemoryError> {
         let max_bytes = config.max_pages as usize * WASM_PAGE;
         let reserve = config.reserve_bytes.max(max_bytes).max(WASM_PAGE);
         let reserve = round_up_to_page(reserve);
         let initial_bytes = config.initial_pages as usize * WASM_PAGE;
 
-        let initial_prot = match config.strategy {
+        let initial_prot = match strategy {
             BoundsStrategy::Mprotect => Protection::None,
             _ => Protection::ReadWrite,
         };
         let reservation = Reservation::new(reserve, initial_prot).map_err(MemoryError::Reserve)?;
-        if config.strategy == BoundsStrategy::Mprotect && initial_bytes > 0 {
+        if strategy == BoundsStrategy::Mprotect && initial_bytes > 0 {
+            if let Some(e) = lb_chaos::inject("core.mprotect.init") {
+                return Err(MemoryError::Protect(e));
+            }
             reservation
                 .protect(0, round_up_to_page(initial_bytes), Protection::ReadWrite)
                 .map_err(MemoryError::Protect)?;
         }
 
-        let uffd = if config.strategy == BoundsStrategy::Uffd {
+        let uffd = if strategy == BoundsStrategy::Uffd {
             let u = Uffd::new_sigbus().map_err(MemoryError::Uffd)?;
             u.register_missing(reservation.base().as_ptr() as usize, reserve)
                 .map_err(MemoryError::Uffd)?;
@@ -140,7 +208,7 @@ impl LinearMemory {
             base: reservation.base().as_ptr() as usize,
             len: reserve,
             committed: std::sync::atomic::AtomicUsize::new(initial_bytes),
-            strategy: config.strategy,
+            strategy,
             uffd_fd: std::sync::atomic::AtomicI32::new(
                 uffd.as_ref().map(|u| u.raw_fd()).unwrap_or(-1),
             ),
@@ -151,7 +219,8 @@ impl LinearMemory {
             reservation,
             desc_slot,
             desc,
-            strategy: config.strategy,
+            strategy,
+            requested: config.strategy,
             max_pages: (max_bytes.min(reserve) / WASM_PAGE) as u32,
             uffd,
         })
@@ -162,9 +231,19 @@ impl LinearMemory {
         unsafe { &*self.desc }
     }
 
-    /// The bounds-checking strategy.
+    /// The effective bounds-checking strategy (after any fallback).
     pub fn strategy(&self) -> BoundsStrategy {
         self.strategy
+    }
+
+    /// The strategy the configuration asked for, before any fallback.
+    pub fn requested_strategy(&self) -> BoundsStrategy {
+        self.requested
+    }
+
+    /// Whether construction degraded to a different strategy than requested.
+    pub fn fell_back(&self) -> bool {
+        self.strategy != self.requested
     }
 
     /// Base address of the reservation (for engines generating raw access).
@@ -214,6 +293,11 @@ impl LinearMemory {
         }
         let new_bytes = new_pages as usize * WASM_PAGE;
         if self.strategy == BoundsStrategy::Mprotect {
+            // An injected or real failure (e.g. ENOMEM) surfaces as a clean
+            // wasm-level `memory.grow` of −1, never a crash.
+            if lb_chaos::inject("core.mprotect.grow").is_some() {
+                return None;
+            }
             // The syscall whose VMA-lock serialization the paper measures.
             if self
                 .reservation
@@ -326,7 +410,14 @@ impl LinearMemory {
         if end > self.committed() {
             return Err(Trap::oob());
         }
-        // SAFETY: range checked against committed.
+        // Host context: uffd pages inside the committed range may still be
+        // missing, and no catch_traps frame is armed here, so populate
+        // explicitly (and fail cleanly) before the raw copy — see
+        // write_bytes.
+        if self.strategy == BoundsStrategy::Uffd {
+            self.populate(ea, out.len()).map_err(|_| Trap::oob())?;
+        }
+        // SAFETY: range checked against committed; uffd pages populated.
         unsafe {
             std::ptr::copy_nonoverlapping(self.base().add(ea), out.as_mut_ptr(), out.len());
         }
@@ -344,15 +435,16 @@ impl LinearMemory {
         if end > self.committed() {
             return Err(Trap::oob());
         }
-        // SAFETY: range checked against committed. For mprotect memory the
-        // pages are RW (committed); for uffd they may be missing, but this
-        // is host context under catch_traps-free code — uffd missing pages
-        // under committed resolve via the SIGBUS handler only during wasm
-        // execution, so populate explicitly here instead.
+        // For mprotect memory the pages are RW (committed); for uffd they
+        // may be missing, but this is host context under catch_traps-free
+        // code — uffd missing pages under committed resolve via the SIGBUS
+        // handler only during wasm execution, so populate explicitly here.
+        // A populate failure must surface *before* the raw copy below, or
+        // the copy would fault with no handler armed and abort the process.
         if self.strategy == BoundsStrategy::Uffd {
-            self.populate(ea, data.len());
+            self.populate(ea, data.len()).map_err(|_| Trap::oob())?;
         }
-        // SAFETY: as above.
+        // SAFETY: range checked against committed; uffd pages populated.
         unsafe {
             std::ptr::copy_nonoverlapping(data.as_ptr(), self.base().add(ea), data.len());
         }
@@ -361,12 +453,27 @@ impl LinearMemory {
 
     /// Eagerly populate `[addr, addr+len)` for uffd memories (no-op for
     /// other strategies).
-    pub fn populate(&self, addr: usize, len: usize) {
-        if let Some(u) = &self.uffd {
-            let start = addr & !(4095);
-            let end = round_up_to_page(addr + len);
-            // EEXIST is fine: pages already present.
-            let _ = u.zeropage(self.base() as usize + start, end - start);
+    ///
+    /// # Errors
+    /// Propagates `UFFDIO_ZEROPAGE` failures. `EEXIST` (already present)
+    /// is success; transient `EAGAIN` is retried a bounded number of times.
+    pub fn populate(&self, addr: usize, len: usize) -> io::Result<()> {
+        let Some(u) = &self.uffd else {
+            return Ok(());
+        };
+        let start = addr & !(4095);
+        let end = round_up_to_page(addr + len);
+        let mut attempts = 0;
+        loop {
+            match u.zeropage(self.base() as usize + start, end - start) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.raw_os_error() == Some(libc::EEXIST) => return Ok(()),
+                Err(e) if e.raw_os_error() == Some(libc::EAGAIN) && attempts < 16 => {
+                    attempts += 1;
+                    std::hint::spin_loop();
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 }

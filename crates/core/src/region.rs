@@ -62,6 +62,9 @@ impl Reservation {
     /// address space).
     pub fn new(len: usize, prot: Protection) -> io::Result<Reservation> {
         assert!(len > 0, "cannot reserve 0 bytes");
+        if let Some(e) = lb_chaos::inject("core.mmap.reserve") {
+            return Err(e);
+        }
         // SAFETY: anonymous private mapping with no address hint.
         let p = unsafe {
             libc::mmap(
@@ -151,6 +154,9 @@ impl Reservation {
     pub fn discard(&self, offset: usize, len: usize) -> io::Result<()> {
         if len == 0 {
             return Ok(());
+        }
+        if let Some(e) = lb_chaos::inject("core.madvise.discard") {
+            return Err(e);
         }
         assert!(
             offset.checked_add(len).is_some_and(|e| e <= self.len),

@@ -15,8 +15,9 @@
 
 use std::io;
 use std::os::unix::io::RawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 // ── Linux ABI (stable since 4.3; SIGBUS feature since 4.14) ─────────────
 
@@ -24,6 +25,7 @@ const UFFD_API: u64 = 0xAA;
 const UFFDIO_API: libc::c_ulong = 0xC018_AA3F;
 const UFFDIO_REGISTER: libc::c_ulong = 0xC020_AA00;
 const UFFDIO_UNREGISTER: libc::c_ulong = 0x8010_AA01;
+const UFFDIO_WAKE: libc::c_ulong = 0x8010_AA02;
 const UFFDIO_ZEROPAGE: libc::c_ulong = 0xC020_AA04;
 
 const UFFDIO_REGISTER_MODE_MISSING: u64 = 1 << 0;
@@ -107,9 +109,22 @@ impl Uffd {
     }
 
     fn new(features: u64, sigbus: bool) -> io::Result<Uffd> {
-        // O_CLOEXEC always; O_NONBLOCK would make poll-mode reads spin.
+        // The fault point most worth injecting: userfaultfd(2) is EPERM'd
+        // in most containers (vm.unprivileged_userfaultfd since 5.11).
+        if let Some(e) = lb_chaos::inject("core.uffd.create") {
+            return Err(e);
+        }
+        // O_CLOEXEC always. Poll mode adds O_NONBLOCK: a queued fault
+        // event can be resolved — and its wait-queue entry removed — by a
+        // third party (the watchdog's eager conversion) between the
+        // handler's poll() and read(), and a blocking read would then
+        // hang the handler thread forever.
+        let mut flags = libc::O_CLOEXEC;
+        if !sigbus {
+            flags |= libc::O_NONBLOCK;
+        }
         // SAFETY: plain syscall.
-        let fd = unsafe { libc::syscall(libc::SYS_userfaultfd, libc::O_CLOEXEC) };
+        let fd = unsafe { libc::syscall(libc::SYS_userfaultfd, flags) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
         }
@@ -154,6 +169,9 @@ impl Uffd {
     /// # Errors
     /// Propagates the `UFFDIO_REGISTER` failure.
     pub fn register_missing(&self, base: usize, len: usize) -> io::Result<()> {
+        if let Some(e) = lb_chaos::inject("core.uffd.register") {
+            return Err(e);
+        }
         let mut reg = UffdioRegister {
             range: UffdioRange {
                 start: base as u64,
@@ -198,6 +216,28 @@ impl Uffd {
             e => Err(io::Error::from_raw_os_error(e)),
         }
     }
+
+    /// Wake threads blocked on faults in `[base, base+len)` (`UFFDIO_WAKE`).
+    /// Used by the watchdog's stall recovery: a lost or stuck wakeup is
+    /// re-issued so faulting threads retry their access.
+    ///
+    /// # Errors
+    /// Propagates the ioctl failure.
+    pub fn wake(&self, base: usize, len: usize) -> io::Result<()> {
+        if let Some(e) = lb_chaos::inject("core.uffd.wake") {
+            return Err(e);
+        }
+        let range = UffdioRange {
+            start: base as u64,
+            len: len as u64,
+        };
+        // SAFETY: valid fd and struct.
+        let rc = unsafe { libc::ioctl(self.fd, UFFDIO_WAKE, &range) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
 }
 
 impl Drop for Uffd {
@@ -208,8 +248,14 @@ impl Drop for Uffd {
 }
 
 /// Issue `UFFDIO_ZEROPAGE`; returns 0 or the positive errno.
-/// Async-signal-safe.
+/// Async-signal-safe — including the fault-point consultation, which is
+/// atomic loads and increments on pre-registered counters. This one site
+/// covers both the host-side populate path and the in-handler SIGBUS
+/// fast path.
 fn zeropage_raw(fd: RawFd, start: usize, len: usize) -> i32 {
+    if let Some(errno) = lb_chaos::inject_raw("core.uffd.copy") {
+        return errno;
+    }
     let mut z = UffdioZeropage {
         range: UffdioRange {
             start: start as u64,
@@ -267,26 +313,57 @@ pub fn sigbus_mode_available() -> bool {
     *AVAILABLE.get_or_init(|| Uffd::new_sigbus().is_ok())
 }
 
+/// A monotonically increasing liveness signal. The poll-mode fault
+/// handler bumps it every loop iteration (event or timeout alike); the
+/// [`Watchdog`] reads it to distinguish a healthy-but-idle handler from a
+/// stalled one.
+#[derive(Debug, Clone, Default)]
+pub struct Heartbeat(Arc<AtomicU64>);
+
+impl Heartbeat {
+    /// A fresh heartbeat at tick 0.
+    pub fn new() -> Heartbeat {
+        Heartbeat::default()
+    }
+
+    /// Record one liveness tick.
+    pub fn beat(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current tick count.
+    pub fn ticks(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A poll-mode fault-handler thread (the paper's footnoted alternative;
 /// kept for the latency ablation bench).
 #[derive(Debug)]
 pub struct PollHandler {
     stop: Arc<AtomicBool>,
+    heartbeat: Heartbeat,
     thread: Option<std::thread::JoinHandle<u64>>,
 }
 
 impl PollHandler {
     /// Spawn a thread servicing missing-page faults on `uffd` by zero-
     /// filling one host page per event.
+    ///
+    /// # Panics
+    /// Panics if the OS refuses to spawn a thread.
     pub fn spawn(uffd: Arc<Uffd>) -> PollHandler {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let heartbeat = Heartbeat::new();
+        let hb = heartbeat.clone();
         let thread = std::thread::Builder::new()
             .name("uffd-poll".into())
             .spawn(move || {
                 let mut handled = 0u64;
                 let fd = uffd.raw_fd();
                 while !stop2.load(Ordering::Relaxed) {
+                    hb.beat();
                     let mut pfd = libc::pollfd {
                         fd,
                         events: libc::POLLIN,
@@ -328,8 +405,14 @@ impl PollHandler {
             .expect("spawn uffd poll thread");
         PollHandler {
             stop,
+            heartbeat,
             thread: Some(thread),
         }
+    }
+
+    /// The handler thread's liveness signal, for wiring up a [`Watchdog`].
+    pub fn heartbeat(&self) -> Heartbeat {
+        self.heartbeat.clone()
     }
 
     /// Stop the handler thread and return the number of faults it serviced.
@@ -343,6 +426,171 @@ impl PollHandler {
 }
 
 impl Drop for PollHandler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+// ── watchdog ─────────────────────────────────────────────────────────────
+
+/// Tuning for the [`Watchdog`]'s stall state machine.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// How often the watchdog samples the heartbeat.
+    pub poll_interval: Duration,
+    /// A heartbeat frozen for this long is declared a stall.
+    pub stall_after: Duration,
+    /// `UFFDIO_WAKE` recovery attempts before the last resort.
+    pub max_wakes: u32,
+    /// Sleep after the first wake; doubles per attempt (bounded backoff).
+    pub wake_backoff: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            poll_interval: Duration::from_millis(100),
+            stall_after: Duration::from_secs(2),
+            max_wakes: 3,
+            wake_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What a [`Watchdog`] did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Stalls detected (heartbeat frozen past `stall_after`).
+    pub stalls: u64,
+    /// `UFFDIO_WAKE` recovery attempts issued.
+    pub wakes: u64,
+    /// Last-resort conversions of the region to eagerly-populated pages.
+    pub eager_conversions: u64,
+}
+
+/// Supervises a uffd fault-handler thread through its [`Heartbeat`].
+///
+/// State machine (documented in DESIGN.md §"Failure model"):
+///
+/// ```text
+/// Healthy --heartbeat frozen ≥ stall_after--> Stalled
+/// Stalled --UFFDIO_WAKE, backoff ×2, ≤ max_wakes--> Healthy (beat seen)
+/// Stalled --wakes exhausted--> Converted (eager-populate whole region,
+///                                         wake once more, stop escalating)
+/// ```
+///
+/// The conversion is the last resort the issue of a dead handler thread
+/// demands: `UFFDIO_ZEROPAGE` over the entire committed range resolves
+/// every pending and future missing-page fault directly (the default
+/// zeropage mode wakes waiters), so blocked wasm threads resume even
+/// though lazy population is lost for that region.
+#[derive(Debug)]
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<WatchdogReport>>,
+}
+
+impl Watchdog {
+    /// Spawn a watchdog over `heartbeat`, guarding the registered range
+    /// `[base, base+len)` on `uffd`.
+    ///
+    /// # Panics
+    /// Panics if the OS refuses to spawn a thread.
+    pub fn spawn(
+        heartbeat: Heartbeat,
+        uffd: Arc<Uffd>,
+        base: usize,
+        len: usize,
+        config: WatchdogConfig,
+    ) -> Watchdog {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        // Register counters from normal context, before the thread runs.
+        let stall_ctr = lb_telemetry::counter("core.uffd.watchdog.stall");
+        let wake_ctr = lb_telemetry::counter("core.uffd.watchdog.wake");
+        let convert_ctr = lb_telemetry::counter("core.uffd.watchdog.eager_convert");
+        let thread = std::thread::Builder::new()
+            .name("uffd-watchdog".into())
+            .spawn(move || {
+                let mut report = WatchdogReport::default();
+                let mut last_ticks = heartbeat.ticks();
+                let mut frozen_for = Duration::ZERO;
+                let mut converted = false;
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(config.poll_interval);
+                    let now_ticks = heartbeat.ticks();
+                    if now_ticks != last_ticks {
+                        last_ticks = now_ticks;
+                        frozen_for = Duration::ZERO;
+                        continue;
+                    }
+                    frozen_for += config.poll_interval;
+                    if converted || frozen_for < config.stall_after {
+                        continue;
+                    }
+                    // Stalled: the handler made no progress for a full
+                    // stall window while the region may have waiters.
+                    report.stalls += 1;
+                    stall_ctr.inc();
+                    let mut backoff = config.wake_backoff;
+                    let mut recovered = false;
+                    for _ in 0..config.max_wakes {
+                        if stop2.load(Ordering::Relaxed) {
+                            return report;
+                        }
+                        report.wakes += 1;
+                        wake_ctr.inc();
+                        let _ = uffd.wake(base, len);
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_secs(1));
+                        if heartbeat.ticks() != last_ticks {
+                            recovered = true;
+                            break;
+                        }
+                    }
+                    if recovered {
+                        last_ticks = heartbeat.ticks();
+                        frozen_for = Duration::ZERO;
+                        continue;
+                    }
+                    // Last resort: convert the stalled region to eagerly-
+                    // populated pages. Chunked so one bad page cannot veto
+                    // the rest; EEXIST means already present and is fine.
+                    report.eager_conversions += 1;
+                    convert_ctr.inc();
+                    const CHUNK: usize = 4 << 20;
+                    let mut off = 0;
+                    while off < len {
+                        let n = CHUNK.min(len - off);
+                        let _ = uffd.zeropage(base + off, n);
+                        off += n;
+                    }
+                    let _ = uffd.wake(base, len);
+                    converted = true;
+                }
+                report
+            })
+            .expect("spawn uffd watchdog thread");
+        Watchdog {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop the watchdog and return what it observed and did.
+    pub fn stop(mut self) -> WatchdogReport {
+        self.stop.store(true, Ordering::Relaxed);
+        self.thread
+            .take()
+            .map(|t| t.join().unwrap_or_default())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for Watchdog {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
@@ -413,6 +661,96 @@ mod tests {
         }
         let handled = handler.stop();
         assert!(handled >= 1, "poll handler should have serviced faults");
+        u.unregister(base, res.len()).unwrap();
+    }
+
+    #[test]
+    fn watchdog_rescues_thread_blocked_on_dead_handler() {
+        let Ok(u) = Uffd::new_poll() else {
+            eprintln!("skipping: userfaultfd unavailable");
+            return;
+        };
+        let res = Reservation::new(1 << 20, Protection::ReadWrite).unwrap();
+        let base = res.base().as_ptr() as usize;
+        let len = res.len();
+        let u = Arc::new(u);
+        u.register_missing(base, len).unwrap();
+        // No handler thread at all: a dead heartbeat is the worst-case
+        // stall. The toucher below blocks in the kernel until someone
+        // resolves its fault — which must end up being the watchdog's
+        // eager conversion (UFFDIO_WAKE alone just re-faults).
+        let heartbeat = Heartbeat::new();
+        let dog = Watchdog::spawn(
+            heartbeat,
+            Arc::clone(&u),
+            base,
+            len,
+            WatchdogConfig {
+                poll_interval: Duration::from_millis(10),
+                stall_after: Duration::from_millis(40),
+                max_wakes: 2,
+                wake_backoff: Duration::from_millis(5),
+            },
+        );
+        let toucher = std::thread::spawn(move || {
+            // SAFETY: registered range; blocks until populated.
+            unsafe { std::ptr::read_volatile(base as *const u8) }
+        });
+        let t0 = std::time::Instant::now();
+        while !toucher.is_finished() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "watchdog failed to unblock the stalled toucher"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(toucher.join().unwrap(), 0);
+        let report = dog.stop();
+        assert!(report.stalls >= 1, "stall must be detected: {report:?}");
+        assert!(report.wakes >= 1, "bounded wake recovery must run first");
+        assert!(
+            report.eager_conversions >= 1,
+            "last resort must fire: {report:?}"
+        );
+        u.unregister(base, len).unwrap();
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_while_heartbeat_advances() {
+        let Ok(u) = Uffd::new_poll() else {
+            eprintln!("skipping: userfaultfd unavailable");
+            return;
+        };
+        let res = Reservation::new(1 << 20, Protection::ReadWrite).unwrap();
+        let base = res.base().as_ptr() as usize;
+        let u = Arc::new(u);
+        u.register_missing(base, res.len()).unwrap();
+        let handler = PollHandler::spawn(Arc::clone(&u));
+        let dog = Watchdog::spawn(
+            handler.heartbeat(),
+            Arc::clone(&u),
+            base,
+            res.len(),
+            WatchdogConfig {
+                poll_interval: Duration::from_millis(20),
+                // Must comfortably exceed the handler's idle beat period
+                // (one beat per 50 ms poll timeout) or an *idle* handler
+                // reads as stalled — with margin for scheduler delay when
+                // the whole workspace's test binaries run in parallel.
+                stall_after: Duration::from_millis(1000),
+                ..WatchdogConfig::default()
+            },
+        );
+        // Healthy operation: faults are serviced, heartbeat advances.
+        for i in 0..4usize {
+            // SAFETY: registered range; poll handler resolves the fault.
+            let v = unsafe { std::ptr::read_volatile((base + i * 4096) as *const u8) };
+            assert_eq!(v, 0);
+        }
+        std::thread::sleep(Duration::from_millis(500));
+        let report = dog.stop();
+        assert_eq!(report, WatchdogReport::default(), "no false positives");
+        let _ = handler.stop();
         u.unregister(base, res.len()).unwrap();
     }
 }

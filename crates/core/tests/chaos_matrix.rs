@@ -1,0 +1,165 @@
+//! The chaos matrix: every registered fault point crossed with every
+//! bounds-checking strategy. The contract under test is the failure
+//! model's headline: an injected OS-boundary failure produces a clean
+//! `Err` or a documented strategy fallback — never a panic, abort, or
+//! resource leak.
+//!
+//! Lives in its own integration binary so the process-global chaos plan
+//! cannot perturb lb-core's unit tests; chaos-installing tests serialize
+//! on the `ChaosGuard` install lock.
+
+use lb_core::{BoundsStrategy, LinearMemory, MemoryConfig, WASM_PAGE};
+use std::sync::Mutex;
+
+/// Serializes the whole binary: the leak test samples process-wide state
+/// (`/proc/self/fd`, `/proc/self/maps`) that concurrent siblings would
+/// perturb, and everything here is fast enough that ordering costs nothing.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn cfg(strategy: BoundsStrategy) -> MemoryConfig {
+    MemoryConfig::new(strategy, 2, 8).with_reserve(16 * WASM_PAGE)
+}
+
+/// Exercise a full memory lifecycle; every fallible step must fail
+/// cleanly (Result/Option), so reaching the end proves no panic/abort.
+fn lifecycle(strategy: BoundsStrategy) -> Result<(), String> {
+    let m = LinearMemory::new(&cfg(strategy)).map_err(|e| e.to_string())?;
+    // Injected grow failures must read as wasm-level `memory.grow == -1`.
+    let _ = m.grow(1);
+    // Data-segment style host access; populate failures surface as traps.
+    let _ = m.write_bytes(0, b"chaos");
+    let mut buf = [0u8; 5];
+    let _ = m.read_bytes(0, &mut buf);
+    Ok(())
+}
+
+#[test]
+fn every_fault_point_on_every_strategy_fails_clean_or_falls_back() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for site in lb_chaos::SITES {
+        // One-shot injections: an always-firing EAGAIN on core.uffd.copy
+        // would livelock by design (the kernel contract is "retry"), so
+        // the matrix uses `:1:` which every consumer must absorb once.
+        for errno in ["EPERM", "ENOMEM", "EIO"] {
+            let guard = lb_chaos::install(&format!("{site}:1:{errno}")).unwrap();
+            for strategy in BoundsStrategy::ALL {
+                if let Err(e) = lifecycle(strategy) {
+                    // Errors are fine; they just must be *clean*. The only
+                    // strategies allowed to fail construction outright are
+                    // those whose failed boundary has no fallback edge.
+                    assert!(
+                        site.starts_with("core.mmap") || strategy == BoundsStrategy::Uffd,
+                        "{site}:{errno} under {strategy}: unexpected hard failure: {e}"
+                    );
+                }
+            }
+            drop(guard);
+        }
+    }
+}
+
+#[test]
+fn uffd_create_failure_degrades_to_mprotect() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = lb_chaos::install("core.uffd.create:1:EPERM").unwrap();
+    let m = LinearMemory::new(&cfg(BoundsStrategy::Uffd)).unwrap();
+    assert_eq!(m.requested_strategy(), BoundsStrategy::Uffd);
+    assert_ne!(m.strategy(), BoundsStrategy::Uffd);
+    assert!(m.fell_back());
+}
+
+#[test]
+fn mprotect_init_failure_degrades_to_trap() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = lb_chaos::install("core.mprotect.init:1:EACCES").unwrap();
+    let m = LinearMemory::new(&cfg(BoundsStrategy::Mprotect)).unwrap();
+    assert_eq!(m.strategy(), BoundsStrategy::Trap);
+    assert!(m.fell_back());
+    // The software-checked memory is fully usable.
+    m.write_bytes(16, b"ok").unwrap();
+}
+
+#[test]
+fn injected_grow_failure_is_wasm_minus_one_not_a_crash() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = lb_chaos::install("core.mprotect.grow:1:ENOMEM").unwrap();
+    let m = LinearMemory::new(&cfg(BoundsStrategy::Mprotect)).unwrap();
+    assert_eq!(m.strategy(), BoundsStrategy::Mprotect, "init must not trip");
+    assert_eq!(m.grow(1), None, "injected ENOMEM → grow yields -1");
+    assert_eq!(m.grow(1), Some(2), "one-shot consumed; next grow succeeds");
+}
+
+fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd").unwrap().count()
+}
+
+fn maps_lines() -> usize {
+    std::fs::read_to_string("/proc/self/maps")
+        .unwrap()
+        .lines()
+        .count()
+}
+
+#[test]
+fn partial_construction_failure_leaks_no_fds_or_mappings() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Warm up allocator arenas and lazy statics so the baseline is stable.
+    for _ in 0..8 {
+        let _ = LinearMemory::new(&cfg(BoundsStrategy::Mprotect));
+        let _ = LinearMemory::new(&cfg(BoundsStrategy::Uffd));
+    }
+    let fds_before = fd_count();
+    let maps_before = maps_lines();
+
+    // Hard failures: the reservation itself is refused.
+    {
+        let _g = lb_chaos::install("core.mmap.reserve:EIO").unwrap();
+        for _ in 0..64 {
+            assert!(LinearMemory::new(&cfg(BoundsStrategy::Trap)).is_err());
+        }
+    }
+    // Partial failures: reservation succeeds, a later step fails, and the
+    // chain retries with the next strategy — dropping the partial state.
+    {
+        let _g = lb_chaos::install("core.mprotect.init:EIO").unwrap();
+        for _ in 0..64 {
+            let m = LinearMemory::new(&cfg(BoundsStrategy::Mprotect)).unwrap();
+            assert!(m.fell_back());
+        }
+    }
+    // Uffd partial failure: if the host grants userfaultfd, the injected
+    // register failure strikes *after* the fd exists — the fallback path
+    // must close it. (Without uffd access, creation fails and the same
+    // invariant covers the reservation.)
+    {
+        let _g = lb_chaos::install("core.uffd.register:EIO").unwrap();
+        for _ in 0..64 {
+            let _ = LinearMemory::new(&cfg(BoundsStrategy::Uffd)).unwrap();
+        }
+    }
+
+    assert_eq!(fd_count(), fds_before, "file descriptors leaked");
+    let maps_after = maps_lines();
+    assert!(
+        maps_after <= maps_before + 6,
+        "mappings leaked: {maps_before} -> {maps_after}"
+    );
+}
+
+#[test]
+fn seeded_rate_injection_is_deterministic_across_installs() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = "core.mmap.reserve:rate=0.5:EIO;seed=1234";
+    let pattern = |spec: &str| -> Vec<bool> {
+        let _g = lb_chaos::install(spec).unwrap();
+        (0..64)
+            .map(|_| LinearMemory::new(&cfg(BoundsStrategy::Trap)).is_ok())
+            .collect()
+    };
+    let a = pattern(spec);
+    let b = pattern(spec);
+    assert_eq!(a, b, "same seed must reproduce the same fault pattern");
+    assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !*ok));
+    let c = pattern("core.mmap.reserve:rate=0.5:EIO;seed=99");
+    assert_ne!(a, c, "different seed should (overwhelmingly) differ");
+}

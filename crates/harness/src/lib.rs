@@ -14,5 +14,8 @@ pub mod runner;
 pub mod stats;
 
 pub use procstat::{Sampler, SysStats};
-pub use report::Table;
-pub use runner::{run_benchmark, EngineSel, RunResult, RunSpec};
+pub use report::{atomic_write, JsonlReport, Table};
+pub use runner::{
+    run_benchmark, run_benchmark_checked, EngineSel, RunFailure, RunOutcome, RunResult, RunSpec,
+    RunStage,
+};

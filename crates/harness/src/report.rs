@@ -1,8 +1,43 @@
-//! Plain-text tables and CSV output for the figure-regeneration binaries.
+//! Plain-text tables, CSV and JSONL output for the figure-regeneration
+//! binaries.
+//!
+//! All file emission here is *atomic*: content is written to a sibling
+//! temporary file and `rename(2)`d into place, so a campaign killed (or a
+//! run crashing) mid-write never leaves a truncated report behind.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
+
+/// Atomically replace `path` with `content` (write temp + rename).
+///
+/// # Errors
+/// Propagates I/O failures; on error the destination is untouched.
+pub fn atomic_write(path: &Path, content: &[u8]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension(format!(
+        "{}.tmp.{}",
+        path.extension()
+            .and_then(|e| e.to_str())
+            .unwrap_or("partial"),
+        std::process::id()
+    ));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(content)?;
+    f.sync_all()?;
+    drop(f);
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
 
 /// A simple column-aligned table builder.
 #[derive(Debug, Default)]
@@ -66,21 +101,91 @@ impl Table {
         out
     }
 
-    /// Write as CSV.
+    /// Write as CSV (atomically: temp file + rename).
     ///
     /// # Errors
-    /// Propagates I/O failures.
+    /// Propagates I/O failures; a failed write leaves any previous file
+    /// at `path` intact.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        let mut f = std::fs::File::create(path)?;
-        writeln!(f, "{}", self.header.join(","))?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
         for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
+            let _ = writeln!(out, "{}", row.join(","));
         }
-        Ok(())
+        atomic_write(path, out.as_bytes())
     }
+}
+
+/// An accumulating JSONL report: one flat string-keyed object per row,
+/// rewritten atomically on every [`JsonlReport::flush`] so the on-disk
+/// file is always a complete, parseable prefix of the campaign — even if
+/// the process dies between runs.
+#[derive(Debug, Default)]
+pub struct JsonlReport {
+    lines: Vec<String>,
+}
+
+impl JsonlReport {
+    /// An empty report.
+    pub fn new() -> JsonlReport {
+        JsonlReport::default()
+    }
+
+    /// Append one row of key/value pairs (values emitted as JSON strings,
+    /// with the minimal escaping JSONL needs).
+    pub fn row(&mut self, fields: &[(&str, String)]) -> &mut Self {
+        let mut line = String::from("{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        line.push('}');
+        self.lines.push(line);
+        self
+    }
+
+    /// Number of rows accumulated.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no rows have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Atomically (re)write all rows to `path`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; a failed flush leaves any previous file
+    /// at `path` intact.
+    pub fn flush(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        atomic_write(path, out.as_bytes())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Format a ratio with 3 decimals.
@@ -125,6 +230,45 @@ mod tests {
         t.write_csv(&p).unwrap();
         let s = std::fs::read_to_string(&p).unwrap();
         assert_eq!(s, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_never_truncates() {
+        let p = std::env::temp_dir().join(format!("lb-atomic-{}.txt", std::process::id()));
+        atomic_write(&p, b"first").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "first");
+        atomic_write(&p, b"second version").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "second version");
+        // No stray temp files left behind.
+        let dir = p.parent().unwrap();
+        let strays = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name().to_string_lossy().contains("lb-atomic")
+                    && e.file_name().to_string_lossy().contains(".tmp.")
+            })
+            .count();
+        assert_eq!(strays, 0);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn jsonl_report_escapes_and_flushes() {
+        let mut r = JsonlReport::new();
+        r.row(&[
+            ("bench", "gemm".into()),
+            ("error", "he said \"no\"\n".into()),
+        ]);
+        r.row(&[("bench", "atax".into())]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        let p = std::env::temp_dir().join(format!("lb-jsonl-{}.jsonl", std::process::id()));
+        r.flush(&p).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("\\\"no\\\"\\n"));
         let _ = std::fs::remove_file(&p);
     }
 

@@ -9,14 +9,24 @@
 //! * warm-up iterations precede the timed window, and threads that finish
 //!   keep running cool-down iterations until all threads are done, so the
 //!   machine stays uniformly busy throughout every measurement.
+//!
+//! The runner is crash-proof: a failing run (load error, instantiation
+//! failure, trap, worker panic, timeout) becomes a [`RunOutcome::Failed`]
+//! record instead of aborting the whole measurement campaign. One retry
+//! with backoff absorbs transient failures; what remains is reported with
+//! the stage that failed. Strategy degradation in lb-core (uffd → mprotect
+//! → trap) is resolved once per run by a probe memory so every isolate in
+//! the run uses the same *effective* strategy, which is recorded in the
+//! JSONL export next to the requested one.
 
 use crate::procstat::{pin_to_cpu, Sampler, SysStats};
 use lb_core::exec::{Engine, Linker};
 use lb_core::stats::{snapshot, VmSnapshot};
-use lb_core::{BoundsStrategy, MemoryConfig};
+use lb_core::{BoundsStrategy, LinearMemory, MemoryConfig};
 use lb_dsl::{Benchmark, NativeKernel};
 use lb_interp::InterpEngine;
 use lb_jit::{JitEngine, JitProfile};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -101,6 +111,12 @@ pub struct RunSpec {
     pub max_pages: u32,
     /// Sample /proc during the run.
     pub sample_system: bool,
+    /// Per-run wall-clock budget; a run that exceeds it fails cleanly
+    /// instead of wedging the campaign. `None` disables the deadline.
+    pub timeout: Option<Duration>,
+    /// Retries after a failed run attempt (with backoff) before the run
+    /// is reported as [`RunOutcome::Failed`].
+    pub retries: u32,
 }
 
 impl RunSpec {
@@ -115,6 +131,95 @@ impl RunSpec {
             reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES,
             max_pages: 4096,
             sample_system: false,
+            timeout: Some(Duration::from_secs(600)),
+            retries: 1,
+        }
+    }
+}
+
+/// The pipeline stage at which a run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStage {
+    /// Compiling/loading the module into the engine.
+    Load,
+    /// The pre-run probe resolving the effective memory strategy.
+    Probe,
+    /// Instantiating an isolate (fresh linear memory).
+    Instantiate,
+    /// The benchmark's `init` export.
+    Init,
+    /// The benchmark's `kernel` export.
+    Kernel,
+    /// The benchmark's `checksum` export.
+    Checksum,
+    /// A worker thread failed outside a specific call (panic, timeout).
+    Worker,
+}
+
+impl RunStage {
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunStage::Load => "load",
+            RunStage::Probe => "probe",
+            RunStage::Instantiate => "instantiate",
+            RunStage::Init => "init",
+            RunStage::Kernel => "kernel",
+            RunStage::Checksum => "checksum",
+            RunStage::Worker => "worker",
+        }
+    }
+}
+
+/// Why a run failed (after retries were exhausted).
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Where in the pipeline the failure happened.
+    pub stage: RunStage,
+    /// Human-readable error.
+    pub error: String,
+    /// Attempts made (1 = failed on the first try with no retry budget).
+    pub attempts: u32,
+}
+
+impl RunFailure {
+    fn new(stage: RunStage, err: &dyn fmt::Display) -> RunFailure {
+        RunFailure {
+            stage,
+            error: err.to_string(),
+            attempts: 0,
+        }
+    }
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run failed at {} after {} attempt(s): {}",
+            self.stage.name(),
+            self.attempts,
+            self.error
+        )
+    }
+}
+
+/// Outcome of one (benchmark, spec) measurement: a result, or a recorded
+/// failure that lets the campaign continue.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The run completed (checksum validity is inside the result).
+    Completed(RunResult),
+    /// The run failed even after retries.
+    Failed(RunFailure),
+}
+
+impl RunOutcome {
+    /// The completed result, if any.
+    pub fn completed(&self) -> Option<&RunResult> {
+        match self {
+            RunOutcome::Completed(r) => Some(r),
+            RunOutcome::Failed(_) => None,
         }
     }
 }
@@ -136,6 +241,9 @@ pub struct RunResult {
     pub sys: Option<SysStats>,
     /// Wall-clock time of the whole measured region.
     pub wall: Duration,
+    /// The strategy the run actually executed with, after any lb-core
+    /// fallback (equals the requested strategy when nothing degraded).
+    pub effective_strategy: BoundsStrategy,
 }
 
 impl RunResult {
@@ -152,11 +260,63 @@ impl RunResult {
     }
 }
 
-/// Run one benchmark under one spec.
+/// Run one benchmark under one spec, panicking on failure.
+///
+/// Prefer [`run_benchmark_checked`] in campaign loops; this wrapper exists
+/// for callers measuring known-good suites where a failure is a bug.
 ///
 /// # Panics
-/// Panics if the module fails to load — the suites are known-good.
+/// Panics if the run fails after retries.
 pub fn run_benchmark(bench: &Benchmark, spec: &RunSpec) -> RunResult {
+    match run_benchmark_checked(bench, spec) {
+        RunOutcome::Completed(r) => r,
+        RunOutcome::Failed(f) => panic!("{} under {}: {f}", bench.name, spec.engine.name()),
+    }
+}
+
+/// Run one benchmark under one spec without ever panicking: failures
+/// (including worker panics and timeouts) become [`RunOutcome::Failed`]
+/// records — and a JSONL row with `outcome=failed` — after one bounded
+/// retry cycle, so a campaign of hundreds of runs survives any single one.
+pub fn run_benchmark_checked(bench: &Benchmark, spec: &RunSpec) -> RunOutcome {
+    let mut attempt: u32 = 0;
+    loop {
+        attempt += 1;
+        match run_once(bench, spec) {
+            Ok(result) => return RunOutcome::Completed(result),
+            Err(mut failure) => {
+                failure.attempts = attempt;
+                if attempt > spec.retries {
+                    lb_telemetry::counter("harness.run.failed").inc();
+                    emit_failure(bench, spec, &failure);
+                    return RunOutcome::Failed(failure);
+                }
+                lb_telemetry::counter("harness.run.retry").inc();
+                // Linear backoff: transient failures (fd pressure, address
+                // space churn) usually clear quickly.
+                std::thread::sleep(Duration::from_millis(50 * u64::from(attempt)));
+            }
+        }
+    }
+}
+
+fn emit_failure(bench: &Benchmark, spec: &RunSpec, failure: &RunFailure) {
+    lb_telemetry::export::emit_run(
+        &[
+            ("bench", bench.name.to_string()),
+            ("engine", spec.engine.name().to_string()),
+            ("strategy", spec.strategy.name().to_string()),
+            ("threads", spec.threads.to_string()),
+            ("outcome", "failed".to_string()),
+            ("stage", failure.stage.name().to_string()),
+            ("error", failure.error.clone()),
+            ("attempts", failure.attempts.to_string()),
+        ],
+        &lb_telemetry::TelemetrySnapshot::default(),
+    );
+}
+
+fn run_once(bench: &Benchmark, spec: &RunSpec) -> Result<RunResult, RunFailure> {
     let expected = bench.native_checksum();
     // Drain spans left over from earlier runs so this run's snapshot only
     // carries its own events; counters/histograms are handled by deltas.
@@ -167,22 +327,28 @@ pub fn run_benchmark(bench: &Benchmark, spec: &RunSpec) -> RunResult {
     let sampler = spec
         .sample_system
         .then(|| Sampler::start(Duration::from_millis(20)));
+    let deadline = spec.timeout.map(|t| Instant::now() + t);
 
-    let result = match spec.engine.engine() {
-        None => run_native(bench, spec, expected),
-        Some(engine) => run_wasm(bench, spec, engine, expected),
+    let raw = match spec.engine.engine() {
+        None => run_native(bench, spec, expected, deadline),
+        Some(engine) => run_wasm(bench, spec, engine, expected, deadline),
     };
 
+    // Always stop the sampler and settle telemetry, success or not.
     let sys = sampler.map(Sampler::stop);
     let vm = snapshot().delta(&vm_before);
     let mut telemetry = lb_telemetry::snapshot_and_drain().delta_since(&tele_before);
     telemetry.retain_nonzero();
+    let raw = raw?;
+
     lb_telemetry::export::emit_run(
         &[
             ("bench", bench.name.to_string()),
             ("engine", spec.engine.name().to_string()),
             ("strategy", spec.strategy.name().to_string()),
+            ("strategy_effective", raw.effective.name().to_string()),
             ("threads", spec.threads.to_string()),
+            ("outcome", "completed".to_string()),
             // Static bounds-check decisions for this run (compile-time
             // counters from lb-analysis via the JIT), for the paper-style
             // "checks eliminated" column.
@@ -197,23 +363,70 @@ pub fn run_benchmark(bench: &Benchmark, spec: &RunSpec) -> RunResult {
         ],
         &telemetry,
     );
-    RunResult {
-        iter_times: result.0,
-        checksum_ok: result.1,
+    Ok(RunResult {
+        iter_times: raw.times,
+        checksum_ok: raw.checksum_ok,
         vm,
         telemetry,
         sys,
-        wall: result.2,
+        wall: raw.wall,
+        effective_strategy: raw.effective,
+    })
+}
+
+struct RawRun {
+    times: Vec<Vec<Duration>>,
+    checksum_ok: bool,
+    wall: Duration,
+    effective: BoundsStrategy,
+}
+
+fn timed_out(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn timeout_failure() -> RunFailure {
+    RunFailure::new(RunStage::Worker, &"per-run timeout exceeded")
+}
+
+/// Fold joined worker results: a panicking worker becomes a
+/// [`RunStage::Worker`] failure instead of poisoning the campaign.
+fn collect_workers(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<(Vec<Duration>, bool), RunFailure>>>,
+) -> Result<Vec<(Vec<Duration>, bool)>, RunFailure> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut first_err: Option<RunFailure> = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(r)) => out.push(r),
+            Ok(Err(f)) => first_err = first_err.or(Some(f)),
+            Err(p) => {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                let f = RunFailure::new(RunStage::Worker, &format!("worker panicked: {msg}"));
+                first_err = first_err.or(Some(f));
+            }
+        }
+    }
+    match first_err {
+        None => Ok(out),
+        Some(f) => Err(f),
     }
 }
 
-type ThreadTimes = (Vec<Vec<Duration>>, bool, Duration);
-
-fn run_native(bench: &Benchmark, spec: &RunSpec, expected: f64) -> ThreadTimes {
+fn run_native(
+    bench: &Benchmark,
+    spec: &RunSpec,
+    expected: f64,
+    deadline: Option<Instant>,
+) -> Result<RawRun, RunFailure> {
     let barrier = Arc::new(Barrier::new(spec.threads));
     let remaining = Arc::new(AtomicUsize::new(spec.threads));
     let t0 = Instant::now();
-    let times: Vec<(Vec<Duration>, bool)> = std::thread::scope(|s| {
+    let joined = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for tid in 0..spec.threads {
             let barrier = Arc::clone(&barrier);
@@ -228,12 +441,21 @@ fn run_native(bench: &Benchmark, spec: &RunSpec, expected: f64) -> ThreadTimes {
                     k
                 };
                 for _ in 0..spec.warmup_iters {
+                    if timed_out(deadline) {
+                        break;
+                    }
                     one_iter();
                 }
+                // Every worker reaches the barrier exactly once, even on
+                // the failure paths below — otherwise siblings deadlock.
                 barrier.wait();
                 let mut times = Vec::with_capacity(spec.measured_iters as usize);
                 let mut last = None;
                 for _ in 0..spec.measured_iters {
+                    if timed_out(deadline) {
+                        remaining.fetch_sub(1, Ordering::AcqRel);
+                        return Err(timeout_failure());
+                    }
                     let t = Instant::now();
                     let k = one_iter();
                     times.push(t.elapsed());
@@ -244,20 +466,22 @@ fn run_native(bench: &Benchmark, spec: &RunSpec, expected: f64) -> ThreadTimes {
                     .unwrap_or(true);
                 // Cool-down: keep the CPU busy until everyone is done.
                 remaining.fetch_sub(1, Ordering::AcqRel);
-                while remaining.load(Ordering::Acquire) > 0 {
+                while remaining.load(Ordering::Acquire) > 0 && !timed_out(deadline) {
                     one_iter();
                 }
-                (times, ok)
+                Ok((times, ok))
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    });
+        collect_workers(handles)
+    })?;
     let wall = t0.elapsed();
-    let ok = times.iter().all(|(_, ok)| *ok);
-    (times.into_iter().map(|(t, _)| t).collect(), ok, wall)
+    let ok = joined.iter().all(|(_, ok)| *ok);
+    Ok(RawRun {
+        times: joined.into_iter().map(|(t, _)| t).collect(),
+        checksum_ok: ok,
+        wall,
+        effective: spec.strategy,
+    })
 }
 
 fn run_wasm(
@@ -265,19 +489,35 @@ fn run_wasm(
     spec: &RunSpec,
     engine: Arc<dyn Engine>,
     expected: f64,
-) -> ThreadTimes {
-    let loaded = engine.load(&bench.module).expect("benchmark module loads");
-    let config = MemoryConfig {
+    deadline: Option<Instant>,
+) -> Result<RawRun, RunFailure> {
+    let loaded = engine
+        .load(&bench.module)
+        .map_err(|e| RunFailure::new(RunStage::Load, &e))?;
+    let requested = MemoryConfig {
         strategy: spec.strategy,
         initial_pages: 0,
         max_pages: spec.max_pages,
         reserve_bytes: spec.reserve_bytes,
     };
+    // Resolve the effective strategy once per run with a throwaway probe
+    // memory. If lb-core degrades (e.g. uffd setup fails in a container),
+    // every isolate of this run then uses the *same* fallen-back strategy
+    // instead of each iteration renegotiating — keeping per-iteration
+    // timings comparable and the JSONL row honest about what actually ran.
+    let probe = LinearMemory::new(&requested).map_err(|e| RunFailure::new(RunStage::Probe, &e))?;
+    let effective = probe.strategy();
+    drop(probe);
+    let config = MemoryConfig {
+        strategy: effective,
+        ..requested
+    };
+
     let linker = Linker::new();
     let barrier = Arc::new(Barrier::new(spec.threads));
     let remaining = Arc::new(AtomicUsize::new(spec.threads));
     let t0 = Instant::now();
-    let results: Vec<(Vec<Duration>, bool)> = std::thread::scope(|s| {
+    let joined = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for tid in 0..spec.threads {
             let loaded = Arc::clone(&loaded);
@@ -288,48 +528,80 @@ fn run_wasm(
                 pin_to_cpu(tid);
                 // One isolate instantiation + run per iteration: the
                 // allocate/free churn the paper measures.
-                let one_iter = || {
+                let one_iter = || -> Result<Box<dyn lb_core::Instance>, RunFailure> {
                     let mut inst = loaded
                         .instantiate(&config, &linker)
-                        .expect("instantiate isolate");
-                    inst.invoke("init", &[]).expect("init");
-                    inst.invoke("kernel", &[]).expect("kernel");
-                    inst
+                        .map_err(|e| RunFailure::new(RunStage::Instantiate, &e))?;
+                    inst.invoke("init", &[])
+                        .map_err(|e| RunFailure::new(RunStage::Init, &e))?;
+                    inst.invoke("kernel", &[])
+                        .map_err(|e| RunFailure::new(RunStage::Kernel, &e))?;
+                    Ok(inst)
                 };
+                let mut warm_err = None;
                 for _ in 0..spec.warmup_iters {
-                    one_iter();
+                    if timed_out(deadline) {
+                        warm_err = Some(timeout_failure());
+                        break;
+                    }
+                    if let Err(f) = one_iter() {
+                        warm_err = Some(f);
+                        break;
+                    }
                 }
+                // Every worker reaches the barrier exactly once, even when
+                // warm-up failed — otherwise the siblings deadlock.
                 barrier.wait();
+                if let Some(f) = warm_err {
+                    remaining.fetch_sub(1, Ordering::AcqRel);
+                    return Err(f);
+                }
                 let mut times = Vec::with_capacity(spec.measured_iters as usize);
                 let mut ok = true;
                 for i in 0..spec.measured_iters {
+                    if timed_out(deadline) {
+                        remaining.fetch_sub(1, Ordering::AcqRel);
+                        return Err(timeout_failure());
+                    }
                     let t = Instant::now();
-                    let mut inst = one_iter();
+                    let mut inst = match one_iter() {
+                        Ok(inst) => inst,
+                        Err(f) => {
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                            return Err(f);
+                        }
+                    };
                     times.push(t.elapsed());
                     if i == spec.measured_iters - 1 {
-                        let cs = inst
-                            .invoke("checksum", &[])
-                            .expect("checksum")
-                            .and_then(|v| v.as_f64())
-                            .unwrap_or(f64::NAN);
+                        let cs = match inst.invoke("checksum", &[]) {
+                            Ok(v) => v.and_then(|v| v.as_f64()).unwrap_or(f64::NAN),
+                            Err(e) => {
+                                remaining.fetch_sub(1, Ordering::AcqRel);
+                                return Err(RunFailure::new(RunStage::Checksum, &e));
+                            }
+                        };
                         ok = lb_dsl::kernel::checksums_match(cs, expected);
                     }
                 }
                 remaining.fetch_sub(1, Ordering::AcqRel);
-                while remaining.load(Ordering::Acquire) > 0 {
-                    one_iter();
+                while remaining.load(Ordering::Acquire) > 0 && !timed_out(deadline) {
+                    if one_iter().is_err() {
+                        break;
+                    }
                 }
-                (times, ok)
+                Ok((times, ok))
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    });
+        collect_workers(handles)
+    })?;
     let wall = t0.elapsed();
-    let ok = results.iter().all(|(_, ok)| *ok);
-    (results.into_iter().map(|(t, _)| t).collect(), ok, wall)
+    let ok = joined.iter().all(|(_, ok)| *ok);
+    Ok(RawRun {
+        times: joined.into_iter().map(|(t, _)| t).collect(),
+        checksum_ok: ok,
+        wall,
+        effective,
+    })
 }
 
 #[cfg(test)]
@@ -347,6 +619,8 @@ mod tests {
             reserve_bytes: 64 << 20,
             max_pages: 512,
             sample_system: false,
+            timeout: Some(Duration::from_secs(120)),
+            retries: 1,
         }
     }
 
@@ -367,6 +641,7 @@ mod tests {
             assert!(r.checksum_ok, "{}", e.name());
             assert!(r.median() > Duration::ZERO);
             assert!(r.vm.mmap >= 3, "one reservation per isolate iteration");
+            assert_eq!(r.effective_strategy, BoundsStrategy::Mprotect);
         }
     }
 
@@ -395,5 +670,20 @@ mod tests {
             r1.vm.mprotect,
             r2.vm.mprotect
         );
+    }
+
+    #[test]
+    fn tiny_timeout_fails_cleanly() {
+        let b = by_name("gemm", Dataset::Mini).unwrap();
+        let mut spec = quick_spec(EngineSel::Interp);
+        spec.timeout = Some(Duration::ZERO);
+        spec.retries = 0;
+        match run_benchmark_checked(&b, &spec) {
+            RunOutcome::Failed(f) => {
+                assert_eq!(f.stage, RunStage::Worker);
+                assert!(f.error.contains("timeout"), "{}", f.error);
+            }
+            RunOutcome::Completed(_) => panic!("zero timeout must fail"),
+        }
     }
 }

@@ -376,8 +376,18 @@ impl LoadedModule for JitModule {
     ) -> Result<Box<dyn Instance>, LoadError> {
         // `self` is always held in an Arc by the engine API.
         let parts = build_instance_parts(&self.module, config, linker)?;
-        let sc = self.strategy_code(config.strategy);
-        self.spawn_tier_up(config.strategy, Arc::clone(&sc));
+        // Compile for the strategy the memory actually ended up with: if
+        // construction degraded along the fallback chain (uffd → mprotect
+        // → trap), code generated for the requested strategy would not
+        // match the memory's protection scheme (e.g. raw guard-page
+        // accesses over a software-checked memory).
+        let effective = parts
+            .memory
+            .as_ref()
+            .map(|m| m.strategy())
+            .unwrap_or(config.strategy);
+        let sc = self.strategy_code(effective);
+        self.spawn_tier_up(effective, Arc::clone(&sc));
 
         let host_sigs: Vec<FuncType> = self
             .module

@@ -218,6 +218,8 @@ pub const EINTR: c_int = 4;
 
 /// Close the descriptor on `execve`.
 pub const O_CLOEXEC: c_int = 0o2000000;
+/// Non-blocking reads: return `EAGAIN` instead of sleeping.
+pub const O_NONBLOCK: c_int = 0o4000;
 
 /// There is data to read.
 pub const POLLIN: c_short = 0x1;

@@ -17,16 +17,13 @@ use std::sync::Mutex;
 static SERIAL: Mutex<()> = Mutex::new(());
 
 fn quick_spec(engine: EngineSel) -> RunSpec {
-    RunSpec {
-        engine,
-        strategy: BoundsStrategy::Mprotect,
-        threads: 1,
-        warmup_iters: 1,
-        measured_iters: 2,
-        reserve_bytes: 64 << 20,
-        max_pages: 512,
-        sample_system: false,
-    }
+    let mut spec = RunSpec::new(engine, BoundsStrategy::Mprotect);
+    spec.warmup_iters = 1;
+    spec.measured_iters = 2;
+    spec.reserve_bytes = 64 << 20;
+    spec.max_pages = 512;
+    spec.sample_system = false;
+    spec
 }
 
 #[test]
