@@ -17,6 +17,12 @@
 //!    injection, fallback chains, per-run failure records), and a stray
 //!    unwrap turns an injectable error back into a process abort. The
 //!    few deliberate keepers are allowlisted with their justification.
+//! 4. **Mapping containment** — `mmap`/`munmap` calls live only in
+//!    `crates/core/src/region.rs` and `crates/core/src/pool.rs` (the
+//!    reservation lifecycle and its recycling pool). A mapping created
+//!    anywhere else bypasses the chaos sites, the `mem.mmap`/`mem.munmap`
+//!    counters, and the pool's "zero mmap at steady state" guarantee;
+//!    the deliberate exceptions are allowlisted with their justification.
 //!
 //! Failures name `file:line` so the offending code is one click away.
 
@@ -36,6 +42,7 @@ fn workspace_root() -> PathBuf {
 const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/chaos/src/lib.rs",
     "crates/core/src/memory.rs",
+    "crates/core/src/pool.rs",
     "crates/core/src/region.rs",
     "crates/core/src/registry.rs",
     "crates/core/src/signals.rs",
@@ -291,6 +298,65 @@ fn no_new_unwrap_or_expect_in_core_and_harness() {
         violations.is_empty(),
         "new `.unwrap()`/`.expect()` in non-test lb-core/lb-harness code \
          (handle the error or extend UNWRAP_ALLOWLIST with justification):\n{}",
+        violations.join("\n")
+    );
+}
+
+/// Files allowed to call `mmap`/`munmap` outside the reservation
+/// lifecycle (`region.rs`) and its recycling pool (`pool.rs`):
+///
+/// * signals.rs — per-thread sigaltstack allocation/teardown; tiny,
+///   thread-lifetime mappings that never back wasm memory.
+/// * jit/codebuf.rs — W^X executable code buffers; a different resource
+///   class (code, not data) with its own publish/retire lifecycle.
+/// * sys/lib.rs — the libc shim *declares* the symbols everyone else
+///   links against; it performs no mapping itself.
+const MMAP_ALLOWLIST: &[&str] = &[
+    "crates/core/src/signals.rs",
+    "crates/jit/src/codebuf.rs",
+    "crates/sys/src/lib.rs",
+];
+
+#[test]
+fn mmap_munmap_only_in_region_pool_or_allowlisted_modules() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    rust_sources(&root.join("crates"), &mut files);
+    assert!(files.len() > 50, "workspace scan found too few files");
+
+    let mut violations = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(&root)
+            .expect("file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel == "crates/core/src/region.rs"
+            || rel == "crates/core/src/pool.rs"
+            || rel == "crates/analysis/tests/repo_lint.rs"
+            || MMAP_ALLOWLIST.contains(&rel.as_str())
+        {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(f) else {
+            continue;
+        };
+        for (ln, raw) in text.lines().enumerate() {
+            // Test modules may map scratch memory (e.g. to probe the
+            // shim); the repo convention puts them last in the file.
+            if raw.contains("#[cfg(test)]") {
+                break;
+            }
+            let line = strip_line_comment(raw);
+            if contains_word(line, "mmap(") || contains_word(line, "munmap(") {
+                violations.push(format!("{rel}:{}: {}", ln + 1, raw.trim()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "`mmap`/`munmap` call outside region.rs/pool.rs (route it through \
+         `Reservation` or extend MMAP_ALLOWLIST with justification):\n{}",
         violations.join("\n")
     );
 }

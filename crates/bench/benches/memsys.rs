@@ -12,7 +12,6 @@ use lb_bench::{criterion_group, criterion_main};
 use lb_core::registry::{ArenaDesc, HazardRegistry};
 use lb_core::signals::catch_traps;
 use lb_core::{BoundsStrategy, LinearMemory, MemoryConfig};
-use std::sync::atomic::{AtomicI32, AtomicUsize};
 
 fn bench_isolate_lifecycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("isolate_lifecycle");
@@ -90,16 +89,21 @@ fn bench_registry(c: &mut Criterion) {
     let mut group = c.benchmark_group("arena_registry");
     // Hazard-pointer registry (the paper's design).
     let reg: HazardRegistry<ArenaDesc> = HazardRegistry::new();
-    let (slot, ptr) = reg.register(Box::new(ArenaDesc {
-        base: 0x10000,
-        len: 0x10000,
-        committed: AtomicUsize::new(0x10000),
-        strategy: BoundsStrategy::Uffd,
-        uffd_fd: AtomicI32::new(-1),
-    }));
+    let (slot, ptr) = reg.register(Box::new(ArenaDesc::new(
+        0x10000,
+        0x10000,
+        0x10000,
+        BoundsStrategy::Uffd,
+        -1,
+    )));
     let h = reg.claim_hazard();
     group.bench_function("hazard_lookup", |b| {
         b.iter(|| reg.find_with(h, |d| d.contains(0x18000), |d| d.base))
+    });
+    // The signal handler's cached-slot probe: the win batched fault
+    // service leans on when every fault lands in the same arena.
+    group.bench_function("hazard_lookup_hinted", |b| {
+        b.iter(|| reg.find_with_hint(h, 0, |d| d.contains(0x18000), |d| d.base))
     });
     // Mutexed map for comparison (what a lock-based runtime would do).
     let map = std::sync::Mutex::new(vec![(0x10000usize, 0x20000usize)]);

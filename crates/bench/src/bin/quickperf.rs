@@ -1,5 +1,16 @@
 //! Scratch performance sanity check.
+//!
+//! * `quickperf [bench]` — the original per-engine kernel timing table.
+//! * `quickperf pool [bench]` — the memory-lifecycle fast-path matrix:
+//!   pool on/off × strategy (× uffd window {1,16}) over fresh-isolate
+//!   iterations, written to `BENCH_pool.json`. This is the acceptance
+//!   harness for pooled reuse (instantiation latency, mmap churn) and
+//!   batched uffd fault service (zeropage ioctls per kernel, which must
+//!   drop ≥4× with the 16-page window on a sequential kernel) — with the
+//!   checksum recorded bit-exactly per row to prove results are identical
+//!   across every configuration.
 use lb_core::exec::{Engine, Linker};
+use lb_core::pool::{self, MemoryPoolConfig};
 use lb_core::{BoundsStrategy, MemoryConfig};
 use lb_interp::InterpEngine;
 use lb_jit::{JitEngine, JitProfile};
@@ -7,8 +18,15 @@ use lb_polybench::{by_name, common::Dataset};
 use std::time::Instant;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "gemm".into());
-    let bench = by_name(&name, Dataset::Small).unwrap();
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("pool") => pool_matrix(&args.next().unwrap_or_else(|| "gemm".into())),
+        first => kernel_table(first.unwrap_or("gemm")),
+    }
+}
+
+fn kernel_table(name: &str) {
+    let bench = by_name(name, Dataset::Small).unwrap();
     let mut k = (bench.native)();
     k.init();
     k.kernel();
@@ -40,4 +58,168 @@ fn main() {
         }
         println!("{label:9} {:?}", t.elapsed() / iters);
     }
+}
+
+/// One measured cell of the pool matrix.
+struct PoolRow {
+    strategy: &'static str,
+    pool: bool,
+    window: usize,
+    iters: u32,
+    instantiate_us_median: f64,
+    mmap: u64,
+    munmap: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+    zeropage_per_iter: f64,
+    batch_pages: u64,
+    prefetch_streaks: u64,
+    checksum_bits: u64,
+}
+
+fn pool_matrix(name: &str) {
+    let bench = by_name(name, Dataset::Small).unwrap();
+    let engine = JitEngine::new(JitProfile::wavm());
+    let loaded = engine.load(&bench.module).unwrap();
+    let linker = Linker::new();
+    let iters: u32 = 8;
+    let uffd_ok = lb_core::uffd::sigbus_mode_available();
+
+    let mut rows: Vec<PoolRow> = Vec::new();
+    for s in BoundsStrategy::ALL {
+        if s == BoundsStrategy::Uffd && !uffd_ok {
+            eprintln!("note: uffd unavailable, skipping its rows");
+            continue;
+        }
+        // The window only drives the uffd servicer; window=1 is the
+        // per-page baseline the ≥4× batching claim is measured against.
+        let windows: &[usize] = if s == BoundsStrategy::Uffd {
+            &[1, 16]
+        } else {
+            &[16]
+        };
+        for &window in windows {
+            lb_core::uffd::set_uffd_window_pages(window);
+            for pooled in [false, true] {
+                pool::drain();
+                pool::configure(MemoryPoolConfig {
+                    capacity: if pooled { 8 } else { 0 },
+                    verify_zero: false,
+                });
+                let config = MemoryConfig::new(s, 1, 256).with_reserve(512 << 16);
+                let one_iter = |lat: &mut Vec<f64>| -> f64 {
+                    let t = Instant::now();
+                    let mut inst = loaded.instantiate(&config, &linker).unwrap();
+                    lat.push(t.elapsed().as_secs_f64() * 1e6);
+                    inst.invoke("init", &[]).unwrap();
+                    inst.invoke("kernel", &[]).unwrap();
+                    inst.invoke("checksum", &[])
+                        .unwrap()
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(f64::NAN)
+                };
+                // Warm-up fills the pool so the measured window sees
+                // steady-state hits when pooling is on.
+                let mut scratch = Vec::new();
+                for _ in 0..2 {
+                    one_iter(&mut scratch);
+                }
+                let vm0 = lb_core::stats::snapshot();
+                let tele0 = lb_telemetry::snapshot();
+                let mut lat = Vec::with_capacity(iters as usize);
+                let mut checksum = 0.0f64;
+                for _ in 0..iters {
+                    checksum = one_iter(&mut lat);
+                }
+                let vm = lb_core::stats::snapshot().delta(&vm0);
+                let tele = lb_telemetry::snapshot().delta_since(&tele0);
+                lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                rows.push(PoolRow {
+                    strategy: s.name(),
+                    pool: pooled,
+                    window,
+                    iters,
+                    instantiate_us_median: lat[lat.len() / 2],
+                    mmap: vm.mmap,
+                    munmap: vm.munmap,
+                    pool_hits: vm.pool_hits,
+                    pool_misses: vm.pool_misses,
+                    zeropage_per_iter: vm.uffd_zeropage as f64 / f64::from(iters),
+                    batch_pages: tele.counter("uffd.batch_pages"),
+                    prefetch_streaks: tele.counter("uffd.prefetch_streak"),
+                    checksum_bits: checksum.to_bits(),
+                });
+                let r = rows.last().unwrap();
+                println!(
+                    "{:9} pool={:<5} window={:<3} inst_us={:<9.1} mmap={:<3} \
+                     zeropage/iter={:<7.1} hits={} misses={}",
+                    r.strategy,
+                    r.pool,
+                    r.window,
+                    r.instantiate_us_median,
+                    r.mmap,
+                    r.zeropage_per_iter,
+                    r.pool_hits,
+                    r.pool_misses
+                );
+            }
+        }
+    }
+    pool::configure(MemoryPoolConfig::default());
+    pool::drain();
+    lb_core::uffd::set_uffd_window_pages(lb_core::uffd::DEFAULT_UFFD_WINDOW_PAGES);
+
+    // Correctness gate: every configuration must produce the same bits.
+    let first = rows.first().map(|r| r.checksum_bits).unwrap_or(0);
+    assert!(
+        rows.iter().all(|r| r.checksum_bits == first),
+        "checksum diverged across pool/window configurations"
+    );
+    // Batching gate: the 16-page window must service the sequential
+    // kernel with ≥4× fewer UFFDIO_ZEROPAGE ioctls than per-page mode.
+    let zp = |w: usize| {
+        rows.iter()
+            .filter(|r| r.strategy == "uffd" && r.window == w)
+            .map(|r| r.zeropage_per_iter)
+            .fold(0.0f64, f64::max)
+    };
+    if uffd_ok {
+        let (base, batched) = (zp(1), zp(16));
+        println!("uffd zeropage ioctls/iter: window1={base:.1} window16={batched:.1}");
+        assert!(
+            batched * 4.0 <= base,
+            "batched fault service must cut ioctls >=4x ({base:.1} -> {batched:.1})"
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"");
+    json.push_str(name);
+    json.push_str("\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"strategy\":\"{}\",\"pool\":{},\"window\":{},\"iters\":{},\
+             \"instantiate_us_median\":{:.2},\"mmap\":{},\"munmap\":{},\
+             \"pool_hits\":{},\"pool_misses\":{},\"zeropage_per_iter\":{:.2},\
+             \"batch_pages\":{},\"prefetch_streaks\":{},\"checksum_bits\":\"{:#018x}\"}}{}",
+            r.strategy,
+            r.pool,
+            r.window,
+            r.iters,
+            r.instantiate_us_median,
+            r.mmap,
+            r.munmap,
+            r.pool_hits,
+            r.pool_misses,
+            r.zeropage_per_iter,
+            r.batch_pages,
+            r.prefetch_streaks,
+            r.checksum_bits,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new("BENCH_pool.json");
+    lb_harness::report::atomic_write(path, json.as_bytes()).unwrap();
+    println!("wrote {}", path.display());
 }

@@ -73,6 +73,7 @@ pub const SITES: &[&str] = &[
     "core.uffd.copy",       // UFFDIO_ZEROPAGE population (host and in-handler)
     "core.uffd.wake",       // UFFDIO_WAKE from the watchdog's stall recovery
     "core.madvise.discard", // madvise(MADV_DONTNEED) when recycling memory
+    "core.pool.reset",      // pooled-memory reset on release to the free-list
 ];
 
 /// Telemetry counter names for per-site fire counts, index-aligned with
@@ -86,6 +87,7 @@ const SITE_COUNTERS: &[&str] = &[
     "chaos.fired.core.uffd.copy",
     "chaos.fired.core.uffd.wake",
     "chaos.fired.core.madvise.discard",
+    "chaos.fired.core.pool.reset",
 ];
 
 /// Symbolic errno values supported in specs, as (name, value) pairs.

@@ -47,6 +47,7 @@
 
 pub mod exec;
 pub mod memory;
+pub mod pool;
 pub mod region;
 pub mod registry;
 pub mod signals;
@@ -57,6 +58,7 @@ pub mod uffd;
 
 pub use exec::{Engine, HostCtx, HostFn, Instance, Linker, LoadError, LoadedModule};
 pub use memory::{LinearMemory, MemoryError, Pod, WASM_PAGE};
+pub use pool::MemoryPoolConfig;
 pub use signals::catch_traps;
 pub use strategy::{BoundsStrategy, MemoryConfig, DEFAULT_RESERVE_BYTES};
 pub use trap::{Trap, TrapKind};

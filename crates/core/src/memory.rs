@@ -13,15 +13,17 @@
 //! | mprotect  | PROT_NONE       | `mprotect(2)` per grow   | SIGSEGV on guard pages   |
 //! | uffd      | RW + registered | atomic bump              | SIGBUS beyond committed  |
 
+use crate::pool::{self, ArenaParts};
 use crate::region::{round_up_to_page, Protection, Reservation};
-use crate::registry::{ArenaDesc, SlotId, ARENAS};
+use crate::registry::{ArenaDesc, ARENAS};
 use crate::stats;
 use crate::strategy::{BoundsStrategy, MemoryConfig};
 use crate::trap::Trap;
 use crate::uffd::Uffd;
 use std::fmt;
 use std::io;
-use std::sync::atomic::Ordering;
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Size of one wasm page (64 KiB).
 pub const WASM_PAGE: usize = 65536;
@@ -80,17 +82,18 @@ impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
 /// One wasm instance's linear memory.
 ///
 /// The memory registers itself in the global arena registry on creation so
-/// the signal handler can classify faults, and unregisters on drop (waiting
-/// out concurrent signal-context readers via hazard pointers).
+/// the signal handler can classify faults. On drop, its OS-facing parts
+/// (reservation, registration, uffd fd) go back to the instance pool when
+/// pooling is enabled — see [`crate::pool`] — and are fully torn down
+/// otherwise (waiting out concurrent signal-context readers via hazard
+/// pointers).
 #[derive(Debug)]
 pub struct LinearMemory {
-    reservation: Reservation,
-    desc_slot: SlotId,
-    desc: *const ArenaDesc,
+    parts: ManuallyDrop<ArenaParts>,
     strategy: BoundsStrategy,
     requested: BoundsStrategy,
     max_pages: u32,
-    uffd: Option<Uffd>,
+    from_pool: bool,
 }
 
 /// Next strategy to try when `strategy` failed to initialize with `err`.
@@ -181,6 +184,18 @@ impl LinearMemory {
         let reserve = round_up_to_page(reserve);
         let initial_bytes = config.initial_pages as usize * WASM_PAGE;
 
+        // Fast path: reuse parked parts — no mmap, no UFFDIO_REGISTER, at
+        // most one delta mprotect, all done inside `acquire`.
+        if let Some(parts) = pool::acquire(strategy, reserve, initial_bytes) {
+            return Ok(LinearMemory {
+                parts: ManuallyDrop::new(parts),
+                strategy,
+                requested: config.strategy,
+                max_pages: (max_bytes.min(reserve) / WASM_PAGE) as u32,
+                from_pool: true,
+            });
+        }
+
         let initial_prot = match strategy {
             BoundsStrategy::Mprotect => Protection::None,
             _ => Protection::ReadWrite,
@@ -204,31 +219,39 @@ impl LinearMemory {
             None
         };
 
-        let desc = Box::new(ArenaDesc {
-            base: reservation.base().as_ptr() as usize,
-            len: reserve,
-            committed: std::sync::atomic::AtomicUsize::new(initial_bytes),
+        let desc = Box::new(ArenaDesc::new(
+            reservation.base().as_ptr() as usize,
+            reserve,
+            initial_bytes,
             strategy,
-            uffd_fd: std::sync::atomic::AtomicI32::new(
-                uffd.as_ref().map(|u| u.raw_fd()).unwrap_or(-1),
-            ),
-        });
+            uffd.as_ref().map(|u| u.raw_fd()).unwrap_or(-1),
+        ));
         let (desc_slot, desc) = ARENAS.register(desc);
+        // RW high-water: mprotect starts with just the initial window
+        // writable; every other strategy maps the whole reservation RW.
+        let rw_high = match strategy {
+            BoundsStrategy::Mprotect => round_up_to_page(initial_bytes),
+            _ => reserve,
+        };
 
         Ok(LinearMemory {
-            reservation,
-            desc_slot,
-            desc,
+            parts: ManuallyDrop::new(ArenaParts {
+                reservation,
+                desc_slot,
+                desc,
+                uffd,
+                strategy,
+                rw_high: AtomicUsize::new(rw_high),
+            }),
             strategy,
             requested: config.strategy,
             max_pages: (max_bytes.min(reserve) / WASM_PAGE) as u32,
-            uffd,
+            from_pool: false,
         })
     }
 
     fn desc(&self) -> &ArenaDesc {
-        // SAFETY: registered at construction; unregistered only in Drop.
-        unsafe { &*self.desc }
+        self.parts.desc()
     }
 
     /// The effective bounds-checking strategy (after any fallback).
@@ -246,9 +269,15 @@ impl LinearMemory {
         self.strategy != self.requested
     }
 
+    /// Whether this memory was served from the instance pool rather than
+    /// freshly mapped.
+    pub fn from_pool(&self) -> bool {
+        self.from_pool
+    }
+
     /// Base address of the reservation (for engines generating raw access).
     pub fn base(&self) -> *mut u8 {
-        self.reservation.base().as_ptr()
+        self.parts.reservation.base().as_ptr()
     }
 
     /// Currently accessible bytes.
@@ -274,7 +303,7 @@ impl LinearMemory {
 
     /// Virtual reservation size in bytes.
     pub fn reserved_bytes(&self) -> usize {
-        self.reservation.len()
+        self.parts.reservation.len()
     }
 
     /// Grow by `delta_pages`, returning the previous page count, or `None`
@@ -293,18 +322,28 @@ impl LinearMemory {
         }
         let new_bytes = new_pages as usize * WASM_PAGE;
         if self.strategy == BoundsStrategy::Mprotect {
-            // An injected or real failure (e.g. ENOMEM) surfaces as a clean
-            // wasm-level `memory.grow` of −1, never a crash.
-            if lb_chaos::inject("core.mprotect.grow").is_some() {
-                return None;
-            }
-            // The syscall whose VMA-lock serialization the paper measures.
-            if self
-                .reservation
-                .protect(old_bytes, new_bytes - old_bytes, Protection::ReadWrite)
-                .is_err()
-            {
-                return None;
+            // Windows at or below the RW high-water mark are already
+            // writable (a pooled predecessor committed them); only the
+            // genuinely new range needs the syscall.
+            let rw_high = self.parts.rw_high.load(Ordering::Relaxed);
+            if new_bytes > rw_high {
+                // An injected or real failure (e.g. ENOMEM) surfaces as a
+                // clean wasm-level `memory.grow` of −1, never a crash.
+                if lb_chaos::inject("core.mprotect.grow").is_some() {
+                    return None;
+                }
+                let from = old_bytes.max(rw_high);
+                // The syscall whose VMA-lock serialization the paper
+                // measures.
+                if self
+                    .parts
+                    .reservation
+                    .protect(from, new_bytes - from, Protection::ReadWrite)
+                    .is_err()
+                {
+                    return None;
+                }
+                self.parts.rw_high.store(new_bytes, Ordering::Relaxed);
             }
         }
         self.desc().committed.store(new_bytes, Ordering::Release);
@@ -458,7 +497,7 @@ impl LinearMemory {
     /// Propagates `UFFDIO_ZEROPAGE` failures. `EEXIST` (already present)
     /// is success; transient `EAGAIN` is retried a bounded number of times.
     pub fn populate(&self, addr: usize, len: usize) -> io::Result<()> {
-        let Some(u) = &self.uffd else {
+        let Some(u) = &self.parts.uffd else {
             return Ok(());
         };
         let start = addr & !(4095);
@@ -480,11 +519,11 @@ impl LinearMemory {
 
 impl Drop for LinearMemory {
     fn drop(&mut self) {
-        if let Some(u) = &self.uffd {
-            let _ = u.unregister(self.base() as usize, self.reservation.len());
-        }
-        ARENAS.unregister(self.desc_slot, self.desc);
-        // Reservation unmaps in its own Drop.
+        // SAFETY: parts are taken exactly once, here; self is not used
+        // again. `release` either parks them (resetting contents) or runs
+        // the full teardown.
+        let parts = unsafe { ManuallyDrop::take(&mut self.parts) };
+        pool::release(parts);
     }
 }
 

@@ -1,0 +1,349 @@
+//! Instance pooling for linear memories: reuse the reservation, the arena
+//! registration, and the uffd registration across instantiations.
+//!
+//! The paper's uffd strategy pays its way not in checks but in lifecycle:
+//! an 8 GiB reservation `mmap`ed, `UFFDIO_REGISTER`ed, then torn down per
+//! instantiation (§2.3). Under benchmark traffic — thousands of
+//! instantiations of the same module — that setup dominates and distorts
+//! the per-strategy numbers. The pool removes it: a dropped
+//! [`crate::LinearMemory`] parks its [`ArenaParts`] on a lock-free
+//! free-list keyed by strategy, and the next instantiation of the same
+//! shape reuses them wholesale.
+//!
+//! The **zero-fill guarantee** on reuse comes from `madvise(MADV_DONTNEED)`
+//! over the anonymous private reservation: the kernel drops every resident
+//! page, and the next touch observes a fresh zero page (lazily faulted for
+//! `uffd`, demand-zeroed for the others). Nothing is re-`mmap`ed, nothing
+//! re-registered; for the `mprotect` strategy only the *delta* between the
+//! released RW high-water mark and the new initial size is re-protected —
+//! reusing an instance of the same shape costs zero `mprotect` calls.
+//! [`MemoryPoolConfig::verify_zero`] adds a paranoid read-back of the
+//! initial window for tests.
+//!
+//! While parked, an entry keeps `committed = 0` in its still-registered
+//! [`ArenaDesc`], so a stray fault into a pooled arena classifies as a
+//! wasm OOB trap rather than corrupting recycled memory.
+//!
+//! Opt-in: `LB_POOL=N` (entries retained per strategy) or
+//! [`configure`] with a [`MemoryPoolConfig`]. Disabled (capacity 0) by
+//! default, preserving the measured-per-run lifecycle the paper's
+//! baseline figures need.
+
+use crate::region::Reservation;
+use crate::registry::{ArenaDesc, SlotId, ARENAS};
+use crate::stats;
+use crate::strategy::BoundsStrategy;
+use crate::uffd::Uffd;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// Maximum entries the free-list can hold per strategy, regardless of the
+/// configured capacity (each parked entry pins a reservation and, for
+/// `uffd`, a file descriptor).
+pub const MAX_POOL_SLOTS: usize = 64;
+
+/// Pool tuning, applied process-wide via [`configure`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryPoolConfig {
+    /// Entries retained per strategy (0 disables pooling; clamped to
+    /// [`MAX_POOL_SLOTS`]).
+    pub capacity: usize,
+    /// Read back the initial window on every reuse and panic if any byte
+    /// is nonzero — the test-mode check of the zero-fill guarantee.
+    pub verify_zero: bool,
+}
+
+impl MemoryPoolConfig {
+    /// The configuration the environment requests: `LB_POOL=N` sets the
+    /// capacity, `LB_POOL_VERIFY=1` the verification mode.
+    pub fn from_env() -> MemoryPoolConfig {
+        let capacity = std::env::var("LB_POOL")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        let verify_zero = std::env::var("LB_POOL_VERIFY")
+            .map(|v| v.trim() == "1")
+            .unwrap_or(false);
+        MemoryPoolConfig {
+            capacity,
+            verify_zero,
+        }
+    }
+}
+
+static CAPACITY: AtomicUsize = AtomicUsize::new(0);
+static VERIFY: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+/// Apply the environment's configuration exactly once; explicit
+/// [`configure`] calls consume the same `Once` so a later lazy env read
+/// can never clobber them.
+fn ensure_env_config() {
+    ENV_INIT.call_once(|| {
+        let cfg = MemoryPoolConfig::from_env();
+        CAPACITY.store(cfg.capacity.min(MAX_POOL_SLOTS), Ordering::Relaxed);
+        VERIFY.store(cfg.verify_zero, Ordering::Relaxed);
+    });
+}
+
+/// Install a pool configuration, overriding `LB_POOL`/`LB_POOL_VERIFY`.
+/// Shrinking the capacity does not evict already-parked entries; call
+/// [`drain`] for that.
+pub fn configure(config: MemoryPoolConfig) {
+    ENV_INIT.call_once(|| {});
+    CAPACITY.store(config.capacity.min(MAX_POOL_SLOTS), Ordering::Relaxed);
+    VERIFY.store(config.verify_zero, Ordering::Relaxed);
+}
+
+/// The effective per-strategy capacity (0 = pooling disabled).
+pub fn pool_capacity() -> usize {
+    ensure_env_config();
+    CAPACITY.load(Ordering::Relaxed)
+}
+
+fn verify_zero_enabled() -> bool {
+    ensure_env_config();
+    VERIFY.load(Ordering::Relaxed)
+}
+
+/// The OS-facing parts of a linear memory that survive pooling: the
+/// reservation, its live arena registration, and (for `uffd`) the
+/// registered fault fd. Moves between `LinearMemory` and the free-list.
+#[derive(Debug)]
+pub(crate) struct ArenaParts {
+    pub(crate) reservation: Reservation,
+    pub(crate) desc_slot: SlotId,
+    pub(crate) desc: *const ArenaDesc,
+    pub(crate) uffd: Option<Uffd>,
+    pub(crate) strategy: BoundsStrategy,
+    /// Bytes from base currently PROT_READ|WRITE. Only meaningful for the
+    /// `mprotect` strategy (the others keep the whole reservation RW);
+    /// lets both reuse and `grow` skip `mprotect` for windows that are
+    /// already writable.
+    pub(crate) rw_high: AtomicUsize,
+}
+
+// SAFETY: the desc pointer stays valid until teardown (the registration it
+// refers to is owned by these parts), and all state behind it is atomic.
+unsafe impl Send for ArenaParts {}
+unsafe impl Sync for ArenaParts {}
+
+impl ArenaParts {
+    pub(crate) fn desc(&self) -> &ArenaDesc {
+        // SAFETY: registered at construction; unregistered only in teardown.
+        unsafe { &*self.desc }
+    }
+
+    /// Full teardown: the non-pooled end of life. Unregisters the uffd
+    /// range and the arena, then unmaps the reservation.
+    pub(crate) fn teardown(self) {
+        if let Some(u) = &self.uffd {
+            let _ = u.unregister(
+                self.reservation.base().as_ptr() as usize,
+                self.reservation.len(),
+            );
+        }
+        ARENAS.unregister(self.desc_slot, self.desc);
+        // Reservation unmaps in its own Drop.
+    }
+}
+
+fn strategy_index(s: BoundsStrategy) -> usize {
+    match s {
+        BoundsStrategy::None => 0,
+        BoundsStrategy::Clamp => 1,
+        BoundsStrategy::Trap => 2,
+        BoundsStrategy::Mprotect => 3,
+        BoundsStrategy::Uffd => 4,
+    }
+}
+
+/// Free-lists: one fixed slot array per strategy. Push CASes an entry
+/// into the first empty slot, pop swaps the first occupied one out —
+/// lock-free and ABA-free (a slot transfers a unique boxed pointer in
+/// one atomic op; there is no multi-step head/next protocol to race).
+static FREE: [[AtomicPtr<ArenaParts>; MAX_POOL_SLOTS]; 5] =
+    [const { [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_POOL_SLOTS] }; 5];
+
+fn push(parts: ArenaParts) -> Result<(), ArenaParts> {
+    let limit = pool_capacity().min(MAX_POOL_SLOTS);
+    let list = &FREE[strategy_index(parts.strategy)];
+    let ptr = Box::into_raw(Box::new(parts));
+    for slot in &list[..limit] {
+        if slot
+            .compare_exchange(
+                std::ptr::null_mut(),
+                ptr,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            return Ok(());
+        }
+    }
+    // Pool full at the configured capacity.
+    // SAFETY: ptr came from Box::into_raw above and was never shared.
+    Err(*unsafe { Box::from_raw(ptr) })
+}
+
+fn pop(strategy: BoundsStrategy) -> Option<ArenaParts> {
+    let list = &FREE[strategy_index(strategy)];
+    for slot in list.iter() {
+        let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !p.is_null() {
+            // SAFETY: the swap transferred exclusive ownership of the box.
+            return Some(*unsafe { Box::from_raw(p) });
+        }
+    }
+    None
+}
+
+/// Number of entries currently parked across all strategies (diagnostics).
+pub fn pooled_count() -> usize {
+    FREE.iter()
+        .flat_map(|l| l.iter())
+        .filter(|s| !s.load(Ordering::Relaxed).is_null())
+        .count()
+}
+
+/// Tear down every parked entry, returning how many were evicted. Tests
+/// use this between configurations; long-lived processes can use it to
+/// release reservations and fds under memory pressure.
+pub fn drain() -> usize {
+    let mut n = 0;
+    for list in &FREE {
+        for slot in list.iter() {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: the swap transferred exclusive ownership.
+                unsafe { Box::from_raw(p) }.teardown();
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Try to serve an instantiation from the pool. Returns ready-to-use
+/// parts with `committed = initial_bytes`, or `None` (counted as a pool
+/// miss when pooling is enabled) if nothing suitable is parked.
+pub(crate) fn acquire(
+    strategy: BoundsStrategy,
+    reserve: usize,
+    initial_bytes: usize,
+) -> Option<ArenaParts> {
+    if pool_capacity() == 0 {
+        return None;
+    }
+    let Some(parts) = pop(strategy) else {
+        stats::count_pool_miss();
+        return None;
+    };
+    // The pool is keyed by strategy only; a shape change (different
+    // reservation size) evicts rather than adapts.
+    if parts.reservation.len() != reserve {
+        parts.teardown();
+        stats::count_pool_miss();
+        return None;
+    }
+    if strategy == BoundsStrategy::Mprotect {
+        // Re-protect only the delta against the released RW high-water
+        // mark. Same shape ⇒ zero syscalls; the excess of a larger
+        // previous instance must return to PROT_NONE or OOB detection
+        // beyond the new initial size would be lost.
+        let rw = parts.rw_high.load(Ordering::Relaxed);
+        let init = crate::region::round_up_to_page(initial_bytes);
+        let adjust = if rw > init {
+            parts
+                .reservation
+                .protect(init, rw - init, crate::region::Protection::None)
+        } else if rw < init {
+            parts
+                .reservation
+                .protect(rw, init - rw, crate::region::Protection::ReadWrite)
+        } else {
+            Ok(())
+        };
+        if adjust.is_err() {
+            parts.teardown();
+            stats::count_pool_miss();
+            return None;
+        }
+        parts.rw_high.store(init, Ordering::Relaxed);
+    }
+    parts
+        .desc()
+        .committed
+        .store(initial_bytes, Ordering::Release);
+    if verify_zero_enabled() && initial_bytes > 0 {
+        verify_zero_window(&parts, initial_bytes);
+    }
+    stats::count_pool_hit();
+    Some(parts)
+}
+
+/// Park released parts on the free-list, resetting them for the next
+/// instantiation, or tear them down if pooling is off, the reset fails
+/// (the fall-back-to-fresh-`mmap` path chaos tests exercise), or the pool
+/// is full.
+pub(crate) fn release(parts: ArenaParts) {
+    if pool_capacity() == 0 {
+        parts.teardown();
+        return;
+    }
+    let t0 = std::time::Instant::now();
+    // Nothing may fault a parked arena as committed, and a recycled arena
+    // must not inherit the previous instance's stride history.
+    parts.desc().committed.store(0, Ordering::Release);
+    parts.desc().reset_fault_prediction();
+    // The reset itself: drop every resident page. An injected or real
+    // failure degrades to a full teardown — the next acquire simply
+    // misses and maps fresh memory; never an abort.
+    if lb_chaos::inject("core.pool.reset").is_some()
+        || parts
+            .reservation
+            .discard(0, parts.reservation.len())
+            .is_err()
+    {
+        parts.teardown();
+        return;
+    }
+    stats::record_pool_reset_us(t0.elapsed().as_micros() as u64);
+    if let Err(excess) = push(parts) {
+        excess.teardown();
+    }
+}
+
+/// Read back `[0, initial_bytes)` and panic on any nonzero byte — the
+/// pool's contract is that reuse is indistinguishable from a fresh
+/// memory. For `uffd` the pages are populated via ioctl first: this is
+/// host context with no trap frame armed, so letting the read SIGBUS
+/// would kill the process rather than fault-service.
+fn verify_zero_window(parts: &ArenaParts, initial_bytes: usize) {
+    let base = parts.reservation.base().as_ptr();
+    let end = crate::region::round_up_to_page(initial_bytes);
+    if let Some(u) = &parts.uffd {
+        let mut off = 0;
+        while off < end {
+            match u.zeropage(base as usize + off, 4096) {
+                Ok(()) => {}
+                Err(e) if e.raw_os_error() == Some(libc::EEXIST) => {}
+                Err(e) => panic!("pool verify_zero: populate failed: {e}"),
+            }
+            off += 4096;
+        }
+    }
+    let words = initial_bytes / 8;
+    for i in 0..words {
+        // SAFETY: [0, initial_bytes) is committed, populated, and readable
+        // for every strategy at this point.
+        let v = unsafe { std::ptr::read_volatile((base as *const u64).add(i)) };
+        assert_eq!(
+            v,
+            0,
+            "pool verify_zero: reused memory not zeroed at byte {}",
+            i * 8
+        );
+    }
+}

@@ -27,12 +27,44 @@ pub struct ArenaDesc {
     pub strategy: BoundsStrategy,
     /// userfaultfd file descriptor for `uffd` arenas, −1 otherwise.
     pub uffd_fd: AtomicI32,
+    /// End offset (exclusive, arena-relative) of the last window the uffd
+    /// fault servicer populated; the stride predictor compares the next
+    /// fault against it to detect sequential scans.
+    pub last_fault_end: AtomicUsize,
+    /// Consecutive sequential-fault count; drives window extension.
+    pub fault_streak: AtomicUsize,
 }
 
 impl ArenaDesc {
+    /// A descriptor with fault-prediction state zeroed.
+    pub fn new(
+        base: usize,
+        len: usize,
+        committed: usize,
+        strategy: BoundsStrategy,
+        uffd_fd: i32,
+    ) -> ArenaDesc {
+        ArenaDesc {
+            base,
+            len,
+            committed: AtomicUsize::new(committed),
+            strategy,
+            uffd_fd: AtomicI32::new(uffd_fd),
+            last_fault_end: AtomicUsize::new(0),
+            fault_streak: AtomicUsize::new(0),
+        }
+    }
+
     /// Whether `addr` falls inside this arena's reservation.
     pub fn contains(&self, addr: usize) -> bool {
         addr >= self.base && addr < self.base + self.len
+    }
+
+    /// Reset the stride predictor (on pool reuse, so a recycled arena does
+    /// not inherit the previous instance's access pattern).
+    pub fn reset_fault_prediction(&self) {
+        self.last_fault_end.store(0, Ordering::Relaxed);
+        self.fault_streak.store(0, Ordering::Relaxed);
     }
 }
 
@@ -188,12 +220,41 @@ impl<T> HazardRegistry<T> {
     pub fn find_with<R>(
         &self,
         hazard: HazardId,
-        mut pred: impl FnMut(&T) -> bool,
+        pred: impl FnMut(&T) -> bool,
         f: impl FnOnce(&T) -> R,
     ) -> Option<R> {
+        self.find_with_hint(hazard, usize::MAX, pred, f)
+            .map(|(_, r)| r)
+    }
+
+    /// [`HazardRegistry::find_with`], trying slot `hint` before the linear
+    /// scan and reporting which slot matched so callers can cache it.
+    ///
+    /// The hot consumer is the signal handler: consecutive faults almost
+    /// always land in the same arena, so a per-thread cached slot index
+    /// turns the O(high_water) registry scan into a single probe. A stale
+    /// hint is harmless — the slot is re-verified under the hazard
+    /// protocol like any other, and a miss falls back to the full scan.
+    /// Pass `usize::MAX` (or any out-of-range index) for "no hint".
+    ///
+    /// Async-signal-safe under the same conditions as `find_with`.
+    pub fn find_with_hint<R>(
+        &self,
+        hazard: HazardId,
+        hint: usize,
+        mut pred: impl FnMut(&T) -> bool,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<(usize, R)> {
         let hw = self.high_water.load(Ordering::Acquire).min(MAX_SLOTS);
         let hslot = &self.hazards[hazard.0];
-        for slot in &self.slots[..hw] {
+        let mut f = Some(f);
+        // Probe order: the hinted slot first, then the linear scan (which
+        // skips the hint — it was already checked).
+        let probes = std::iter::once(hint)
+            .filter(|&i| i < hw)
+            .chain((0..hw).filter(|&i| i != hint));
+        for i in probes {
+            let slot = &self.slots[i];
             let p = slot.load(Ordering::Acquire);
             if p.is_null() {
                 continue;
@@ -208,9 +269,9 @@ impl<T> HazardRegistry<T> {
             // descriptor cannot be freed while we hold the hazard.
             let r = unsafe { &*p };
             if pred(r) {
-                let out = f(r);
+                let out = f.take().map(|f| f(r));
                 hslot.store(std::ptr::null_mut(), Ordering::Release);
-                return Some(out);
+                return out.map(|o| (i, o));
             }
             hslot.store(std::ptr::null_mut(), Ordering::Release);
         }
@@ -251,17 +312,10 @@ pub static CODE_REGIONS: HazardRegistry<CodeDesc> = HazardRegistry::new();
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
     fn desc(base: usize, len: usize) -> Box<ArenaDesc> {
-        Box::new(ArenaDesc {
-            base,
-            len,
-            committed: AtomicUsize::new(len),
-            strategy: BoundsStrategy::None,
-            uffd_fd: AtomicI32::new(-1),
-        })
+        Box::new(ArenaDesc::new(base, len, len, BoundsStrategy::None, -1))
     }
 
     #[test]
@@ -330,6 +384,37 @@ mod tests {
             h.join().unwrap();
         }
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn find_with_hint_probes_cached_slot_and_recovers_from_stale_hints() {
+        let reg: HazardRegistry<ArenaDesc> = HazardRegistry::new();
+        let a = reg.register(desc(0x1000, 0x1000));
+        let b = reg.register(desc(0x4000, 0x1000));
+        let h = reg.claim_hazard();
+        // No hint: the scan finds the second descriptor and reports its slot.
+        let (slot_b, base) = reg
+            .find_with_hint(h, usize::MAX, |d| d.contains(0x4800), |d| d.base)
+            .unwrap();
+        assert_eq!(base, 0x4000);
+        // A correct hint hits the same slot.
+        let (again, _) = reg
+            .find_with_hint(h, slot_b, |d| d.contains(0x4800), |d| d.base)
+            .unwrap();
+        assert_eq!(again, slot_b);
+        // A stale hint (points at the wrong arena) still finds the right one.
+        let (slot_a, base) = reg
+            .find_with_hint(h, slot_b, |d| d.contains(0x1800), |d| d.base)
+            .unwrap();
+        assert_eq!(base, 0x1000);
+        assert_ne!(slot_a, slot_b);
+        // A hint into a now-empty slot falls back cleanly.
+        reg.unregister(b.0, b.1);
+        assert!(reg
+            .find_with_hint(h, slot_b, |d| d.contains(0x4800), |d| d.base)
+            .is_none());
+        reg.release_hazard(h);
+        reg.unregister(a.0, a.1);
     }
 
     #[test]

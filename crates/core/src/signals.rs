@@ -129,6 +129,12 @@ thread_local! {
     static CURRENT_FRAME: Cell<*mut TrapFrame> = const { Cell::new(std::ptr::null_mut()) };
     static ARENA_HAZARD: Cell<Option<HazardId>> = const { Cell::new(None) };
     static CODE_HAZARD: Cell<Option<HazardId>> = const { Cell::new(None) };
+    /// Registry slot that resolved this thread's previous uffd fault.
+    /// A streaming kernel faults into the same arena thousands of times
+    /// in a row; probing the remembered slot first turns the handler's
+    /// registry scan into a single load. Purely a hint: stale values are
+    /// re-validated by the hazard protocol inside `find_with_hint`.
+    static LAST_ARENA_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
     static THREAD_STATE: std::cell::RefCell<Option<ThreadState>> =
         const { std::cell::RefCell::new(None) };
 }
@@ -212,6 +218,9 @@ pub fn install_handlers() {
         // Register every instrument the handler records into *before* it
         // can run: registration takes locks, increments don't.
         stats::force_init();
+        // Resolve the fault-service window from LB_UFFD_WINDOW in normal
+        // context; the handler only does relaxed loads of the cached value.
+        uffd::init_window_from_env();
         let _ = UFFD_FAULT_SPAN.set(lb_telemetry::register_span_name("uffd.fault"));
         for &sig in &HANDLED_SIGNALS {
             // SAFETY: standard sigaction installation; handler is
@@ -402,8 +411,10 @@ unsafe fn trap_handler_inner(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: 
     //    from inside the handler, then retry the faulting instruction.
     if sig == libc::SIGBUS {
         if let Some(h) = arena_hazard {
-            let action = ARENAS.find_with(
+            let hint = LAST_ARENA_SLOT.with(|c| c.get());
+            let found = ARENAS.find_with_hint(
                 h,
+                hint,
                 |a| a.strategy == BoundsStrategy::Uffd && a.contains(fault_addr),
                 |a| {
                     let off = fault_addr - a.base;
@@ -414,7 +425,7 @@ unsafe fn trap_handler_inner(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: 
                         // (SIGBUS entry → zeropage done); everything
                         // recorded is a pre-registered atomic slot.
                         let t0 = lb_telemetry::clock::now_ns();
-                        let action = uffd::zeropage_around(fd, a.base, committed, off);
+                        let action = uffd::zeropage_around(fd, a, committed, off);
                         let dur = lb_telemetry::clock::now_ns().saturating_sub(t0);
                         stats::record_uffd_service(dur);
                         if let Some(&id) = UFFD_FAULT_SPAN.get() {
@@ -426,9 +437,12 @@ unsafe fn trap_handler_inner(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: 
                     }
                 },
             );
-            match action {
-                Some(uffd::FaultAction::Populated) => return, // retry access
-                Some(uffd::FaultAction::OutOfBounds) => {
+            match found {
+                Some((slot, uffd::FaultAction::Populated)) => {
+                    LAST_ARENA_SLOT.with(|c| c.set(slot));
+                    return; // retry access
+                }
+                Some((_, uffd::FaultAction::OutOfBounds)) => {
                     deliver_or_chain(sig, info, uc, TrapKind::OutOfBounds.code(), fault_addr);
                     return;
                 }
@@ -553,7 +567,6 @@ mod tests {
     use super::*;
     use crate::region::{Protection, Reservation};
     use crate::registry::ArenaDesc;
-    use std::sync::atomic::AtomicI32;
 
     #[test]
     fn normal_completion_passes_through() {
@@ -581,13 +594,13 @@ mod tests {
         // surface as a wasm OOB trap, not a crash.
         let res = Reservation::new(1 << 20, Protection::None).unwrap();
         let base = res.base().as_ptr() as usize;
-        let desc = Box::new(ArenaDesc {
+        let desc = Box::new(ArenaDesc::new(
             base,
-            len: res.len(),
-            committed: AtomicUsize::new(0),
-            strategy: BoundsStrategy::Mprotect,
-            uffd_fd: AtomicI32::new(-1),
-        });
+            res.len(),
+            0,
+            BoundsStrategy::Mprotect,
+            -1,
+        ));
         let (slot, ptr) = ARENAS.register(desc);
 
         let err = catch_traps(|| -> Result<(), Trap> {
@@ -608,13 +621,13 @@ mod tests {
     fn nested_catch_traps() {
         let res = Reservation::new(1 << 16, Protection::None).unwrap();
         let base = res.base().as_ptr() as usize;
-        let desc = Box::new(ArenaDesc {
+        let desc = Box::new(ArenaDesc::new(
             base,
-            len: res.len(),
-            committed: AtomicUsize::new(0),
-            strategy: BoundsStrategy::Mprotect,
-            uffd_fd: AtomicI32::new(-1),
-        });
+            res.len(),
+            0,
+            BoundsStrategy::Mprotect,
+            -1,
+        ));
         let (slot, ptr) = ARENAS.register(desc);
 
         let outer = catch_traps(|| -> Result<i32, Trap> {
@@ -636,13 +649,13 @@ mod tests {
     fn traps_work_from_many_threads() {
         let res = Reservation::new(1 << 20, Protection::None).unwrap();
         let base = res.base().as_ptr() as usize;
-        let desc = Box::new(ArenaDesc {
+        let desc = Box::new(ArenaDesc::new(
             base,
-            len: res.len(),
-            committed: AtomicUsize::new(0),
-            strategy: BoundsStrategy::Mprotect,
-            uffd_fd: AtomicI32::new(-1),
-        });
+            res.len(),
+            0,
+            BoundsStrategy::Mprotect,
+            -1,
+        ));
         let (slot, ptr) = ARENAS.register(desc);
 
         std::thread::scope(|s| {

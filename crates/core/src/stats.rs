@@ -33,9 +33,14 @@ struct VmInstruments {
     uffd_zeropage: Counter,
     grows: Counter,
     signal_traps: Counter,
+    pool_hit: Counter,
+    pool_miss: Counter,
+    uffd_batch_pages: Counter,
+    uffd_prefetch_streak: Counter,
     grow_by_strategy: [Counter; 5],
     trap_latency: Histogram,
     uffd_service: Histogram,
+    pool_reset: Histogram,
 }
 
 static INSTRUMENTS: OnceLock<VmInstruments> = OnceLock::new();
@@ -53,6 +58,10 @@ fn vm() -> &'static VmInstruments {
         uffd_zeropage: counter("uffd.zeropage"),
         grows: counter("mem.grow"),
         signal_traps: counter("trap.signal"),
+        pool_hit: counter("pool.hit"),
+        pool_miss: counter("pool.miss"),
+        uffd_batch_pages: counter("uffd.batch_pages"),
+        uffd_prefetch_streak: counter("uffd.prefetch_streak"),
         grow_by_strategy: [
             counter("mem.grow.none"),
             counter("mem.grow.clamp"),
@@ -62,6 +71,7 @@ fn vm() -> &'static VmInstruments {
         ],
         trap_latency: histogram("trap.latency_ns"),
         uffd_service: histogram("uffd.fault_service_ns"),
+        pool_reset: histogram("pool.reset_us"),
     })
 }
 
@@ -92,6 +102,10 @@ pub struct VmSnapshot {
     pub grows: u64,
     /// Wasm traps delivered through the signal path.
     pub signal_traps: u64,
+    /// Pooled-memory acquisitions served from the free-list.
+    pub pool_hits: u64,
+    /// Pooled-memory acquisitions that fell through to a fresh `mmap`.
+    pub pool_misses: u64,
 }
 
 impl VmSnapshot {
@@ -105,6 +119,8 @@ impl VmSnapshot {
             uffd_zeropage: self.uffd_zeropage.saturating_sub(earlier.uffd_zeropage),
             grows: self.grows.saturating_sub(earlier.grows),
             signal_traps: self.signal_traps.saturating_sub(earlier.signal_traps),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
         }
     }
 
@@ -115,7 +131,8 @@ impl VmSnapshot {
             concat!(
                 "{{\"mmap\":{},\"munmap\":{},\"mprotect\":{},",
                 "\"uffd_register\":{},\"uffd_zeropage\":{},",
-                "\"grows\":{},\"signal_traps\":{}}}"
+                "\"grows\":{},\"signal_traps\":{},",
+                "\"pool_hits\":{},\"pool_misses\":{}}}"
             ),
             self.mmap,
             self.munmap,
@@ -123,7 +140,9 @@ impl VmSnapshot {
             self.uffd_register,
             self.uffd_zeropage,
             self.grows,
-            self.signal_traps
+            self.signal_traps,
+            self.pool_hits,
+            self.pool_misses
         )
     }
 }
@@ -139,6 +158,8 @@ pub fn snapshot() -> VmSnapshot {
         uffd_zeropage: v.uffd_zeropage.get(),
         grows: v.grows.get(),
         signal_traps: v.signal_traps.get(),
+        pool_hits: v.pool_hit.get(),
+        pool_misses: v.pool_miss.get(),
     }
 }
 
@@ -198,6 +219,34 @@ pub(crate) fn record_uffd_service(ns: u64) {
     vm().uffd_service.record(ns);
 }
 
+/// Count one pooled-memory acquisition served from the free-list.
+pub(crate) fn count_pool_hit() {
+    vm().pool_hit.inc();
+}
+
+/// Count one pooled-memory acquisition that fell through to a fresh mmap
+/// (empty free-list, size/strategy mismatch, or a failed reset).
+pub(crate) fn count_pool_miss() {
+    vm().pool_miss.inc();
+}
+
+/// Record one pool reset (drop → reusable) in microseconds.
+pub(crate) fn record_pool_reset_us(us: u64) {
+    vm().pool_reset.record(us);
+}
+
+/// Count pages zero-filled by one batched fault service. Called from the
+/// SIGBUS handler: a relaxed atomic add on a pre-registered slot.
+pub(crate) fn count_uffd_batch_pages(pages: u64) {
+    vm().uffd_batch_pages.add(pages);
+}
+
+/// Count one streak-extended (prefetching) fault service. Called from the
+/// SIGBUS handler: a relaxed atomic increment on a pre-registered slot.
+pub(crate) fn count_uffd_prefetch_streak() {
+    vm().uffd_prefetch_streak.inc();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,11 +285,14 @@ mod tests {
             uffd_zeropage: 5,
             grows: 6,
             signal_traps: 7,
+            pool_hits: 8,
+            pool_misses: 9,
         };
         assert_eq!(
             s.to_json(),
             "{\"mmap\":1,\"munmap\":2,\"mprotect\":3,\"uffd_register\":4,\
-             \"uffd_zeropage\":5,\"grows\":6,\"signal_traps\":7}"
+             \"uffd_zeropage\":5,\"grows\":6,\"signal_traps\":7,\
+             \"pool_hits\":8,\"pool_misses\":9}"
         );
         // Round-trippable by our own parser.
         let v = lb_telemetry::json::parse(&s.to_json()).unwrap();

@@ -146,6 +146,44 @@ fn partial_construction_failure_leaks_no_fds_or_mappings() {
     );
 }
 
+/// Pool chaos: an injected failure anywhere in the release-side reset
+/// (the `core.pool.reset` gate or the `madvise` it drives) must degrade
+/// to a torn-down entry — the next instantiation is a pool miss served
+/// by a fresh `mmap`, never an abort and never a dirty reuse.
+#[test]
+fn injected_reset_failure_degrades_to_fresh_mmap_pool_miss() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    use lb_core::pool::{self, MemoryPoolConfig};
+    for site in ["core.pool.reset:1:EIO", "core.madvise.discard:1:EIO"] {
+        pool::drain();
+        pool::configure(MemoryPoolConfig {
+            capacity: 2,
+            verify_zero: true,
+        });
+        let guard = lb_chaos::install(site).unwrap();
+        {
+            let m = LinearMemory::new(&cfg(BoundsStrategy::Trap)).unwrap();
+            m.write_bytes(0, b"dirty").unwrap();
+            // Drop hits the injected reset failure: the entry must be
+            // torn down, not parked dirty.
+        }
+        assert_eq!(pool::pooled_count(), 0, "{site}: failed reset must evict");
+        let before = lb_core::stats::snapshot();
+        let m = LinearMemory::new(&cfg(BoundsStrategy::Trap)).unwrap();
+        assert!(!m.from_pool(), "{site}");
+        let d = lb_core::stats::snapshot().delta(&before);
+        assert_eq!(d.pool_misses, 1, "{site}");
+        assert_eq!(d.mmap, 1, "{site}: the miss maps fresh memory");
+        let mut buf = [0xFFu8; 8];
+        m.read_bytes(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8], "{site}: fresh memory is zero");
+        drop(guard);
+        drop(m);
+        pool::configure(MemoryPoolConfig::default());
+        pool::drain();
+    }
+}
+
 #[test]
 fn seeded_rate_injection_is_deterministic_across_installs() {
     let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());

@@ -360,6 +360,28 @@ fn run_once(bench: &Benchmark, spec: &RunSpec) -> Result<RunResult, RunFailure> 
                 "checks_emitted",
                 telemetry.counter("jit.checks.emitted").to_string(),
             ),
+            // Memory-lifecycle fast path: pool effectiveness and batched
+            // uffd fault service over the run (pool.reset_us is the mean
+            // reset latency in microseconds; 0 when nothing was recycled).
+            ("pool.hit", telemetry.counter("pool.hit").to_string()),
+            ("pool.miss", telemetry.counter("pool.miss").to_string()),
+            (
+                "pool.reset_us",
+                format!(
+                    "{:.1}",
+                    telemetry
+                        .histogram("pool.reset_us")
+                        .map_or(0.0, |h| h.mean())
+                ),
+            ),
+            (
+                "uffd.batch_pages",
+                telemetry.counter("uffd.batch_pages").to_string(),
+            ),
+            (
+                "uffd.prefetch_streak",
+                telemetry.counter("uffd.prefetch_streak").to_string(),
+            ),
         ],
         &telemetry,
     );

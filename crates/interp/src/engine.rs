@@ -164,6 +164,9 @@ impl LoadedModule for InterpModule {
         config: &MemoryConfig,
         linker: &Linker,
     ) -> Result<Box<dyn Instance>, LoadError> {
+        // Mirrors `jit.instantiate_ns`: the pool's effect on per-isolate
+        // setup cost, measured at the same boundary in both engines.
+        let t0 = std::time::Instant::now();
         let parts = build_instance_parts(&self.module, config, linker)?;
         let mut inst = InterpInstance {
             module: self.module.clone(),
@@ -178,6 +181,7 @@ impl LoadedModule for InterpModule {
         if let Some(start) = inst.module.start {
             inst.call_raw(start, &[]).map_err(LoadError::Start)?;
         }
+        lb_telemetry::histogram("interp.instantiate_ns").record(t0.elapsed().as_nanos() as u64);
         Ok(Box::new(inst))
     }
 }

@@ -374,6 +374,9 @@ impl LoadedModule for JitModule {
         config: &MemoryConfig,
         linker: &Linker,
     ) -> Result<Box<dyn Instance>, LoadError> {
+        // Instantiation latency is the pool's headline metric: pooled
+        // linear-memory reuse should collapse this histogram's tail.
+        let t0 = std::time::Instant::now();
         // `self` is always held in an Arc by the engine API.
         let parts = build_instance_parts(&self.module, config, linker)?;
         // Compile for the strategy the memory actually ended up with: if
@@ -454,6 +457,7 @@ impl LoadedModule for JitModule {
         if let Some(start) = self.module.start {
             inst.invoke_idx(start, &[]).map_err(LoadError::Start)?;
         }
+        lb_telemetry::histogram("jit.instantiate_ns").record(t0.elapsed().as_nanos() as u64);
         Ok(Box::new(inst))
     }
 }
