@@ -116,6 +116,10 @@ pub enum W {
     W64,
 }
 
+/// `int3` — used to pad between functions in the code blob. The verifier
+/// treats runs of this byte between functions as inert filler.
+pub const INT3: u8 = 0xCC;
+
 /// The instruction emitter.
 #[derive(Debug, Default)]
 pub struct Asm {
@@ -598,6 +602,11 @@ impl Asm {
     /// `ret`.
     pub fn ret(&mut self) {
         self.b(0xC3);
+    }
+
+    /// `nop` (single-byte).
+    pub fn nop(&mut self) {
+        self.b(0x90);
     }
 
     /// `push r`.
