@@ -185,6 +185,30 @@ fn splitmix64_mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A seeded SplitMix64 stream — the same generator the `Rate` directives
+/// draw from, exported so test harnesses across the workspace share one
+/// deterministic RNG instead of growing private copies.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Start a stream at `seed`. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(SPLITMIX_GAMMA);
+        splitmix64_mix(self.0)
+    }
+
+    /// Uniform draw in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
 /// A parsed injection plan: an ordered set of [`Directive`]s sharing a
 /// seed. Normally installed process-wide (from `LB_FAULTS` or
 /// [`install`]); standalone plans support deterministic unit testing via

@@ -360,6 +360,16 @@ fn run_once(bench: &Benchmark, spec: &RunSpec) -> Result<RunResult, RunFailure> 
                 "checks_emitted",
                 telemetry.counter("jit.checks.emitted").to_string(),
             ),
+            // Translation validation (only nonzero when LB_VERIFY is set):
+            // sites the validator proved and anything it could not.
+            (
+                "verify_sites",
+                telemetry.counter("verify.sites_checked").to_string(),
+            ),
+            (
+                "verify_findings",
+                telemetry.counter("verify.findings").to_string(),
+            ),
             // Memory-lifecycle fast path: pool effectiveness and batched
             // uffd fault service over the run (pool.reset_us is the mean
             // reset latency in microseconds; 0 when nothing was recycled).

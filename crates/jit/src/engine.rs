@@ -2,6 +2,7 @@
 //! compilation, entry trampolines, import thunks, instances, and the
 //! background tier-up thread.
 
+use crate::asm;
 use crate::asm::Xmm;
 use crate::asm::{Asm, Mem, Reg, W};
 use crate::codebuf::CodeBuf;
@@ -248,13 +249,24 @@ impl JitModule {
             let t0 = lb_telemetry::clock::now_ns();
             let code = compile_function(params, di);
             compile_ns.record(lb_telemetry::clock::now_ns().saturating_sub(t0));
+            if crate::verifier::mode() != crate::verifier::VerifyMode::Off {
+                crate::verifier::verify_emitted(
+                    &self.module,
+                    &self.meta,
+                    self.plan.as_deref(),
+                    strategy,
+                    opt,
+                    di,
+                    &code,
+                );
+            }
             compile_count.inc();
             code_bytes.add(code.len() as u64);
             func_offsets.push(blob.len());
             blob.extend_from_slice(&code);
             // Align entries for decoding niceness.
             while blob.len() % 16 != 0 {
-                blob.push(0xCC);
+                blob.push(asm::INT3);
             }
         }
         // Import thunks (so tables can hold imports).
@@ -265,7 +277,7 @@ impl JitModule {
             import_offsets.push(blob.len());
             blob.extend_from_slice(&code);
             while blob.len() % 16 != 0 {
-                blob.push(0xCC);
+                blob.push(asm::INT3);
             }
         }
         (blob, func_offsets, import_offsets)
@@ -292,7 +304,7 @@ impl JitModule {
             tramp_offsets.push(blob.len());
             blob.extend_from_slice(&code);
             while blob.len() % 16 != 0 {
-                blob.push(0xCC);
+                blob.push(asm::INT3);
             }
         }
 
@@ -347,12 +359,23 @@ impl JitModule {
                     let t0 = lb_telemetry::clock::now_ns();
                     let code = compile_function(params, di);
                     compile_ns.record(lb_telemetry::clock::now_ns().saturating_sub(t0));
+                    if crate::verifier::mode() != crate::verifier::VerifyMode::Off {
+                        crate::verifier::verify_emitted(
+                            &module,
+                            &metas,
+                            plan.as_deref(),
+                            strategy,
+                            OptLevel::Full,
+                            di,
+                            &code,
+                        );
+                    }
                     compile_count.inc();
                     code_bytes.add(code.len() as u64);
                     offsets.push(blob.len());
                     blob.extend_from_slice(&code);
                     while blob.len() % 16 != 0 {
-                        blob.push(0xCC);
+                        blob.push(asm::INT3);
                     }
                 }
                 let buf = Arc::new(CodeBuf::publish(&blob).expect("publish tier-up code"));

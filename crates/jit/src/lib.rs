@@ -14,6 +14,7 @@ pub mod codebuf;
 pub mod codegen;
 pub mod engine;
 pub mod runtime;
+pub mod verifier;
 
 pub use codegen::OptLevel;
 pub use engine::{JitEngine, JitProfile};
