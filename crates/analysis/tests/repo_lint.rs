@@ -23,6 +23,14 @@
 //!    anywhere else bypasses the chaos sites, the `mem.mmap`/`mem.munmap`
 //!    counters, and the pool's "zero mmap at steady state" guarantee;
 //!    the deliberate exceptions are allowlisted with their justification.
+//! 5. **Machine-code byte containment** — in the crates that produce or
+//!    execute x86-64 code (`lb-jit`, `lb-core`), raw opcode bytes are
+//!    emitted only by `crates/jit/src/asm.rs` and pattern-matched only by
+//!    `lb-verify`'s decoder. Hand-rolled bytes anywhere else would bypass
+//!    the encoder↔decoder round-trip tests that keep the translation
+//!    validator's instruction model honest. The one deliberate exception
+//!    (the signal handler recognizing a `ud2` at the fault pc) is
+//!    allowlisted with its justification.
 //!
 //! Failures name `file:line` so the offending code is one click away.
 
@@ -357,6 +365,73 @@ fn mmap_munmap_only_in_region_pool_or_allowlisted_modules() {
         violations.is_empty(),
         "`mmap`/`munmap` call outside region.rs/pool.rs (route it through \
          `Reservation` or extend MMAP_ALLOWLIST with justification):\n{}",
+        violations.join("\n")
+    );
+}
+
+/// Byte-literal emission into code buffers: the assembler's job.
+const EMIT_PATTERNS: &[&str] = &[".push(0x", "extend_from_slice(&[0x", "= [0x", ".emit(0x"];
+
+/// Raw matching on x86 opcode escapes: the decoder's job. `0x0F` is the
+/// two-byte-opcode escape — the byte every hand-rolled matcher starts at.
+const DECODE_PATTERNS: &[&str] = &["== 0x0F", "0x0F =>"];
+
+/// Deliberate raw-opcode keeper outside `asm.rs`/`lb-verify`:
+/// the trap handler must classify the faulting instruction from signal
+/// context, where calling into the decoder (allocating, fallible) is off
+/// the table — it checks the two `ud2` bytes in place.
+const OPCODE_ALLOWLIST: &[(&str, &str)] = &[("crates/core/src/signals.rs", "== 0x0F")];
+
+#[test]
+fn machine_code_bytes_only_in_asm_and_verify() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    rust_sources(&root.join("crates/jit/src"), &mut files);
+    rust_sources(&root.join("crates/core/src"), &mut files);
+    assert!(files.len() >= 10, "scan found too few files");
+
+    let mut violations = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(&root)
+            .expect("file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The assembler owns encoding; `lb-verify` (not under these
+        // roots) owns decoding.
+        if rel == "crates/jit/src/asm.rs" {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(f) else {
+            continue;
+        };
+        for (ln, raw) in text.lines().enumerate() {
+            // Test modules may use literal byte vectors (e.g. codebuf's
+            // canned `mov eax, 42; ret`); the repo convention puts them
+            // last in the file.
+            if raw.contains("#[cfg(test)]") {
+                break;
+            }
+            let line = strip_line_comment(raw);
+            for pat in EMIT_PATTERNS.iter().chain(DECODE_PATTERNS) {
+                if !line.contains(pat) {
+                    continue;
+                }
+                if OPCODE_ALLOWLIST
+                    .iter()
+                    .any(|(file, frag)| *file == rel && line.contains(frag))
+                {
+                    continue;
+                }
+                violations.push(format!("{rel}:{}: `{pat}`: {}", ln + 1, raw.trim()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "raw x86 opcode bytes outside asm.rs/lb-verify (use `Asm` to emit, \
+         `lb_verify::decode` to parse, or extend OPCODE_ALLOWLIST with \
+         justification):\n{}",
         violations.join("\n")
     );
 }
