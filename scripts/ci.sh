@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The full local CI gate. Run from anywhere; exits nonzero on the first
+# failure. Mirrors what a PR must pass:
+#
+#   1. release build of the whole workspace
+#   2. the full test suite (unit, integration, differential, fuzz)
+#   3. the in-tree repo lint (unsafe/mmap/opcode containment, signal
+#      safety, unwrap policy)
+#   4. translation validation end-to-end + mutation detection
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo test -q -p lb-analysis --test repo_lint
+run cargo test -q --test verify_e2e
+run cargo test -q --test verify_mutation
+
+echo "==> ci.sh: all gates passed"
