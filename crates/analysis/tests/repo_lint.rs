@@ -8,9 +8,10 @@
 //!    Everything else — the wasm front end, both engines' logic, the
 //!    analysis, the harness — must be safe Rust.
 //! 2. **Async-signal-safety** — the functions that run in (or may be
-//!    reached from) signal context in `crates/core/src/signals.rs` must
-//!    not allocate or do formatted I/O: no `format!`/`println!`/`vec!`/
-//!    `Box::new`/`.to_string()`-style calls.
+//!    reached from) signal context — the trap-handler chain in
+//!    `crates/core/src/signals.rs` and the SIGPROF sampling path in
+//!    `crates/prof` — must not allocate or do formatted I/O: no
+//!    `format!`/`println!`/`vec!`/`Box::new`/`.to_string()`-style calls.
 //! 3. **No new aborts on the measurement path** — non-test code in
 //!    `lb-core` and `lb-harness` must not call `.unwrap()`/`.expect()`:
 //!    every fallible OS boundary there feeds the failure model (fault
@@ -59,19 +60,33 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/jit/src/codebuf.rs",
     "crates/jit/src/engine.rs",
     "crates/jit/src/runtime.rs",
+    "crates/prof/src/sampler.rs",
     "crates/sys/src/lib.rs",
     "crates/telemetry/src/clock.rs",
     "crates/telemetry/tests/signal_safety.rs",
+    "tests/prof_stress.rs",
 ];
 
-/// Functions in `signals.rs` that execute in signal context (the handler
-/// chain) or on the trap-resume path that abandons frames.
-const HANDLER_FNS: &[&str] = &[
-    "raise_trap",
-    "trap_handler",
-    "trap_handler_inner",
-    "deliver_or_chain",
-    "chain",
+/// Functions that execute in signal context, per file: the trap-handler
+/// chain (and the trap-resume path that abandons frames) in lb-core, and
+/// the SIGPROF sampling path in lb-prof (handler plus the ring push it
+/// makes).
+const HANDLER_FNS: &[(&str, &[&str])] = &[
+    (
+        "crates/core/src/signals.rs",
+        &[
+            "raise_trap",
+            "trap_handler",
+            "trap_handler_inner",
+            "deliver_or_chain",
+            "chain",
+        ],
+    ),
+    (
+        "crates/prof/src/sampler.rs",
+        &["sigprof_handler", "sigprof_handler_inner"],
+    ),
+    ("crates/prof/src/ring.rs", &["record"]),
 ];
 
 /// Tokens that allocate or format — forbidden in signal context.
@@ -388,6 +403,9 @@ fn machine_code_bytes_only_in_asm_and_verify() {
     let mut files = Vec::new();
     rust_sources(&root.join("crates/jit/src"), &mut files);
     rust_sources(&root.join("crates/core/src"), &mut files);
+    // The profiler consumes decoded instructions; it must never grow its
+    // own byte matching.
+    rust_sources(&root.join("crates/prof/src"), &mut files);
     assert!(files.len() >= 10, "scan found too few files");
 
     let mut violations = Vec::new();
@@ -439,21 +457,22 @@ fn machine_code_bytes_only_in_asm_and_verify() {
 #[test]
 fn signal_handlers_do_not_allocate_or_format() {
     let root = workspace_root();
-    let path = root.join("crates/core/src/signals.rs");
-    let text = fs::read_to_string(&path).expect("read signals.rs");
-
     let mut violations = Vec::new();
-    for name in HANDLER_FNS {
-        let (start, body) = fn_body(&text, name)
-            .unwrap_or_else(|| panic!("handler fn `{name}` not found in signals.rs"));
-        for (off, line) in body.lines().enumerate() {
-            for tok in BANNED_IN_HANDLERS {
-                if line.contains(tok) {
-                    violations.push(format!(
-                        "crates/core/src/signals.rs:{}: `{tok}` in handler fn `{name}`: {}",
-                        start + off,
-                        line.trim()
-                    ));
+    for (rel, fns) in HANDLER_FNS {
+        let path = root.join(rel);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        for name in *fns {
+            let (start, body) = fn_body(&text, name)
+                .unwrap_or_else(|| panic!("handler fn `{name}` not found in {rel}"));
+            for (off, line) in body.lines().enumerate() {
+                for tok in BANNED_IN_HANDLERS {
+                    if line.contains(tok) {
+                        violations.push(format!(
+                            "{rel}:{}: `{tok}` in handler fn `{name}`: {}",
+                            start + off,
+                            line.trim()
+                        ));
+                    }
                 }
             }
         }

@@ -334,7 +334,9 @@ impl LinearMemory {
                 }
                 let from = old_bytes.max(rw_high);
                 // The syscall whose VMA-lock serialization the paper
-                // measures.
+                // measures; spanned so profiles show grow latency next
+                // to the sampled PCs.
+                let _span = lb_telemetry::span!("mem.protect_grow", delta_pages);
                 if self
                     .parts
                     .reservation

@@ -236,6 +236,7 @@ pub(crate) fn acquire(
     if pool_capacity() == 0 {
         return None;
     }
+    let _span = lb_telemetry::span!("pool.acquire", initial_bytes);
     let Some(parts) = pop(strategy) else {
         stats::count_pool_miss();
         return None;
@@ -292,6 +293,7 @@ pub(crate) fn release(parts: ArenaParts) {
         parts.teardown();
         return;
     }
+    let _span = lb_telemetry::span!("pool.release", parts.reservation.len());
     let t0 = std::time::Instant::now();
     // Nothing may fault a parked arena as committed, and a recycled arena
     // must not inherit the previous instance's stride history.

@@ -212,6 +212,11 @@ static HANDLED_SIGNALS: [i32; 4] = [libc::SIGSEGV, libc::SIGBUS, libc::SIGILL, l
 /// can push ring records without touching the (mutex-guarded) interner.
 static UFFD_FAULT_SPAN: std::sync::OnceLock<lb_telemetry::SpanId> = std::sync::OnceLock::new();
 
+/// Pre-interned span covering every trap-handler entry → exit, so
+/// profiles show time spent in signal delivery itself (arg = signal
+/// number). Recorded the same signal-safe way as `uffd.fault`.
+static SIGNAL_HANDLER_SPAN: std::sync::OnceLock<lb_telemetry::SpanId> = std::sync::OnceLock::new();
+
 /// Install the process-wide wasm trap handlers (idempotent).
 pub fn install_handlers() {
     INSTALL.call_once(|| {
@@ -222,6 +227,7 @@ pub fn install_handlers() {
         // context; the handler only does relaxed loads of the cached value.
         uffd::init_window_from_env();
         let _ = UFFD_FAULT_SPAN.set(lb_telemetry::register_span_name("uffd.fault"));
+        let _ = SIGNAL_HANDLER_SPAN.set(lb_telemetry::register_span_name("signal.handler"));
         for &sig in &HANDLED_SIGNALS {
             // SAFETY: standard sigaction installation; handler is
             // async-signal-safe by construction.
@@ -394,7 +400,15 @@ unsafe extern "C" fn trap_handler(
 ) {
     // Preserve errno: the interrupted code may be inspecting it.
     let saved_errno = unsafe { *libc::__errno_location() };
+    let t0 = lb_telemetry::clock::now_ns();
     unsafe { trap_handler_inner(sig, info, ctx) };
+    // Entry → exit latency span (signal-safe: pre-interned id, atomic
+    // ring push). Handlers that redirect rather than return normally
+    // (deliver_or_chain) still pass through here.
+    if let Some(&id) = SIGNAL_HANDLER_SPAN.get() {
+        let dur = lb_telemetry::clock::now_ns().wrapping_sub(t0);
+        lb_telemetry::record_span_raw(id, sig as u64, t0, dur);
+    }
     unsafe { *libc::__errno_location() = saved_errno };
 }
 

@@ -27,7 +27,7 @@ use lb_dsl::{Benchmark, NativeKernel};
 use lb_interp::InterpEngine;
 use lb_jit::{JitEngine, JitProfile};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -244,6 +244,10 @@ pub struct RunResult {
     /// The strategy the run actually executed with, after any lb-core
     /// fallback (equals the requested strategy when nothing degraded).
     pub effective_strategy: BoundsStrategy,
+    /// Resolved sampling profile for the run, when `LB_PROF` selects
+    /// sampling (None otherwise, and on runs where the one process-wide
+    /// profiler session was already held by a concurrent run).
+    pub prof: Option<lb_prof::ProfReport>,
 }
 
 impl RunResult {
@@ -316,6 +320,26 @@ fn emit_failure(bench: &Benchmark, spec: &RunSpec, failure: &RunFailure) {
     );
 }
 
+/// Sequence number for profiler trace files, so concurrent or repeated
+/// runs in one process never clobber each other's export.
+static TRACE_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// Append `<name>.p50` / `<name>.p99` columns for a histogram present in
+/// the run's telemetry delta (absent histograms add no columns, keeping
+/// interp rows free of jit noise and vice versa).
+fn push_percentiles(
+    meta: &mut Vec<(&'static str, String)>,
+    telemetry: &lb_telemetry::TelemetrySnapshot,
+    name: &str,
+    p50_key: &'static str,
+    p99_key: &'static str,
+) {
+    if let Some(h) = telemetry.histogram(name) {
+        meta.push((p50_key, h.quantile(0.5).to_string()));
+        meta.push((p99_key, h.quantile(0.99).to_string()));
+    }
+}
+
 fn run_once(bench: &Benchmark, spec: &RunSpec) -> Result<RunResult, RunFailure> {
     let expected = bench.native_checksum();
     // Drain spans left over from earlier runs so this run's snapshot only
@@ -327,6 +351,10 @@ fn run_once(bench: &Benchmark, spec: &RunSpec) -> Result<RunResult, RunFailure> 
     let sampler = spec
         .sample_system
         .then(|| Sampler::start(Duration::from_millis(20)));
+    // One profiler session covers the whole run (load + instantiate +
+    // kernel loops): ITIMER_PROF is process-wide, so the session is
+    // started here rather than per worker.
+    let prof_session = lb_prof::start();
     let deadline = spec.timeout.map(|t| Instant::now() + t);
 
     let raw = match spec.engine.engine() {
@@ -334,67 +362,124 @@ fn run_once(bench: &Benchmark, spec: &RunSpec) -> Result<RunResult, RunFailure> 
         Some(engine) => run_wasm(bench, spec, engine, expected, deadline),
     };
 
-    // Always stop the sampler and settle telemetry, success or not.
+    // Always stop the sampler and profiler and settle telemetry, success
+    // or not — a failed run must not leave the SIGPROF timer armed.
     let sys = sampler.map(Sampler::stop);
+    let prof = prof_session.map(|s| lb_prof::resolve_profile(s.stop()));
     let vm = snapshot().delta(&vm_before);
     let mut telemetry = lb_telemetry::snapshot_and_drain().delta_since(&tele_before);
     telemetry.retain_nonzero();
     let raw = raw?;
 
-    lb_telemetry::export::emit_run(
-        &[
-            ("bench", bench.name.to_string()),
-            ("engine", spec.engine.name().to_string()),
-            ("strategy", spec.strategy.name().to_string()),
-            ("strategy_effective", raw.effective.name().to_string()),
-            ("threads", spec.threads.to_string()),
-            ("outcome", "completed".to_string()),
-            // Static bounds-check decisions for this run (compile-time
-            // counters from lb-analysis via the JIT), for the paper-style
-            // "checks eliminated" column.
-            (
-                "checks_static_elided",
-                telemetry.counter("jit.checks.static_elided").to_string(),
-            ),
-            (
-                "checks_emitted",
-                telemetry.counter("jit.checks.emitted").to_string(),
-            ),
-            // Translation validation (only nonzero when LB_VERIFY is set):
-            // sites the validator proved and anything it could not.
-            (
-                "verify_sites",
-                telemetry.counter("verify.sites_checked").to_string(),
-            ),
-            (
-                "verify_findings",
-                telemetry.counter("verify.findings").to_string(),
-            ),
-            // Memory-lifecycle fast path: pool effectiveness and batched
-            // uffd fault service over the run (pool.reset_us is the mean
-            // reset latency in microseconds; 0 when nothing was recycled).
-            ("pool.hit", telemetry.counter("pool.hit").to_string()),
-            ("pool.miss", telemetry.counter("pool.miss").to_string()),
-            (
-                "pool.reset_us",
-                format!(
-                    "{:.1}",
-                    telemetry
-                        .histogram("pool.reset_us")
-                        .map_or(0.0, |h| h.mean())
-                ),
-            ),
-            (
-                "uffd.batch_pages",
-                telemetry.counter("uffd.batch_pages").to_string(),
-            ),
-            (
-                "uffd.prefetch_streak",
-                telemetry.counter("uffd.prefetch_streak").to_string(),
-            ),
-        ],
+    if let (Some(report), Some(dir)) = (prof.as_ref(), lb_prof::out_dir()) {
+        let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let file = format!(
+            "{}-{}-{}-{seq:04}.trace.json",
+            bench.name,
+            spec.engine.name(),
+            raw.effective.name()
+        );
+        if let Err(e) = lb_prof::write_chrome_trace(&dir.join(&file), report, &telemetry.spans) {
+            eprintln!("lb-harness: trace export to {file} failed: {e}");
+        }
+    }
+
+    let mut meta: Vec<(&'static str, String)> = Vec::new();
+    if let Some(report) = prof.as_ref() {
+        meta.push(("prof.samples", report.total.to_string()));
+        meta.push(("prof.unresolved", report.unresolved.to_string()));
+        meta.push(("prof.dropped", report.dropped.to_string()));
+        for (label, n) in report.class_counts() {
+            // Keys are 'static by construction: one per fixed class label.
+            let key: &'static str = match label {
+                "guard" => "prof.guard_pct",
+                "clamp" => "prof.clamp_pct",
+                "trap_path" => "prof.trap_pct",
+                "mem_access" => "prof.mem_pct",
+                "compute" => "prof.compute_pct",
+                "runtime" => "prof.runtime_pct",
+                _ => "prof.unresolved_pct",
+            };
+            meta.push((key, format!("{:.2}", report.pct(n))));
+        }
+    }
+    // Satellite percentile columns: instantiation latency per engine tier
+    // and the profiler's own handler service time.
+    push_percentiles(
+        &mut meta,
         &telemetry,
+        "jit.instantiate_ns",
+        "jit.instantiate_ns.p50",
+        "jit.instantiate_ns.p99",
     );
+    push_percentiles(
+        &mut meta,
+        &telemetry,
+        "interp.instantiate_ns",
+        "interp.instantiate_ns.p50",
+        "interp.instantiate_ns.p99",
+    );
+    push_percentiles(
+        &mut meta,
+        &telemetry,
+        "prof.sample_service_ns",
+        "prof.sample_service_ns.p50",
+        "prof.sample_service_ns.p99",
+    );
+
+    let mut row: Vec<(&str, String)> = vec![
+        ("bench", bench.name.to_string()),
+        ("engine", spec.engine.name().to_string()),
+        ("strategy", spec.strategy.name().to_string()),
+        ("strategy_effective", raw.effective.name().to_string()),
+        ("threads", spec.threads.to_string()),
+        ("outcome", "completed".to_string()),
+        // Static bounds-check decisions for this run (compile-time
+        // counters from lb-analysis via the JIT), for the paper-style
+        // "checks eliminated" column.
+        (
+            "checks_static_elided",
+            telemetry.counter("jit.checks.static_elided").to_string(),
+        ),
+        (
+            "checks_emitted",
+            telemetry.counter("jit.checks.emitted").to_string(),
+        ),
+        // Translation validation (only nonzero when LB_VERIFY is set):
+        // sites the validator proved and anything it could not.
+        (
+            "verify_sites",
+            telemetry.counter("verify.sites_checked").to_string(),
+        ),
+        (
+            "verify_findings",
+            telemetry.counter("verify.findings").to_string(),
+        ),
+        // Memory-lifecycle fast path: pool effectiveness and batched
+        // uffd fault service over the run (pool.reset_us is the mean
+        // reset latency in microseconds; 0 when nothing was recycled).
+        ("pool.hit", telemetry.counter("pool.hit").to_string()),
+        ("pool.miss", telemetry.counter("pool.miss").to_string()),
+        (
+            "pool.reset_us",
+            format!(
+                "{:.1}",
+                telemetry
+                    .histogram("pool.reset_us")
+                    .map_or(0.0, |h| h.mean())
+            ),
+        ),
+        (
+            "uffd.batch_pages",
+            telemetry.counter("uffd.batch_pages").to_string(),
+        ),
+        (
+            "uffd.prefetch_streak",
+            telemetry.counter("uffd.prefetch_streak").to_string(),
+        ),
+    ];
+    row.extend(meta.into_iter().map(|(k, v)| (k as &str, v)));
+    lb_telemetry::export::emit_run(&row, &telemetry);
     Ok(RunResult {
         iter_times: raw.times,
         checksum_ok: raw.checksum_ok,
@@ -403,6 +488,7 @@ fn run_once(bench: &Benchmark, spec: &RunSpec) -> Result<RunResult, RunFailure> 
         sys,
         wall: raw.wall,
         effective_strategy: raw.effective,
+        prof,
     })
 }
 
@@ -466,6 +552,7 @@ fn run_native(
             let native = &bench.native;
             handles.push(s.spawn(move || {
                 pin_to_cpu(tid);
+                lb_prof::ensure_thread();
                 let one_iter = || {
                     let mut k: Box<dyn NativeKernel> = native();
                     k.init();
@@ -558,6 +645,7 @@ fn run_wasm(
             let remaining = Arc::clone(&remaining);
             handles.push(s.spawn(move || {
                 pin_to_cpu(tid);
+                lb_prof::ensure_thread();
                 // One isolate instantiation + run per iteration: the
                 // allocate/free churn the paper measures.
                 let one_iter = || -> Result<Box<dyn lb_core::Instance>, RunFailure> {

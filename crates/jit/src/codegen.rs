@@ -145,6 +145,9 @@ struct Gen<'a> {
     pinned: HashMap<u32, Reg>,
     /// Number of pinned (saved) registers, in PIN_REGS order.
     n_pinned: usize,
+    /// `(code_offset, wasm_pc)` per lowered instruction — the
+    /// wasm-offset side table the profiler resolves samples through.
+    pc_map: Vec<(u32, u32)>,
 }
 
 fn full_pools() -> (Vec<Reg>, Vec<Xmm>) {
@@ -157,6 +160,19 @@ fn full_pools() -> (Vec<Reg>, Vec<Xmm>) {
 /// Compile one defined function to machine code (self-contained except for
 /// absolute helper/funcptr addresses embedded as immediates).
 pub fn compile_function(p: CompileParams<'_>, defined_idx: usize) -> Vec<u8> {
+    compile_function_mapped(p, defined_idx).0
+}
+
+/// [`compile_function`], additionally returning the `(code_offset,
+/// wasm_pc)` side table recorded while lowering. Offsets are relative to
+/// the function start; entries are sorted by code offset (the walk is
+/// front-to-back) and one entry is recorded per wasm instruction, so
+/// consecutive entries may share an offset when lowering emitted nothing
+/// (dead code, stack-only bookkeeping).
+pub fn compile_function_mapped(
+    p: CompileParams<'_>,
+    defined_idx: usize,
+) -> (Vec<u8>, Vec<(u32, u32)>) {
     let func = &p.module.functions[defined_idx];
     let fmeta = &p.metas[defined_idx];
     let (free_i, free_f) = full_pools();
@@ -185,6 +201,7 @@ pub fn compile_function(p: CompileParams<'_>, defined_idx: usize) -> Vec<u8> {
         origin: HashMap::new(),
         pinned: HashMap::new(),
         n_pinned: 0,
+        pc_map: Vec::with_capacity(func.body.len()),
     };
     if p.opt == OptLevel::Full {
         // Pin the first few integer locals (loop counters, bases) in
@@ -206,7 +223,8 @@ pub fn compile_function(p: CompileParams<'_>, defined_idx: usize) -> Vec<u8> {
     g.prologue();
     g.walk();
     g.epilogue_and_stubs();
-    g.a.finish()
+    let pc_map = std::mem::take(&mut g.pc_map);
+    (g.a.finish(), pc_map)
 }
 
 impl<'a> Gen<'a> {
@@ -1211,6 +1229,7 @@ impl<'a> Gen<'a> {
         use Instr::*;
         for pc in 0..self.body.len() {
             self.cur_pc = pc;
+            self.pc_map.push((self.a.len() as u32, pc as u32));
             // Label binding (and revival of dead code).
             if let Some(&l) = self.labels.get(&(pc as u32)) {
                 if !self.dead {

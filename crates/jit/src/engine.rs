@@ -6,7 +6,7 @@ use crate::asm;
 use crate::asm::Xmm;
 use crate::asm::{Asm, Mem, Reg, W};
 use crate::codebuf::CodeBuf;
-use crate::codegen::{compile_function, CompileParams, OptLevel};
+use crate::codegen::{compile_function_mapped, CompileParams, OptLevel};
 use crate::runtime::{ctx_off, FuncPtrs, InstanceInner, Pauser, TableEntry, VmCtx};
 use lb_core::exec::{build_instance_parts, Engine, Instance, Linker, LoadError, LoadedModule};
 use lb_core::{catch_traps, BoundsStrategy, LinearMemory, MemoryConfig, Trap, TrapKind};
@@ -28,6 +28,41 @@ fn code_bytes_counter(opt: OptLevel) -> &'static str {
         OptLevel::Basic => "jit.code_bytes.basic",
         OptLevel::Full => "jit.code_bytes.full",
     }
+}
+
+/// Tier label attached to profiler code regions.
+fn tier_label(opt: OptLevel) -> &'static str {
+    match opt {
+        OptLevel::None => "baseline",
+        OptLevel::Basic => "basic",
+        OptLevel::Full => "full",
+    }
+}
+
+/// Hand a freshly published code buffer to `lb-prof` so samples landing
+/// in it resolve to functions and wasm offsets. Regions stay registered
+/// (with a private byte copy) for the life of the process — tier-up
+/// replaces the funcptrs, not the registration — so samples taken in an
+/// old tier still attribute correctly. No-op unless profiling is on.
+fn register_prof_region(
+    buf: &CodeBuf,
+    blob: &[u8],
+    strategy: BoundsStrategy,
+    opt: OptLevel,
+    funcs: Vec<lb_prof::FuncRange>,
+) {
+    if !lb_prof::enabled() {
+        return;
+    }
+    lb_prof::register_region(lb_prof::RegionInfo {
+        base: buf.addr(0),
+        len: blob.len(),
+        code: blob.to_vec(),
+        tier: tier_label(opt),
+        strategy: strategy.name(),
+        mem_size_disp: ctx_off::MEM_SIZE,
+        funcs,
+    });
 }
 
 /// An engine profile: which of the paper's runtimes this engine models.
@@ -228,7 +263,7 @@ impl JitModule {
         strategy: BoundsStrategy,
         opt: OptLevel,
         funcptrs: &FuncPtrs,
-    ) -> (Vec<u8>, Vec<usize>, Vec<usize>) {
+    ) -> (Vec<u8>, Vec<usize>, Vec<usize>, Vec<lb_prof::FuncRange>) {
         let params = CompileParams {
             module: &self.module,
             metas: &self.meta.funcs,
@@ -241,13 +276,14 @@ impl JitModule {
         let ni = self.module.num_imported_funcs() as usize;
         let mut blob = Vec::new();
         let mut func_offsets = Vec::with_capacity(self.module.functions.len());
+        let mut func_ranges = Vec::with_capacity(self.module.functions.len());
         let compile_ns = lb_telemetry::histogram("jit.compile_ns");
         let compile_count = lb_telemetry::counter("jit.compile.count");
         let code_bytes = lb_telemetry::counter(code_bytes_counter(opt));
         for di in 0..self.module.functions.len() {
             let _span = lb_telemetry::span!("jit.compile", di);
             let t0 = lb_telemetry::clock::now_ns();
-            let code = compile_function(params, di);
+            let (code, pc_map) = compile_function_mapped(params, di);
             compile_ns.record(lb_telemetry::clock::now_ns().saturating_sub(t0));
             if crate::verifier::mode() != crate::verifier::VerifyMode::Off {
                 crate::verifier::verify_emitted(
@@ -262,6 +298,12 @@ impl JitModule {
             }
             compile_count.inc();
             code_bytes.add(code.len() as u64);
+            func_ranges.push(lb_prof::FuncRange {
+                func_index: di as u32,
+                start: blob.len() as u32,
+                end: (blob.len() + code.len()) as u32,
+                pc_map,
+            });
             func_offsets.push(blob.len());
             blob.extend_from_slice(&code);
             // Align entries for decoding niceness.
@@ -280,7 +322,7 @@ impl JitModule {
                 blob.push(asm::INT3);
             }
         }
-        (blob, func_offsets, import_offsets)
+        (blob, func_offsets, import_offsets, func_ranges)
     }
 
     fn strategy_code(&self, strategy: BoundsStrategy) -> Arc<StrategyCode> {
@@ -292,7 +334,7 @@ impl JitModule {
         let nf = self.module.num_funcs() as usize;
         let funcptrs = FuncPtrs::new(nf);
 
-        let (mut blob, func_offsets, import_offsets) =
+        let (mut blob, func_offsets, import_offsets, func_ranges) =
             self.compile_all(strategy, self.profile.opt, &funcptrs);
 
         // Entry trampolines, one per defined function.
@@ -309,6 +351,7 @@ impl JitModule {
         }
 
         let buf = Arc::new(CodeBuf::publish(&blob).expect("publish code"));
+        register_prof_region(&buf, &blob, strategy, self.profile.opt, func_ranges);
         for (di, off) in func_offsets.iter().enumerate() {
             funcptrs.set(ni + di, buf.addr(*off));
         }
@@ -343,6 +386,7 @@ impl JitModule {
                 let ni = module.num_imported_funcs() as usize;
                 let mut blob = Vec::new();
                 let mut offsets = Vec::with_capacity(module.functions.len());
+                let mut func_ranges = Vec::with_capacity(module.functions.len());
                 let compile_ns = lb_telemetry::histogram("jit.compile_ns");
                 let compile_count = lb_telemetry::counter("jit.compile.count");
                 let code_bytes = lb_telemetry::counter(code_bytes_counter(OptLevel::Full));
@@ -357,7 +401,7 @@ impl JitModule {
                         plans: plan.as_deref(),
                     };
                     let t0 = lb_telemetry::clock::now_ns();
-                    let code = compile_function(params, di);
+                    let (code, pc_map) = compile_function_mapped(params, di);
                     compile_ns.record(lb_telemetry::clock::now_ns().saturating_sub(t0));
                     if crate::verifier::mode() != crate::verifier::VerifyMode::Off {
                         crate::verifier::verify_emitted(
@@ -372,6 +416,12 @@ impl JitModule {
                     }
                     compile_count.inc();
                     code_bytes.add(code.len() as u64);
+                    func_ranges.push(lb_prof::FuncRange {
+                        func_index: di as u32,
+                        start: blob.len() as u32,
+                        end: (blob.len() + code.len()) as u32,
+                        pc_map,
+                    });
                     offsets.push(blob.len());
                     blob.extend_from_slice(&code);
                     while blob.len() % 16 != 0 {
@@ -379,6 +429,7 @@ impl JitModule {
                     }
                 }
                 let buf = Arc::new(CodeBuf::publish(&blob).expect("publish tier-up code"));
+                register_prof_region(&buf, &blob, strategy, OptLevel::Full, func_ranges);
                 // Swap function pointers; running activations finish on the
                 // old code, future calls use the optimized tier.
                 for (di, off) in offsets.iter().enumerate() {

@@ -1,0 +1,127 @@
+//! `lb-prof`: in-process sampling profiler with bounds-check attribution.
+//!
+//! The paper's central quantity — the time a strategy spends on bounds
+//! checking — is elsewhere in this repo *inferred* from strategy-vs-
+//! strategy wall-clock deltas. This crate measures it directly:
+//!
+//! 1. **Sampling.** A process-wide `ITIMER_PROF` interval timer delivers
+//!    `SIGPROF` every `1/hz` seconds of consumed CPU time. The handler
+//!    reads the interrupted program counter out of the `ucontext` and
+//!    pushes `(pc, t_ns, thread)` into a lock-free sample ring
+//!    ([`ring`]). Everything the handler touches is pre-registered
+//!    atomics — no allocation, no locks, no TLS initialization — so it
+//!    can safely interrupt anything, including the runtime's own
+//!    SIGSEGV/SIGBUS bounds-trap handler mid-service.
+//! 2. **Resolution.** The JIT registers every published code buffer with
+//!    [`registry`]: base/length, a private copy of the bytes, per-function
+//!    `[start, end)` ranges and code-offset→wasm-offset side tables.
+//!    Regions are never unregistered during a session, and re-used
+//!    addresses disambiguate by registration time, so samples taken
+//!    before a tier-up still resolve against the tier that was live.
+//! 3. **Attribution.** Offline, at report time, each in-region sample is
+//!    classified by decoding the sampled instruction with `lb-verify`'s
+//!    x86-64 decoder ([`lb_verify::classify`]) into guard-compare /
+//!    clamp / trap-path / memory-access / compute buckets.
+//!
+//! Configuration is environment-driven: `LB_PROF=sample` (997 Hz) or
+//! `LB_PROF=sample:<hz>` enables sampling; `LB_PROF_OUT=<dir>` selects a
+//! directory for chrome://tracing JSON dumps ([`trace`]). Tests and
+//! report binaries can instead call [`set_sampling`].
+//!
+//! A deliberately *prime* default rate (997 Hz) avoids phase-locking with
+//! millisecond-periodic behavior in the workload, the classic sampling
+//! bias.
+
+mod registry;
+mod report;
+mod ring;
+mod sampler;
+mod trace;
+
+pub use registry::{region_count, register_region, FuncRange, RegionInfo};
+pub use report::{resolve_profile, ProfReport, ResolvedSample, SampleClass};
+pub use ring::Sample;
+pub use sampler::{ensure_thread, RawProfile, Session};
+pub use trace::write_chrome_trace;
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Once;
+
+/// Default sampling rate (Hz) when `LB_PROF=sample` gives no rate.
+pub const DEFAULT_HZ: u32 = 997;
+
+static INIT: Once = Once::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static HZ: AtomicU32 = AtomicU32::new(DEFAULT_HZ);
+
+/// Parse `LB_PROF` once. Accepted forms: `sample` and `sample:<hz>`;
+/// anything else (including unset) leaves profiling off.
+pub fn init_from_env() {
+    INIT.call_once(|| {
+        let Ok(v) = std::env::var("LB_PROF") else {
+            return;
+        };
+        let (mode, rate) = match v.split_once(':') {
+            Some((m, r)) => (m, r.parse::<u32>().ok()),
+            None => (v.as_str(), None),
+        };
+        if mode == "sample" {
+            HZ.store(
+                rate.unwrap_or(DEFAULT_HZ).clamp(1, 10_000),
+                Ordering::Relaxed,
+            );
+            ENABLED.store(true, Ordering::Relaxed);
+            // Latency spans (uffd fault service, mprotect grow, pool
+            // acquire/release, signal-handler entry/exit) are half of
+            // the trace; recording them must not additionally require a
+            // telemetry sink.
+            lb_telemetry::set_spans_enabled(true);
+        }
+    });
+}
+
+/// Is profiling on (env or programmatic)? Gates region registration, so
+/// unprofiled runs pay nothing beyond this load.
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Configured sampling rate in Hz.
+pub fn sample_hz() -> u32 {
+    init_from_env();
+    HZ.load(Ordering::Relaxed)
+}
+
+/// Programmatic override of the `LB_PROF` configuration, for tests and
+/// report binaries (env mutation races between test threads; this does
+/// not). `hz == 0` turns profiling off.
+pub fn set_sampling(hz: u32) {
+    init_from_env();
+    HZ.store(hz.clamp(0, 10_000), Ordering::Relaxed);
+    ENABLED.store(hz > 0, Ordering::Relaxed);
+    if hz > 0 {
+        lb_telemetry::set_spans_enabled(true);
+    }
+}
+
+/// The `LB_PROF_OUT` trace directory, if configured.
+pub fn out_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("LB_PROF_OUT").map(std::path::PathBuf::from)
+}
+
+/// Start a sampling session at the configured rate. Returns `None` when
+/// profiling is disabled or another session is already active.
+pub fn start() -> Option<Session> {
+    if !enabled() {
+        return None;
+    }
+    Session::start_with_hz(sample_hz())
+}
+
+/// Serializes tests that touch the global ring/session/registry state.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,169 @@
+//! The JIT code-region registry: what address ranges hold which code.
+//!
+//! The JIT calls [`register_region`] each time it publishes an
+//! executable buffer (baseline compile, tier-up recompile, per-strategy
+//! recompile). The registry keeps a *private copy* of the bytes: the
+//! executable mapping may be unmapped when its engine drops, but samples
+//! pointing into it must still decode at report time. For the same
+//! reason regions are append-only — an address reused by a later
+//! `mmap` is disambiguated by registration time, picking the newest
+//! region registered at or before the sample's timestamp.
+//!
+//! Registration is gated on [`crate::enabled`] so unprofiled runs keep
+//! no copies and take no locks here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Hard cap on retained regions; beyond it registrations are counted in
+/// `prof.regions.dropped` and ignored (a profiling session is expected
+/// to cover a handful of module loads, not an unbounded campaign).
+const MAX_REGIONS: usize = 4096;
+
+/// One function's extent inside a region, plus its code-offset →
+/// wasm-offset side table.
+#[derive(Debug, Clone)]
+pub struct FuncRange {
+    /// Defined-function index within the module.
+    pub func_index: u32,
+    /// Start offset within the region.
+    pub start: u32,
+    /// One-past-end offset within the region.
+    pub end: u32,
+    /// `(code_offset, wasm_offset)` pairs, sorted by code offset; code
+    /// offsets are relative to `start`. Wasm offsets are instruction
+    /// indices into the function body.
+    pub pc_map: Vec<(u32, u32)>,
+}
+
+/// Everything the JIT knows about one published code buffer.
+#[derive(Debug, Clone)]
+pub struct RegionInfo {
+    /// Executable base address at publication time.
+    pub base: usize,
+    /// Region length in bytes.
+    pub len: usize,
+    /// Copy of the emitted bytes (length `len`).
+    pub code: Vec<u8>,
+    /// Tier label, e.g. `"baseline"` / `"opt"`.
+    pub tier: &'static str,
+    /// Bounds-check strategy label, e.g. `"trap"`.
+    pub strategy: &'static str,
+    /// Displacement of the memory-size field in the VM context struct,
+    /// passed through to `lb_verify::classify`.
+    pub mem_size_disp: i32,
+    /// Per-function extents, sorted by `start`.
+    pub funcs: Vec<FuncRange>,
+}
+
+pub(crate) struct Region {
+    pub(crate) info: RegionInfo,
+    pub(crate) registered_ns: u64,
+    /// Lazily computed classification per function (index-parallel with
+    /// `info.funcs`); `None` inside means that function failed to decode.
+    classes: Vec<OnceLock<Option<Vec<lb_verify::ClassifiedInst>>>>,
+}
+
+impl Region {
+    /// Classified instructions for function `fi`, computed on first use.
+    pub(crate) fn classes(&self, fi: usize) -> Option<&[lb_verify::ClassifiedInst]> {
+        let f = &self.info.funcs[fi];
+        self.classes[fi]
+            .get_or_init(|| {
+                let code = &self.info.code[f.start as usize..f.end as usize];
+                lb_verify::classify_function(code, self.info.mem_size_disp).ok()
+            })
+            .as_deref()
+    }
+}
+
+static REGIONS: Mutex<Vec<Arc<Region>>> = Mutex::new(Vec::new());
+static REGIONS_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Record a published code region. No-op unless profiling is enabled.
+pub fn register_region(info: RegionInfo) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut regions = REGIONS.lock().unwrap();
+    if regions.len() >= MAX_REGIONS {
+        REGIONS_DROPPED.fetch_add(1, Ordering::Relaxed);
+        lb_telemetry::counter("prof.regions.dropped").inc();
+        return;
+    }
+    let classes = (0..info.funcs.len()).map(|_| OnceLock::new()).collect();
+    regions.push(Arc::new(Region {
+        info,
+        registered_ns: lb_telemetry::clock::now_ns(),
+        classes,
+    }));
+}
+
+/// Find the region containing `pc` as of time `t_ns`: among regions
+/// covering the address and registered no later than the sample, the
+/// most recently registered wins. Registration happens-before any
+/// execution of the registered code (publish precedes the funcptr
+/// swap), so the containing region always predates its samples and a
+/// strict comparison cannot lose the right one.
+pub(crate) fn lookup(pc: u64, t_ns: u64) -> Option<(Arc<Region>, u32)> {
+    let regions = REGIONS.lock().unwrap();
+    let mut best: Option<&Arc<Region>> = None;
+    for r in regions.iter() {
+        let base = r.info.base as u64;
+        if pc < base || pc >= base + r.info.len as u64 {
+            continue;
+        }
+        if r.registered_ns > t_ns {
+            continue;
+        }
+        match best {
+            Some(b) if b.registered_ns >= r.registered_ns => {}
+            _ => best = Some(r),
+        }
+    }
+    best.map(|r| (r.clone(), (pc - r.info.base as u64) as u32))
+}
+
+/// Number of currently registered regions (report introspection).
+pub fn region_count() -> usize {
+    REGIONS.lock().unwrap().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(base: usize, code: Vec<u8>) -> RegionInfo {
+        let len = code.len();
+        RegionInfo {
+            base,
+            len,
+            code,
+            tier: "baseline",
+            strategy: "trap",
+            mem_size_disp: 8,
+            funcs: vec![FuncRange {
+                func_index: 0,
+                start: 0,
+                end: len as u32,
+                pc_map: vec![(0, 0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn lookup_prefers_latest_predating_region() {
+        let _g = crate::test_lock();
+        crate::set_sampling(997);
+        register_region(region(0x7000_0000, vec![0xC3; 16]));
+        // Same address, re-registered later (address reuse after unmap).
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        register_region(region(0x7000_0000, vec![0x90; 16]));
+        let now = lb_telemetry::clock::now_ns();
+        let (r, off) = lookup(0x7000_0008, now).expect("resolves");
+        assert_eq!(off, 8);
+        assert_eq!(r.info.code[0], 0x90, "newest region wins");
+        assert!(lookup(0x7100_0000, now).is_none());
+        crate::set_sampling(0);
+    }
+}

@@ -1,0 +1,254 @@
+//! SIGPROF delivery: timer arm/disarm, the signal handler, sessions.
+//!
+//! # Signal-coexistence rules
+//!
+//! The runtime already owns SIGSEGV/SIGBUS/SIGILL/SIGFPE (bounds traps,
+//! uffd fault service — `lb-core`'s `signals.rs`). SIGPROF is disjoint
+//! from all of those, and the kernel may deliver it *while one of them is
+//! being handled* (the fault handler does not mask SIGPROF). The handler
+//! below is therefore held to the same standard as the trap handler, and
+//! checked by the same `repo_lint` ban: no allocation, no formatting, no
+//! locks, no lazy TLS init — only loads/stores of pre-registered atomics,
+//! plus the async-signal-safe `clock_gettime` vDSO call. `errno` is
+//! saved and restored so a sample landing between a syscall and its
+//! errno check cannot corrupt the interrupted thread.
+//!
+//! Instrument handles (`prof.samples.taken` counter,
+//! `prof.sample_service_ns` histogram) are interned from normal context
+//! in [`Session::start_with_hz`]; the handler reads them through
+//! `OnceLock::get`, which is a single atomic load.
+
+use crate::ring::{self, Sample};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Once, OnceLock};
+
+static INSTALL: Once = Once::new();
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+static SAMPLES_TAKEN: OnceLock<lb_telemetry::Counter> = OnceLock::new();
+static SERVICE_HIST: OnceLock<lb_telemetry::Histogram> = OnceLock::new();
+
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    // Const-initialized Cell<u32>: reads never allocate or register a
+    // destructor, so the handler may load it.
+    static THREAD_ID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Assign this thread a stable profiler thread id (shown in traces).
+/// Call from normal context, e.g. when a worker starts; without it, the
+/// thread's samples carry id 0.
+pub fn ensure_thread() {
+    THREAD_ID.with(|c| {
+        if c.get() == 0 {
+            c.set(NEXT_THREAD.fetch_add(1, Ordering::Relaxed));
+        }
+    });
+}
+
+extern "C" fn sigprof_handler(
+    _sig: libc::c_int,
+    _info: *mut libc::siginfo_t,
+    ctx: *mut libc::c_void,
+) {
+    // SAFETY: __errno_location is async-signal-safe and always valid.
+    let errno_p = unsafe { libc::__errno_location() };
+    let saved_errno = unsafe { *errno_p };
+    sigprof_handler_inner(ctx);
+    unsafe { *errno_p = saved_errno };
+}
+
+fn sigprof_handler_inner(ctx: *mut libc::c_void) {
+    let t0 = lb_telemetry::clock::now_ns();
+    let uc = ctx as *const libc::ucontext_t;
+    // SAFETY: the kernel hands SA_SIGINFO handlers a valid ucontext_t;
+    // REG_RIP indexes within gregs (layout-tested in lb-sys).
+    let pc = unsafe { (*uc).uc_mcontext.gregs[libc::REG_RIP as usize] } as u64;
+    let thread = THREAD_ID.try_with(Cell::get).unwrap_or(0);
+    ring::record(pc, t0, thread);
+    if let Some(c) = SAMPLES_TAKEN.get() {
+        c.inc();
+    }
+    if let Some(h) = SERVICE_HIST.get() {
+        h.record(lb_telemetry::clock::now_ns().wrapping_sub(t0));
+    }
+}
+
+fn install_handler() {
+    INSTALL.call_once(|| {
+        // SAFETY: standard sigaction installation; the handler obeys the
+        // async-signal-safety contract documented above. SA_ONSTACK is a
+        // no-op on threads without an altstack and keeps SIGPROF off the
+        // main stack on threads that service guard faults on one.
+        unsafe {
+            let mut sa: libc::sigaction = std::mem::zeroed();
+            sa.sa_sigaction = sigprof_handler
+                as extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void)
+                as usize;
+            sa.sa_flags = libc::SA_SIGINFO | libc::SA_RESTART | libc::SA_ONSTACK;
+            libc::sigemptyset(&mut sa.sa_mask);
+            libc::sigaction(libc::SIGPROF, &sa, std::ptr::null_mut());
+        }
+    });
+}
+
+fn set_timer(interval_us: i64) {
+    let tv = libc::timeval {
+        tv_sec: interval_us / 1_000_000,
+        tv_usec: interval_us % 1_000_000,
+    };
+    let it = libc::itimerval {
+        it_interval: tv,
+        it_value: tv,
+    };
+    // SAFETY: plain syscall with a valid pointer; disarming (zero
+    // interval) is the documented behavior for a zeroed itimerval.
+    unsafe {
+        libc::setitimer(libc::ITIMER_PROF, &it, std::ptr::null_mut());
+    }
+}
+
+/// Everything a stopped session captured, before resolution.
+#[derive(Debug)]
+pub struct RawProfile {
+    /// Captured samples, oldest first.
+    pub samples: Vec<Sample>,
+    /// Samples lost to ring overflow (exact count).
+    pub dropped: u64,
+    /// Slots claimed by a handler that had not finished writing by the
+    /// end of the post-disarm quiesce window (counted, never read).
+    pub incomplete: u64,
+    /// Configured rate.
+    pub hz: u32,
+    /// Session start / stop, monotonic ns.
+    pub started_ns: u64,
+    /// See `started_ns`.
+    pub stopped_ns: u64,
+}
+
+/// An active sampling session. At most one exists process-wide
+/// (`ITIMER_PROF` is a process resource); drop or [`Session::stop`]
+/// disarms the timer.
+pub struct Session {
+    gen: u32,
+    hz: u32,
+    started_ns: u64,
+}
+
+impl Session {
+    /// Arm the profiler at `hz`. `None` if `hz == 0` or a session is
+    /// already active.
+    pub fn start_with_hz(hz: u32) -> Option<Session> {
+        if hz == 0 || ACTIVE.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        // All the not-signal-safe setup happens here, before arming.
+        lb_telemetry::ensure_thread_ring();
+        let _ = SAMPLES_TAKEN.get_or_init(|| lb_telemetry::counter("prof.samples.taken"));
+        let _ = SERVICE_HIST.get_or_init(|| lb_telemetry::histogram("prof.sample_service_ns"));
+        ring::init();
+        ensure_thread();
+        install_handler();
+        let gen = ring::reset();
+        let started_ns = lb_telemetry::clock::now_ns();
+        set_timer(i64::from(1_000_000 / hz.clamp(1, 1_000_000)).max(1));
+        Some(Session {
+            gen,
+            hz,
+            started_ns,
+        })
+    }
+
+    /// Disarm the timer and collect the samples.
+    pub fn stop(self) -> RawProfile {
+        set_timer(0);
+        // Quiesce: a handler dispatched just before disarm may still be
+        // mid-write on another thread. Its slot write takes nanoseconds;
+        // anything still unstamped after this sleep is counted as
+        // `incomplete` rather than waited on (no deadlock by design).
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let (samples, dropped, incomplete) = ring::drain(self.gen);
+        let raw = RawProfile {
+            samples,
+            dropped,
+            incomplete,
+            hz: self.hz,
+            started_ns: self.started_ns,
+            stopped_ns: lb_telemetry::clock::now_ns(),
+        };
+        ACTIVE.store(false, Ordering::SeqCst);
+        std::mem::forget(self);
+        raw
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        set_timer(0);
+        ACTIVE.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_ms(ms: u64) {
+        let t0 = std::time::Instant::now();
+        let mut x = 1u64;
+        while t0.elapsed().as_millis() < u128::from(ms) {
+            for _ in 0..10_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            std::hint::black_box(x);
+        }
+    }
+
+    #[test]
+    fn sampling_captures_cpu_bound_work() {
+        let _g = crate::test_lock();
+        let s = Session::start_with_hz(2000).expect("no other session");
+        // Concurrent start attempts must be refused while active.
+        assert!(Session::start_with_hz(2000).is_none());
+        spin_ms(120);
+        let raw = s.stop();
+        // 120ms of pure CPU at 2kHz nominal: even heavily loaded
+        // machines deliver *some* expiries.
+        assert!(!raw.samples.is_empty(), "no samples in 120ms of spinning");
+        assert!(raw.stopped_ns > raw.started_ns);
+        for smp in &raw.samples {
+            assert!(smp.pc != 0, "null pc sampled");
+            assert!(
+                (raw.started_ns..=raw.stopped_ns).contains(&smp.t_ns),
+                "sample outside session window"
+            );
+        }
+        // And a fresh session starts clean.
+        let s2 = Session::start_with_hz(500).expect("restart");
+        let raw2 = s2.stop();
+        assert!(raw2.samples.len() <= 1);
+    }
+
+    #[test]
+    fn dropped_session_disarms_timer() {
+        let _g = crate::test_lock();
+        drop(Session::start_with_hz(1000).expect("start"));
+        let mut cur = libc::itimerval {
+            it_interval: libc::timeval {
+                tv_sec: 1,
+                tv_usec: 1,
+            },
+            it_value: libc::timeval {
+                tv_sec: 1,
+                tv_usec: 1,
+            },
+        };
+        // SAFETY: valid out-pointer.
+        unsafe { libc::getitimer(libc::ITIMER_PROF, &mut cur) };
+        assert_eq!(cur.it_value.tv_sec, 0);
+        assert_eq!(cur.it_value.tv_usec, 0);
+        assert!(!ACTIVE.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,166 @@
+//! Hand-rolled chrome://tracing JSON export (no serde in-tree).
+//!
+//! Output is the "JSON object format" chrome://tracing and Perfetto both
+//! load: `{"traceEvents": [...]}`. Telemetry spans become complete
+//! events (`"ph":"X"`, microsecond `ts`/`dur`); samples become
+//! thread-scoped instant events (`"ph":"i"`) named by their attribution
+//! class, carrying pc / function / wasm offset / tier / strategy as
+//! args. Timestamps are rebased to the session start so traces open at
+//! t≈0.
+
+use crate::report::ProfReport;
+use lb_telemetry::json::write_str;
+use lb_telemetry::{EventKind, SpanRecord};
+use std::io::Write;
+use std::path::Path;
+
+fn push_us(out: &mut String, ns: u64, base_ns: u64) {
+    let rel = ns.saturating_sub(base_ns);
+    out.push_str(&format!("{}.{:03}", rel / 1_000, rel % 1_000));
+}
+
+/// Write `report` (plus the run's telemetry spans) as a chrome://tracing
+/// JSON file at `path`. Parent directories are created.
+pub fn write_chrome_trace(
+    path: &Path,
+    report: &ProfReport,
+    spans: &[SpanRecord],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let base = report.started_ns;
+    let mut out = String::with_capacity(4096 + 160 * (spans.len() + report.samples.len()));
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        write_str(&mut out, s.name);
+        match s.kind {
+            EventKind::Span => out.push_str(",\"ph\":\"X\""),
+            EventKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+        }
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&s.thread.to_string());
+        out.push_str(",\"ts\":");
+        push_us(&mut out, s.start_ns, base);
+        if s.kind == EventKind::Span {
+            out.push_str(",\"dur\":");
+            push_us(&mut out, s.dur_ns, 0);
+        }
+        out.push_str(",\"args\":{\"arg\":");
+        out.push_str(&s.arg.to_string());
+        out.push_str("}}");
+    }
+    for s in &report.samples {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        write_str(&mut out, &format!("sample.{}", s.class.label()));
+        out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+        out.push_str(&s.thread.to_string());
+        out.push_str(",\"ts\":");
+        push_us(&mut out, s.t_ns, base);
+        out.push_str(",\"args\":{\"pc\":");
+        write_str(&mut out, &format!("{:#x}", s.pc));
+        if let Some(fi) = s.func_index {
+            out.push_str(&format!(",\"func\":{fi}"));
+        }
+        if let Some(wp) = s.wasm_pc {
+            out.push_str(&format!(",\"wasm_pc\":{wp}"));
+        }
+        if let Some(t) = s.tier {
+            out.push_str(",\"tier\":");
+            write_str(&mut out, t);
+        }
+        if let Some(st) = s.strategy {
+            out.push_str(",\"strategy\":");
+            write_str(&mut out, st);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"metadata\":{\"hz\":");
+    out.push_str(&report.hz.to_string());
+    out.push_str(",\"samples\":");
+    out.push_str(&report.total.to_string());
+    out.push_str(",\"dropped\":");
+    out.push_str(&report.dropped.to_string());
+    out.push_str("}}");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ResolvedSample, SampleClass};
+    use lb_verify::InstClass;
+
+    fn tiny_report() -> ProfReport {
+        ProfReport {
+            samples: vec![ResolvedSample {
+                pc: 0x6100_0004,
+                t_ns: 2_000_500,
+                thread: 1,
+                class: SampleClass::Inst(InstClass::GuardCompare),
+                tier: Some("baseline"),
+                strategy: Some("trap"),
+                func_index: Some(2),
+                wasm_pc: Some(9),
+            }],
+            total: 1,
+            guard: 1,
+            clamp: 0,
+            trap_path: 0,
+            mem_access: 0,
+            compute: 0,
+            runtime: 0,
+            unresolved: 0,
+            dropped: 0,
+            incomplete: 0,
+            hz: 997,
+            started_ns: 1_000_000,
+            stopped_ns: 3_000_000,
+        }
+    }
+
+    #[test]
+    fn trace_json_parses_and_carries_events() {
+        let dir = std::env::temp_dir().join("lb-prof-trace-test");
+        let path = dir.join("t.trace.json");
+        let spans = vec![SpanRecord {
+            name: "uffd.fault",
+            kind: lb_telemetry::EventKind::Span,
+            arg: 42,
+            start_ns: 1_500_000,
+            dur_ns: 2_000,
+            thread: 1,
+        }];
+        write_chrome_trace(&path, &tiny_report(), &spans).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = lb_telemetry::json::parse(&text).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("name").and_then(|n| n.as_str()),
+            Some("uffd.fault")
+        );
+        assert_eq!(
+            events[1].get("name").and_then(|n| n.as_str()),
+            Some("sample.guard")
+        );
+        // Span ts is rebased: (1_500_000 - 1_000_000) ns = 500 µs.
+        assert_eq!(events[0].get("ts").and_then(|t| t.as_f64()), Some(500.0));
+        assert_eq!(events[0].get("dur").and_then(|t| t.as_f64()), Some(2.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -149,6 +149,26 @@ pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
     }
 }
 
+/// Elapsed time as seconds + microseconds (`struct timeval`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct timeval {
+    /// Whole seconds.
+    pub tv_sec: c_long,
+    /// Microseconds (0..1_000_000).
+    pub tv_usec: c_long,
+}
+
+/// Interval timer specification (`struct itimerval`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct itimerval {
+    /// Reload value applied after each expiry (zero = one-shot).
+    pub it_interval: timeval,
+    /// Time until the next expiry (zero disarms the timer).
+    pub it_value: timeval,
+}
+
 /// Poll descriptor.
 #[repr(C)]
 #[derive(Clone, Copy)]
@@ -195,6 +215,12 @@ pub const SIGFPE: c_int = 8;
 pub const SIGUSR1: c_int = 10;
 /// Invalid memory reference.
 pub const SIGSEGV: c_int = 11;
+/// Profiling timer expired (`ITIMER_PROF`).
+pub const SIGPROF: c_int = 27;
+
+/// Interval timer counting process CPU time (user + system); expiry
+/// delivers `SIGPROF`. See `setitimer(2)`.
+pub const ITIMER_PROF: c_int = 2;
 
 /// Handler takes three arguments (`sa_sigaction` form).
 pub const SA_SIGINFO: c_int = 4;
@@ -275,6 +301,10 @@ extern "C" {
     pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
     /// Send a signal to the calling process. See `raise(3)`.
     pub fn raise(sig: c_int) -> c_int;
+    /// Arm or disarm an interval timer. See `setitimer(2)`.
+    pub fn setitimer(which: c_int, new: *const itimerval, old: *mut itimerval) -> c_int;
+    /// Query an interval timer. See `getitimer(2)`.
+    pub fn getitimer(which: c_int, cur: *mut itimerval) -> c_int;
 }
 
 #[cfg(test)]
@@ -294,6 +324,27 @@ mod tests {
         assert_eq!(size_of::<ucontext_t>(), 968);
         assert_eq!(size_of::<cpu_set_t>(), 128);
         assert_eq!(size_of::<pollfd>(), 8);
+        assert_eq!(size_of::<timeval>(), 16);
+        assert_eq!(size_of::<itimerval>(), 32);
+    }
+
+    #[test]
+    fn getitimer_reads_disarmed_prof_timer() {
+        let mut cur = itimerval {
+            it_interval: timeval {
+                tv_sec: 1,
+                tv_usec: 1,
+            },
+            it_value: timeval {
+                tv_sec: 1,
+                tv_usec: 1,
+            },
+        };
+        // SAFETY: cur is a valid out-pointer; ITIMER_PROF always exists.
+        let rc = unsafe { getitimer(ITIMER_PROF, &mut cur) };
+        assert_eq!(rc, 0);
+        // The test harness never arms ITIMER_PROF, so it reads back zero.
+        assert_eq!(cur.it_value.tv_sec, 0);
     }
 
     #[test]

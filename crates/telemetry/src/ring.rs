@@ -25,7 +25,15 @@
 use crate::span::SpanRecord;
 use std::cell::OnceCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counter mirroring per-ring drop totals into the snapshot, so a
+/// truncated profile is visible in the JSONL a run emits rather than
+/// only through [`dropped_events`]. Interned from normal context in
+/// [`ensure_thread_ring`]; [`SpanRing::push`] (which may run in a
+/// signal handler) only does an `OnceLock::get` plus a relaxed
+/// `fetch_add` on the pre-registered cell.
+static DROPPED_COUNTER: OnceLock<crate::Counter> = OnceLock::new();
 
 /// Events each per-thread ring can hold before dropping (power of two).
 pub const RING_CAPACITY: usize = 4096;
@@ -88,13 +96,13 @@ impl SpanRing {
         if self.busy.swap(true, Ordering::Acquire) {
             // A signal interrupted this thread mid-push and the handler
             // is pushing too: drop rather than corrupt the open slot.
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.count_drop();
             return;
         }
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Acquire);
         if head.wrapping_sub(tail) >= RING_CAPACITY {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.count_drop();
         } else {
             let slot = &self.slots[head & (RING_CAPACITY - 1)];
             slot.name_id.store(u32::from(name_id), Ordering::Relaxed);
@@ -140,6 +148,15 @@ impl SpanRing {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// Account one dropped event on this ring and in the global
+    /// `telemetry.ring.dropped` counter. Async-signal-safe.
+    fn count_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = DROPPED_COUNTER.get() {
+            c.inc();
+        }
+    }
 }
 
 static REGISTRY: Mutex<Vec<Arc<SpanRing>>> = Mutex::new(Vec::new());
@@ -155,6 +172,7 @@ thread_local! {
 /// TLS first-touch and registration are not async-signal-safe.
 pub fn ensure_thread_ring() {
     crate::init_from_env();
+    let _ = DROPPED_COUNTER.get_or_init(|| crate::counter("telemetry.ring.dropped"));
     RING.with(|cell| {
         cell.get_or_init(|| {
             let ring = Arc::new(SpanRing::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
@@ -249,6 +267,23 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].arg, 424242);
         assert_eq!(ring.dropped(), 100);
+    }
+
+    #[test]
+    fn drops_surface_in_global_counter() {
+        // ensure_thread_ring interns the counter; ring drops must then
+        // show up under `telemetry.ring.dropped` in snapshots.
+        ensure_thread_ring();
+        let before = crate::snapshot().counter("telemetry.ring.dropped");
+        let ring = SpanRing::new(9998);
+        for i in 0..(RING_CAPACITY as u64 + 7) {
+            ring.push(0, EventKind::Instant, i, i, 0);
+        }
+        let after = crate::snapshot().counter("telemetry.ring.dropped");
+        assert!(
+            after >= before + 7,
+            "counter moved {before} -> {after}, wanted +7"
+        );
     }
 
     #[test]

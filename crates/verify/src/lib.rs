@@ -23,11 +23,13 @@
 //!   earlier (stale) guard fact from the JIT's peephole.
 
 mod absint;
+pub mod classify;
 pub mod decode;
 pub mod expected;
 pub mod isa;
 pub mod report;
 
+pub use classify::{class_at, classify_function, ClassifiedInst, InstClass};
 pub use expected::{expected_sites, ExpectedSite};
 pub use report::{Finding, FindingKind, FuncReport};
 

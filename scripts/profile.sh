@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Profile a benchmark run with the in-tree sampling profiler and leave a
+# chrome://tracing JSON next to the attribution table.
+#
+#   scripts/profile.sh                      # default kernel set, 997 Hz
+#   scripts/profile.sh --bench gemm         # one kernel
+#   scripts/profile.sh --engine wavm --dataset medium --iters 500
+#   LB_PROF_HZ=4999 scripts/profile.sh      # custom sampling rate
+#
+# Traces land in target/prof/ (one file per run, open in
+# chrome://tracing or https://ui.perfetto.dev). All remaining arguments
+# are passed through to the prof_report binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+hz="${LB_PROF_HZ:-997}"
+out="${LB_PROF_OUT:-target/prof}"
+mkdir -p "$out"
+
+echo "==> sampling at ${hz} Hz, traces in ${out}/"
+LB_PROF="sample:${hz}" LB_PROF_OUT="$out" \
+  cargo run --release -p lb-bench --bin prof_report -- "$@"
+echo "==> traces:"
+ls -1 "$out" | sed 's/^/    /'
