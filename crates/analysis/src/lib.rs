@@ -15,10 +15,20 @@
 //!   keeps it — unlike the JIT's old per-basic-block peephole, which
 //!   dropped every fact at every label), and are hoisted across loop
 //!   iterations via a widening/narrowing fixpoint at each loop header,
+//! * summarizes functions **interprocedurally**, bottom-up over the call
+//!   graph: caller argument intervals narrow an internal callee's
+//!   parameters, and a callee's constant return interval (`ret_iv`)
+//!   narrows call results in the caller; exported/escaping functions and
+//!   call-graph cycles conservatively stay at ⊤,
+//! * synthesizes **hoisted loop guards** ([`HoistPlan`]/[`GuardExpr`]):
+//!   when every remaining check in a loop is covered by one loop-invariant
+//!   symbolic bound, the JIT versions the loop behind a single preheader
+//!   guard — a check-free fast copy when the whole-loop bound fits in
+//!   memory, the original per-access-checked copy otherwise,
 //! * emits a per-instruction [`CheckKind`] plan (`Emit`, `ElideInBounds`,
-//!   `ElideDominated`, `StaticOob`) plus a per-function access-footprint
-//!   [`FuncSummary`] (max proven effective address, minimum memory size
-//!   that makes the function check-free).
+//!   `ElideDominated`, `ElideHoisted`, `StaticOob`) plus a per-function
+//!   access-footprint [`FuncSummary`] (max proven effective address,
+//!   minimum memory size that makes the function check-free).
 //!
 //! # Soundness
 //!
@@ -37,8 +47,18 @@
 //!   local has not been reassigned since. Facts are intersected at joins
 //!   (kept only when established on every incoming path) and invalidated
 //!   on `local.set`/`local.tee`, so no SSA renaming is needed. Valid under
-//!   `trap` only: a clamp does not prove anything (it silently redirects),
-//!   so the JIT treats `ElideDominated` as `Emit` when clamping.
+//!   `trap` always: a passed check is a proof. Under `clamp` a dynamic
+//!   dominating check proves nothing — it silently redirects its own
+//!   effective address and leaves the local unchanged — so domination is
+//!   consumed only when the dominator's coverage was itself *static*
+//!   (established by an `ElideInBounds` proof); [`FuncPlan::clamp_elidable`]
+//!   exposes exactly that set, and the JIT clamps the rest.
+//! * **Hoisted** (`ElideHoisted`) — the access sits in the fast copy of a
+//!   versioned loop whose preheader guard proved the whole-loop bound
+//!   `(bound_local << shift) + addend <= mem_size` (width-checked before
+//!   shifting, so the guard itself cannot wrap). The slow copy keeps every
+//!   per-access check, so trap timing and partial side effects are
+//!   identical to the unversioned loop. Valid under `trap` and `clamp`.
 //!
 //! `StaticOob` means the *smallest* possible effective address already
 //! exceeds the declared maximum memory: the access must trap on every
@@ -74,11 +94,78 @@ pub enum CheckKind {
     /// check under `trap` *and* `clamp`.
     ElideInBounds,
     /// Covered by a dominating check on the same provenance; skip under
-    /// `trap` only.
+    /// `trap` only — and under `clamp` when the dominating fact was
+    /// *static* (see [`FuncPlan::clamp_elidable`]).
     ElideDominated,
     /// Proven out of bounds against the declared maximum memory size; the
     /// access traps unconditionally under trapping strategies.
     StaticOob,
+    /// Covered by a synthesized loop-preheader guard ([`HoistPlan`]): the
+    /// JIT emits the loop twice and skips this check only in the fast
+    /// copy entered when every guard passes. Consumers that do not
+    /// version (the interpreter, unversioned tiers) must treat this as
+    /// `Emit`.
+    ElideHoisted,
+}
+
+/// One synthesized loop-preheader guard. The guard passes iff
+///
+/// ```text
+/// bound' = bound_local - (strict ? 1 : 0)        (zero-extended u32)
+/// bound' <= 0x7FFF_FFFF
+///   && ((bound' << shift) + addend) <= mem_size  (64-bit arithmetic)
+/// ```
+///
+/// `bound_local` is loop-invariant, so its preheader value equals its
+/// value at every access the guard covers. The range pre-check makes the
+/// 64-bit bound computation exact (max `(2^31-1 << 31) + 2^31-1 < 2^62`)
+/// and conservatively routes huge/wrapping bounds to the slow copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardExpr {
+    /// The loop-invariant local holding the (inclusive or exclusive)
+    /// bound on the access index.
+    pub bound_local: u32,
+    /// Whether the index is strictly below the bound (`i < bound`) or at
+    /// most it (`i <= bound`).
+    pub strict: bool,
+    /// Index scale: the access address is `(index << shift) + addend'`
+    /// with `addend' + extent <= addend`.
+    pub shift: u8,
+    /// Largest `addend + offset + size` over the covered accesses
+    /// (always `<= 0x7FFF_FFFF`).
+    pub addend: u64,
+}
+
+/// A loop the JIT should version: duplicate `loop_pc..=end_pc`, enter the
+/// check-free fast copy only when every guard in `guards` passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoistPlan {
+    /// pc of the `Loop` opcode.
+    pub loop_pc: u32,
+    /// pc of the loop's matching `End`.
+    pub end_pc: u32,
+    /// Guards to evaluate in the preheader (conjunction).
+    pub guards: Vec<GuardExpr>,
+}
+
+/// Knobs for [`analyze_module_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Propagate caller argument intervals and callee return intervals
+    /// across `call` edges (module call graph, non-escaping callees only).
+    pub interprocedural: bool,
+    /// Synthesize loop-preheader guards and classify covered accesses as
+    /// [`CheckKind::ElideHoisted`].
+    pub hoist: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            interprocedural: true,
+            hoist: true,
+        }
+    }
 }
 
 /// Per-function access-footprint summary.
@@ -92,6 +179,9 @@ pub struct FuncSummary {
     pub elided_dominated: u32,
     /// Accesses proven statically out of bounds.
     pub static_oob: u32,
+    /// Accesses covered by a synthesized loop-preheader guard (check-free
+    /// in the versioned fast body only).
+    pub elided_hoisted: u32,
     /// Accesses that still need their check.
     pub emitted: u32,
     /// Largest proven end-of-access effective address (`addr + offset +
@@ -102,11 +192,20 @@ pub struct FuncSummary {
     /// function check-free. `None` if some access has an unbounded
     /// address; `Some(0)` if the function performs no accesses.
     pub check_free_min_bytes: Option<u64>,
+    /// Interval of the function's i32 return value under ⊤ parameters
+    /// (`None` when the function returns nothing or a non-i32), used by
+    /// callers to narrow `call` results.
+    pub ret_iv: Option<(u64, u64)>,
+    /// Access-footprint bounds over *unmodified* parameters:
+    /// `(param, shift, max addend + extent)` — the function accesses at
+    /// most `(param << shift) + bound` bytes through each entry.
+    pub param_footprint: Vec<(u32, u8, u64)>,
 }
 
 impl FuncSummary {
     /// Fraction of reachable accesses whose check is statically elided
-    /// (in-bounds or dominated) under the `trap` strategy.
+    /// (in-bounds or dominated) under the `trap` strategy. Hoisted
+    /// accesses are excluded: their check is gone only in the fast body.
     pub fn elision_ratio(&self) -> f64 {
         if self.accesses == 0 {
             return 0.0;
@@ -116,10 +215,16 @@ impl FuncSummary {
 }
 
 /// The plan for one defined function: a [`CheckKind`] per instruction
-/// index (memory accesses only; everything else stays `Emit`).
+/// index (memory accesses only; everything else stays `Emit`), the loops
+/// to version, and which dominated accesses stay elidable under `clamp`.
 #[derive(Debug, Clone)]
 pub struct FuncPlan {
     kinds: Vec<CheckKind>,
+    /// pcs of `ElideDominated` accesses whose dominating fact was static
+    /// (in-bounds against the declared minimum), sorted.
+    clamp_ok: Vec<u32>,
+    /// Loops to version, sorted by `loop_pc`, non-overlapping.
+    hoists: Vec<HoistPlan>,
     /// Access-footprint summary.
     pub summary: FuncSummary,
 }
@@ -130,6 +235,30 @@ impl FuncPlan {
     #[inline]
     pub fn kind_at(&self, pc: usize) -> CheckKind {
         self.kinds.get(pc).copied().unwrap_or(CheckKind::Emit)
+    }
+
+    /// Whether the `ElideDominated` access at `pc` may also skip its
+    /// clamp: its dominating fact was a static in-bounds proof, so the
+    /// clamp is the identity on every execution.
+    #[inline]
+    pub fn clamp_elidable(&self, pc: usize) -> bool {
+        u32::try_from(pc).is_ok_and(|pc| self.clamp_ok.binary_search(&pc).is_ok())
+    }
+
+    /// The versioning plan for the loop whose `Loop` opcode is at
+    /// `loop_pc`, if any.
+    #[inline]
+    pub fn hoist_at(&self, loop_pc: u32) -> Option<&HoistPlan> {
+        self.hoists
+            .binary_search_by_key(&loop_pc, |h| h.loop_pc)
+            .ok()
+            .map(|i| &self.hoists[i])
+    }
+
+    /// All loops to version in this function.
+    #[inline]
+    pub fn hoists(&self) -> &[HoistPlan] {
+        &self.hoists
     }
 }
 
@@ -155,7 +284,9 @@ impl ModulePlan {
             .is_some_and(|f| f.kind_at(pc) == CheckKind::StaticOob)
     }
 
-    /// Module totals: `(accesses, elided, emitted, static_oob)`.
+    /// Module totals: `(accesses, elided, emitted, static_oob)`. Hoisted
+    /// accesses count as neither elided nor emitted (their check exists
+    /// in the slow loop copy only); see [`ModulePlan::total_hoisted`].
     pub fn totals(&self) -> (u64, u64, u64, u64) {
         let mut t = (0u64, 0u64, 0u64, 0u64);
         for f in &self.funcs {
@@ -166,10 +297,38 @@ impl ModulePlan {
         }
         t
     }
+
+    /// Total accesses covered by synthesized loop-preheader guards.
+    pub fn total_hoisted(&self) -> u64 {
+        self.funcs
+            .iter()
+            .map(|f| u64::from(f.summary.elided_hoisted))
+            .sum()
+    }
+}
+
+/// Analyze every defined function of a validated module with the default
+/// configuration (interprocedural propagation and guard hoisting on).
+pub fn analyze_module(module: &Module, meta: &ModuleMeta) -> ModulePlan {
+    analyze_module_with(module, meta, &AnalysisConfig::default())
 }
 
 /// Analyze every defined function of a validated module.
-pub fn analyze_module(module: &Module, meta: &ModuleMeta) -> ModulePlan {
+///
+/// With `interprocedural` enabled this runs in two phases over the module
+/// call graph:
+///
+/// 1. **Return summaries** — every defined function is analyzed with ⊤
+///    parameters in callee-first (post-order) order, producing the i32
+///    return interval callers use to narrow `call` results. Cycle
+///    members see ⊤ for their in-cycle callees.
+/// 2. **Final plans** — functions are processed callers-first; each
+///    reachable `call` site's argument intervals are joined into the
+///    callee's entry state. Only non-escaping callees (not exported, not
+///    in any element segment, not the start function, not self-recursive)
+///    receive narrowed parameters; everything else keeps ⊤. Functions on
+///    call-graph cycles fall back to ⊤ parameters.
+pub fn analyze_module_with(module: &Module, meta: &ModuleMeta, cfg: &AnalysisConfig) -> ModulePlan {
     let (mem_min_bytes, mem_max_bytes) = match &module.memory {
         Some(mt) => (
             u64::from(mt.limits.min) * PAGE_SIZE as u64,
@@ -177,14 +336,170 @@ pub fn analyze_module(module: &Module, meta: &ModuleMeta) -> ModulePlan {
         ),
         None => (0, 0),
     };
-    let funcs = module
-        .functions
-        .iter()
-        .zip(&meta.funcs)
-        .map(|(f, fm)| Analyzer::new(module, fm, mem_min_bytes, mem_max_bytes).run(&f.body))
-        .collect();
+    let nd = module.functions.len();
+    let ni = module.num_imported_funcs();
+
+    // Distinct defined-callee edges per defined function.
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); nd];
+    for (di, f) in module.functions.iter().enumerate() {
+        for instr in &f.body {
+            if let Instr::Call(fi) = instr {
+                if let Some(cd) = fi.checked_sub(ni) {
+                    let cd = cd as usize;
+                    if cd < nd && !callees[di].contains(&cd) {
+                        callees[di].push(cd);
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 1: return-interval summaries, callees first.
+    let mut ret_ivs: Vec<Option<(u64, u64)>> = vec![None; nd];
+    if cfg.interprocedural && nd > 0 {
+        let mut color = vec![0u8; nd]; // 0 unvisited, 1 on stack, 2 done
+        let mut order = Vec::with_capacity(nd);
+        for root in 0..nd {
+            if color[root] != 0 {
+                continue;
+            }
+            color[root] = 1;
+            let mut stack = vec![(root, 0usize)];
+            while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+                if *i < callees[n].len() {
+                    let c = callees[n][*i];
+                    *i += 1;
+                    if color[c] == 0 {
+                        color[c] = 1;
+                        stack.push((c, 0));
+                    }
+                } else {
+                    color[n] = 2;
+                    order.push(n);
+                    stack.pop();
+                }
+            }
+        }
+        for di in order {
+            let plan = Analyzer::new(
+                module,
+                &meta.funcs[di],
+                mem_min_bytes,
+                mem_max_bytes,
+                false,
+                &ret_ivs,
+                None,
+            )
+            .run(&module.functions[di].body);
+            ret_ivs[di] = plan.summary.ret_iv;
+        }
+    }
+
+    // Escaping functions can be entered with arbitrary arguments.
+    let mut escaping = vec![false; nd];
+    let escape = |fi: u32, escaping: &mut Vec<bool>| {
+        if let Some(d) = fi.checked_sub(ni) {
+            if (d as usize) < nd {
+                escaping[d as usize] = true;
+            }
+        }
+    };
+    for e in &module.exports {
+        if let lb_wasm::module::ExportKind::Func(fi) = e.kind {
+            escape(fi, &mut escaping);
+        }
+    }
+    for seg in &module.elems {
+        for &fi in &seg.funcs {
+            escape(fi, &mut escaping);
+        }
+    }
+    if let Some(s) = module.start {
+        escape(s, &mut escaping);
+    }
+
+    // Phase 2: final plans, callers first (Kahn over distinct-caller
+    // in-degrees; self-loops excluded — a self-recursive function's inner
+    // call sites would feed its own entry state, so it keeps ⊤ params).
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); nd];
+    for di in 0..nd {
+        for &c in &callees[di] {
+            if c != di && !callers[c].contains(&di) {
+                callers[c].push(di);
+            }
+        }
+    }
+    let self_rec: Vec<bool> = (0..nd).map(|di| callees[di].contains(&di)).collect();
+    let mut in_deg: Vec<usize> = callers.iter().map(Vec::len).collect();
+    let mut plans: Vec<Option<FuncPlan>> = (0..nd).map(|_| None).collect();
+    let mut arg_ivs: Vec<Option<Vec<(u64, u64)>>> = vec![None; nd];
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..nd).filter(|&di| in_deg[di] == 0).collect();
+    let run_one = |di: usize, arg_ivs: &Vec<Option<Vec<(u64, u64)>>>| {
+        let params = if cfg.interprocedural && !escaping[di] && !self_rec[di] {
+            arg_ivs[di].clone()
+        } else {
+            None
+        };
+        Analyzer::new(
+            module,
+            &meta.funcs[di],
+            mem_min_bytes,
+            mem_max_bytes,
+            cfg.hoist,
+            &ret_ivs,
+            params.as_deref(),
+        )
+        .run_collect(&module.functions[di].body)
+    };
+    let finish = |di: usize,
+                  (plan, call_args): (FuncPlan, Vec<(u32, Vec<(u64, u64)>)>),
+                  plans: &mut Vec<Option<FuncPlan>>,
+                  arg_ivs: &mut Vec<Option<Vec<(u64, u64)>>>| {
+        for (fi, args) in call_args {
+            if let Some(d) = fi.checked_sub(ni) {
+                let d = d as usize;
+                if d < nd {
+                    match &mut arg_ivs[d] {
+                        Some(acc) => {
+                            for (a, b) in acc.iter_mut().zip(&args) {
+                                a.0 = a.0.min(b.0);
+                                a.1 = a.1.max(b.1);
+                            }
+                        }
+                        None => arg_ivs[d] = Some(args),
+                    }
+                }
+            }
+        }
+        plans[di] = Some(plan);
+    };
+    while let Some(di) = queue.pop_front() {
+        let out = run_one(di, &arg_ivs);
+        finish(di, out, &mut plans, &mut arg_ivs);
+        for &c in &callees[di] {
+            if c != di && plans[c].is_none() {
+                in_deg[c] -= 1;
+                if in_deg[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    // Cycle members (and anything only reachable through them): ⊤ params.
+    for di in 0..nd {
+        if plans[di].is_none() {
+            arg_ivs[di] = None;
+            let out = run_one(di, &arg_ivs);
+            plans[di] = Some(out.0);
+        }
+    }
+
     ModulePlan {
-        funcs,
+        funcs: plans
+            .into_iter()
+            .map(|p| p.expect("all analyzed"))
+            .collect(),
         mem_min_bytes,
         mem_max_bytes,
     }
@@ -192,12 +507,19 @@ pub fn analyze_module(module: &Module, meta: &ModuleMeta) -> ModulePlan {
 
 // ─────────────────────────────── abstract domain ─────────────────────────
 
-/// Symbolic provenance: `value == (local << shift) + addend` (no wrap).
+/// Symbolic provenance. When `exact`, `value == (local << shift) + addend`
+/// holds over the integers (no wrap anywhere in the chain). When inexact,
+/// only the congruence `value ≡ (local << shift) + addend (mod 2^32)`
+/// holds (`addend` is kept reduced mod 2^32): enough for hoisted-guard
+/// synthesis — the guard recomputes the bound in 64-bit where the wrapped
+/// runtime value can only be *smaller* — but not for dominating-check
+/// facts, which compare checked extents of the runtime (wrapped) value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Sym {
     local: u32,
     shift: u8,
     addend: u64,
+    exact: bool,
 }
 
 /// Comparison operator of a predicate value.
@@ -277,6 +599,15 @@ struct AbsVal {
     hi: u64,
     /// Power of two dividing every possible value.
     stride: u64,
+    /// Wrapped-interval refinement: when present, the value lies in one of
+    /// the two disjoint, ordered sub-intervals (`lo`/`hi` is their hull).
+    /// Produced by `add`/`sub` with a constant when the interval wraps
+    /// 2^32 (a decrementing induction variable is `(0, s-2)` ∪
+    /// `(2^32-1, 2^32-1)`); consumed only by branch refinement, which
+    /// intersects the parts against the constraint region set — this is
+    /// how a descending loop's `i >= 0` back-edge guard recovers the
+    /// bounded part. Every other operation uses the hull and drops it.
+    split: Option<((u64, u64), (u64, u64))>,
     sym: Option<Sym>,
     pred: Option<Pred>,
 }
@@ -287,6 +618,7 @@ impl AbsVal {
             lo: 0,
             hi: U32_MAX,
             stride: 1,
+            split: None,
             sym: None,
             pred: None,
         }
@@ -302,6 +634,7 @@ impl AbsVal {
             } else {
                 1 << v.trailing_zeros()
             },
+            split: None,
             sym: None,
             pred: None,
         }
@@ -312,6 +645,7 @@ impl AbsVal {
             lo,
             hi,
             stride: 1,
+            split: None,
             sym: None,
             pred: None,
         }
@@ -321,15 +655,26 @@ impl AbsVal {
         (self.lo == self.hi).then_some(self.lo)
     }
 
-    /// Trivial provenance `value == local` (shift 0, addend 0).
+    /// Trivial provenance `value == local` (shift 0, addend 0). Exactness
+    /// is irrelevant at shift 0 / addend 0: two u32s congruent mod 2^32
+    /// are equal.
     fn as_local(&self) -> Option<u32> {
         match self.sym {
             Some(Sym {
                 local,
                 shift: 0,
                 addend: 0,
+                ..
             }) => Some(local),
             _ => None,
+        }
+    }
+
+    /// The value's parts: the split pair, or the whole interval.
+    fn parts(&self) -> Vec<(u64, u64)> {
+        match self.split {
+            Some((a, b)) => vec![a, b],
+            None => vec![(self.lo, self.hi)],
         }
     }
 }
@@ -339,31 +684,82 @@ fn join_val(a: &AbsVal, b: &AbsVal) -> AbsVal {
         lo: a.lo.min(b.lo),
         hi: a.hi.max(b.hi),
         stride: a.stride.min(b.stride),
+        // Equal part sets stay (the union is the same set); anything else
+        // falls back to the (joined) hull.
+        split: if a.split == b.split { a.split } else { None },
         sym: if a.sym == b.sym { a.sym } else { None },
         pred: if a.pred == b.pred { a.pred } else { None },
     }
 }
 
-// Interval arithmetic (wasm i32 semantics; any possible wrap ⇒ ⊤).
+// Interval arithmetic (wasm i32 semantics). Add/sub with a constant model
+// the wrap exactly: a fully-wrapping interval translates, a partially
+// wrapping one becomes a two-part split (hull ⊤); everything else that
+// might wrap goes to ⊤.
+
+/// Interval of `x + c (mod 2^32)` for `x ∈ [lo, hi]`, as
+/// `(lo, hi, split)`.
+fn wrap_add_iv(lo: u64, hi: u64, c: u64) -> (u64, u64, Option<((u64, u64), (u64, u64))>) {
+    debug_assert!(c <= U32_MAX && hi <= U32_MAX);
+    if hi + c <= U32_MAX {
+        (lo + c, hi + c, None) // no wrap
+    } else if lo + c > U32_MAX {
+        (lo + c - (1 << 32), hi + c - (1 << 32), None) // all wrap
+    } else {
+        // Partial wrap: the high (non-wrapping) part and the low (wrapped)
+        // part. Hull is ⊤-wide but the split keeps both ends tight.
+        (
+            0,
+            U32_MAX,
+            Some(((0, hi + c - (1 << 32)), (lo + c, U32_MAX))),
+        )
+    }
+}
 
 fn abs_add(a: &AbsVal, b: &AbsVal) -> AbsVal {
     if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
         return AbsVal::cst((x as u32).wrapping_add(y as u32));
     }
-    if a.hi + b.hi > U32_MAX {
-        return AbsVal::top();
-    }
-    let sym = match (a.sym, b.as_const(), b.sym, a.as_const()) {
-        (Some(s), Some(c), _, _) | (_, _, Some(s), Some(c)) => Some(Sym {
-            addend: s.addend + c,
-            ..s
-        }),
-        _ => None,
+    // Canonicalize to value + const when one side is constant.
+    let (v, c) = match (b.as_const(), a.as_const()) {
+        (Some(c), _) => (a, Some(c)),
+        (_, Some(c)) => (b, Some(c)),
+        _ => (a, None),
     };
+    let Some(c) = c else {
+        if a.hi + b.hi > U32_MAX {
+            return AbsVal::top();
+        }
+        return AbsVal {
+            lo: a.lo + b.lo,
+            hi: a.hi + b.hi,
+            stride: a.stride.min(b.stride),
+            split: None,
+            sym: None,
+            pred: None,
+        };
+    };
+    let (lo, hi, split) = wrap_add_iv(v.lo, v.hi, c);
+    let wraps = v.hi + c > U32_MAX;
+    let sym = v.sym.map(|s| {
+        if wraps || !s.exact {
+            Sym {
+                addend: (s.addend + c) & U32_MAX,
+                exact: false,
+                ..s
+            }
+        } else {
+            Sym {
+                addend: s.addend + c,
+                ..s
+            }
+        }
+    });
     AbsVal {
-        lo: a.lo + b.lo,
-        hi: a.hi + b.hi,
+        lo,
+        hi,
         stride: a.stride.min(b.stride),
+        split,
         sym,
         pred: None,
     }
@@ -373,6 +769,32 @@ fn abs_sub(a: &AbsVal, b: &AbsVal) -> AbsVal {
     if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
         return AbsVal::cst((x as u32).wrapping_sub(y as u32));
     }
+    if let Some(c) = b.as_const() {
+        // a - c == a + (2^32 - c) mod 2^32.
+        let (lo, hi, split) = wrap_add_iv(a.lo, a.hi, ((1u64 << 32) - c) & U32_MAX);
+        let sym = a.sym.map(|s| {
+            if a.lo >= c && s.exact && s.addend >= c {
+                Sym {
+                    addend: s.addend - c,
+                    ..s
+                }
+            } else {
+                Sym {
+                    addend: s.addend.wrapping_sub(c) & U32_MAX,
+                    exact: false,
+                    ..s
+                }
+            }
+        });
+        return AbsVal {
+            lo,
+            hi,
+            stride: a.stride.min(b.stride),
+            split,
+            sym,
+            pred: None,
+        };
+    }
     if a.lo < b.hi {
         return AbsVal::top();
     }
@@ -380,6 +802,7 @@ fn abs_sub(a: &AbsVal, b: &AbsVal) -> AbsVal {
         lo: a.lo - b.hi,
         hi: a.hi - b.lo,
         stride: a.stride.min(b.stride),
+        split: None,
         sym: None,
         pred: None,
     }
@@ -397,6 +820,7 @@ fn abs_mul(a: &AbsVal, b: &AbsVal) -> AbsVal {
         lo: a.lo * b.lo,
         hi: a.hi * b.hi,
         stride: (a.stride.saturating_mul(b.stride)).min(STRIDE_CAP),
+        split: None,
         sym: None,
         pred: None,
     }
@@ -416,6 +840,7 @@ fn abs_and(a: &AbsVal, b: &AbsVal) -> AbsVal {
                 lo: 0,
                 hi: a.hi.min(b.hi),
                 stride: 1,
+                split: None,
                 sym: None,
                 pred: None,
             }
@@ -429,6 +854,7 @@ fn abs_and(a: &AbsVal, b: &AbsVal) -> AbsVal {
         } else {
             1 << mask.trailing_zeros()
         },
+        split: None,
         sym: None,
         pred: None,
     }
@@ -442,20 +868,28 @@ fn abs_shl(a: &AbsVal, b: &AbsVal) -> AbsVal {
     if let Some(x) = a.as_const() {
         return AbsVal::cst((x as u32) << k);
     }
-    if a.hi << k > U32_MAX {
-        return AbsVal::top();
-    }
     let sym = a.sym.and_then(|s| {
         (u32::from(s.shift) + u32::from(k) <= 31).then(|| Sym {
             local: s.local,
             shift: s.shift + k,
-            addend: s.addend << k,
+            addend: (s.addend << k) & U32_MAX,
+            // Shifting multiplies both sides of the congruence by 2^k, so
+            // it survives mod 2^32 — but a possible wrap loses exactness.
+            exact: s.exact && a.hi << k <= U32_MAX,
         })
     });
+    if a.hi << k > U32_MAX {
+        // The shift may wrap: hull goes to ⊤, but the (inexact)
+        // congruence provenance survives for hoisted-guard synthesis.
+        let mut t = AbsVal::top();
+        t.sym = sym;
+        return t;
+    }
     AbsVal {
         lo: a.lo << k,
         hi: a.hi << k,
         stride: (a.stride << k).min(STRIDE_CAP),
+        split: None,
         sym,
         pred: None,
     }
@@ -473,6 +907,7 @@ fn abs_shr_u(a: &AbsVal, b: &AbsVal) -> AbsVal {
         lo: a.lo >> k,
         hi: a.hi >> k,
         stride: (a.stride >> k).max(1),
+        split: None,
         sym: None,
         pred: None,
     }
@@ -486,10 +921,21 @@ struct State {
     locals: Vec<AbsVal>,
     stack: Vec<AbsVal>,
     /// Dominating-check facts: `(local, shift)` → largest proven
-    /// `addend + extent`. "The *current* value of this local, shifted, was
-    /// checked to that extent" — a per-path truth preserved by
-    /// intersection at joins and killed on reassignment.
-    checked: BTreeMap<(u32, u8), u64>,
+    /// `addend + extent` plus whether that proof was *static* (in-bounds
+    /// against the declared minimum, so it also licenses elision under
+    /// `clamp`) rather than established by a runtime check. "The *current*
+    /// value of this local, shifted, was checked to that extent" — a
+    /// per-path truth preserved by intersection at joins and killed on
+    /// reassignment.
+    checked: BTreeMap<(u32, u8), (u64, bool)>,
+    /// Relational facts between locals: `(a, b) → strict` means
+    /// `a <u b` when strict, else `a ≤u b` (unsigned, over the current
+    /// values). Established by branch refinement on unsigned (or
+    /// provably-nonnegative signed) compares and by exact local-to-local
+    /// copies; intersected at joins; killed when either side is
+    /// reassigned. These power `a - b` narrowing and supply the
+    /// loop-invariant bound for hoisted-guard synthesis.
+    rel: BTreeMap<(u32, u32), bool>,
     live: bool,
 }
 
@@ -499,6 +945,7 @@ impl State {
     /// fallback).
     fn strip_local(&mut self, l: u32) {
         self.checked.retain(|&(cl, _), _| cl != l);
+        self.rel.retain(|&(x, y), _| x != l && y != l);
         for v in self.locals.iter_mut().chain(self.stack.iter_mut()) {
             if v.sym.is_some_and(|s| s.local == l) {
                 v.sym = None;
@@ -507,6 +954,37 @@ impl State {
                 v.pred = None;
             }
         }
+    }
+
+    /// Record `a <u b` (strict) or `a ≤u b`; strictness only upgrades.
+    fn add_rel(&mut self, a: u32, b: u32, strict: bool) {
+        if a == b {
+            return;
+        }
+        let e = self.rel.entry((a, b)).or_insert(strict);
+        *e |= strict;
+    }
+
+    /// Is `a <u b` (`Some(true)`) or `a ≤u b` (`Some(false)`) known,
+    /// directly or through one intermediate local?
+    fn rel_lt(&self, a: u32, b: u32) -> Option<bool> {
+        if let Some(&s) = self.rel.get(&(a, b)) {
+            return Some(s);
+        }
+        let mut best: Option<bool> = None;
+        for (&(x, m), &s1) in self.rel.range((a, 0)..=(a, u32::MAX)) {
+            debug_assert_eq!(x, a);
+            if let Some(&s2) = self.rel.get(&(m, b)) {
+                let s = s1 || s2;
+                if s || best.is_none() {
+                    best = Some(s);
+                }
+                if s {
+                    break;
+                }
+            }
+        }
+        best
     }
 }
 
@@ -533,12 +1011,22 @@ fn join_state(a: &State, b: &State) -> State {
     let checked = a
         .checked
         .iter()
-        .filter_map(|(k, &va)| b.checked.get(k).map(|&vb| (*k, va.min(vb))))
+        .filter_map(|(k, &(va, sa))| {
+            b.checked
+                .get(k)
+                .map(|&(vb, sb)| (*k, (va.min(vb), sa && sb)))
+        })
+        .collect();
+    let rel = a
+        .rel
+        .iter()
+        .filter_map(|(k, &sa)| b.rel.get(k).map(|&sb| (*k, sa && sb)))
         .collect();
     State {
         locals,
         stack,
         checked,
+        rel,
         live: true,
     }
 }
@@ -551,12 +1039,31 @@ fn state_contains(a: &State, b: &State) -> bool {
     join_state(a, b) == *a
 }
 
+/// Record a dominating-check fact, keeping the largest extent and
+/// upgrading to static when an equal extent is statically proven.
+fn record_fact(st: &mut State, key: (u32, u8), need: u64, is_static: bool) {
+    match st.checked.get_mut(&key) {
+        Some(e) => {
+            if need > e.0 {
+                *e = (need, is_static);
+            } else if need == e.0 {
+                e.1 |= is_static;
+            }
+        }
+        None => {
+            st.checked.insert(key, (need, is_static));
+        }
+    }
+}
+
 // ─────────────────────────────── structured tree ─────────────────────────
 
 enum Node {
     Plain(u32),
     Block(BlockType, Vec<Node>),
-    Loop(BlockType, Vec<Node>),
+    /// A loop with its header pc (the `Loop` opcode) and end pc (its
+    /// `End`), the instruction range codegen duplicates when versioning.
+    Loop(BlockType, Vec<Node>, u32, u32),
     If(BlockType, Vec<Node>, Vec<Node>),
 }
 
@@ -578,7 +1085,8 @@ fn parse_seq(body: &[Instr], pos: &mut usize) -> (Vec<Node>, Term) {
             }
             Instr::Loop(bt) => {
                 let (inner, _) = parse_seq(body, pos);
-                out.push(Node::Loop(*bt, inner));
+                // `pos` now points one past the loop's End.
+                out.push(Node::Loop(*bt, inner, pc as u32, (*pos - 1) as u32));
             }
             Instr::If(bt) => {
                 let (then_b, t) = parse_seq(body, pos);
@@ -607,7 +1115,7 @@ fn collect_written_locals(nodes: &[Node], body: &[Instr], out: &mut Vec<u32>) {
                     }
                 }
             }
-            Node::Block(_, b) | Node::Loop(_, b) => collect_written_locals(b, body, out),
+            Node::Block(_, b) | Node::Loop(_, b, _, _) => collect_written_locals(b, body, out),
             Node::If(_, t, e) => {
                 collect_written_locals(t, body, out);
                 collect_written_locals(e, body, out);
@@ -637,6 +1145,20 @@ fn merge_into(slot: &mut Option<State>, s: State) {
 
 // ──────────────────────────────────── analyzer ───────────────────────────
 
+/// Per-loop hoist-candidate collection, pushed for the recording pass of
+/// each straight-line (all-`Plain`) loop body.
+struct LoopCtx {
+    loop_pc: u32,
+    end_pc: u32,
+    /// Locals the loop body writes (guard bounds must not be among them).
+    written: Vec<u32>,
+    guards: Vec<GuardExpr>,
+    /// pcs of the `Emit` accesses the guards cover.
+    pcs: Vec<u32>,
+    /// Still hoistable: every `Emit` access so far produced a guard.
+    ok: bool,
+}
+
 struct Analyzer<'m> {
     module: &'m Module,
     fmeta: &'m FuncMeta,
@@ -654,10 +1176,36 @@ struct Analyzer<'m> {
     /// Plan/summary writes happen only on the single recording pass over
     /// each instruction; loop fixpoint probes run with this off.
     recording: bool,
+    /// Synthesize hoisted guards ([`AnalysisConfig::hoist`]).
+    hoist: bool,
+    /// Number of imported functions (start of the defined index space).
+    ni: u32,
+    /// Phase-A return intervals by defined function index (`None` = ⊤ or
+    /// not yet computed).
+    ret_ivs: &'m [Option<(u64, u64)>],
+    /// Entry intervals for the parameters (`None` = all ⊤).
+    param_ivs: Option<&'m [(u64, u64)]>,
+    /// Caller-side argument intervals observed at reachable `call` sites
+    /// on the recording pass: `(callee func index, per-param intervals)`.
+    call_args: Vec<(u32, Vec<(u64, u64)>)>,
+    /// Params the body ever writes (excluded from `param_footprint`).
+    param_written: Vec<bool>,
+    footprint: BTreeMap<(u32, u8), u64>,
+    loop_stack: Vec<LoopCtx>,
+    hoists: Vec<HoistPlan>,
+    clamp_ok: Vec<u32>,
 }
 
 impl<'m> Analyzer<'m> {
-    fn new(module: &'m Module, fmeta: &'m FuncMeta, mem_min: u64, mem_max: u64) -> Analyzer<'m> {
+    fn new(
+        module: &'m Module,
+        fmeta: &'m FuncMeta,
+        mem_min: u64,
+        mem_max: u64,
+        hoist: bool,
+        ret_ivs: &'m [Option<(u64, u64)>],
+        param_ivs: Option<&'m [(u64, u64)]>,
+    ) -> Analyzer<'m> {
         Analyzer {
             module,
             fmeta,
@@ -671,10 +1219,27 @@ impl<'m> Analyzer<'m> {
             any_bounded: false,
             any_unbounded: false,
             recording: true,
+            hoist,
+            ni: module.num_imported_funcs(),
+            ret_ivs,
+            param_ivs,
+            call_args: Vec::new(),
+            param_written: Vec::new(),
+            footprint: BTreeMap::new(),
+            loop_stack: Vec::new(),
+            hoists: Vec::new(),
+            clamp_ok: Vec::new(),
         }
     }
 
-    fn run(mut self, body: &'m [Instr]) -> FuncPlan {
+    fn run(self, body: &'m [Instr]) -> FuncPlan {
+        self.run_collect(body).0
+    }
+
+    /// Like [`Analyzer::run`], but also returns the argument intervals
+    /// observed at every reachable `call` site for caller→callee
+    /// propagation.
+    fn run_collect(mut self, body: &'m [Instr]) -> (FuncPlan, Vec<(u32, Vec<(u64, u64)>)>) {
         self.body = body;
         self.kinds = vec![CheckKind::Emit; body.len()];
         for i in body {
@@ -688,6 +1253,14 @@ impl<'m> Analyzer<'m> {
         self.thresholds.dedup();
 
         let n_params = self.fmeta.n_params as usize;
+        self.param_written = vec![false; n_params];
+        for i in body {
+            if let Instr::LocalSet(l) | Instr::LocalTee(l) = i {
+                if (*l as usize) < n_params {
+                    self.param_written[*l as usize] = true;
+                }
+            }
+        }
         let locals = self
             .fmeta
             .local_types
@@ -695,7 +1268,10 @@ impl<'m> Analyzer<'m> {
             .enumerate()
             .map(|(i, _)| {
                 if i < n_params {
-                    AbsVal::top()
+                    match self.param_ivs.and_then(|p| p.get(i)) {
+                        Some(&(lo, hi)) => AbsVal::iv(lo, hi),
+                        None => AbsVal::top(),
+                    }
                 } else {
                     // Declared locals are zero-initialized; numerically
                     // [0, 0] regardless of type.
@@ -707,6 +1283,7 @@ impl<'m> Analyzer<'m> {
             locals,
             stack: Vec::new(),
             checked: BTreeMap::new(),
+            rel: BTreeMap::new(),
             live: true,
         };
 
@@ -721,6 +1298,34 @@ impl<'m> Analyzer<'m> {
         }];
         self.exec_seq(&tree, &mut st, &mut frames, 0);
 
+        // Joined i32 return interval: the fall-through exit plus every
+        // `return` merged into the root frame.
+        if self.fmeta.result == Some(ValType::I32) {
+            let mut rj: Option<(u64, u64)> = None;
+            let mut add = |v: &AbsVal| {
+                rj = Some(match rj {
+                    Some((lo, hi)) => (lo.min(v.lo), hi.max(v.hi)),
+                    None => (v.lo, v.hi),
+                });
+            };
+            if st.live {
+                if let Some(v) = st.stack.last() {
+                    add(v);
+                }
+            }
+            if let Some(m) = &frames[0].merged {
+                if let Some(v) = m.stack.last() {
+                    add(v);
+                }
+            }
+            self.summary.ret_iv = Some(rj.unwrap_or((0, U32_MAX)));
+        }
+        self.summary.param_footprint = self
+            .footprint
+            .iter()
+            .map(|(&(p, shift), &bound)| (p, shift, bound))
+            .collect();
+
         self.summary.max_proven_ea = self.any_bounded.then_some(self.max_needed);
         self.summary.check_free_min_bytes = if self.summary.accesses == 0 {
             Some(0)
@@ -729,10 +1334,18 @@ impl<'m> Analyzer<'m> {
         } else {
             Some(self.max_needed)
         };
-        FuncPlan {
-            kinds: self.kinds,
-            summary: self.summary,
-        }
+        self.clamp_ok.sort_unstable();
+        self.clamp_ok.dedup();
+        self.hoists.sort_by_key(|h| h.loop_pc);
+        (
+            FuncPlan {
+                kinds: self.kinds,
+                clamp_ok: self.clamp_ok,
+                hoists: self.hoists,
+                summary: self.summary,
+            },
+            self.call_args,
+        )
     }
 
     // ── structured execution ───────────────────────────────────────
@@ -758,7 +1371,9 @@ impl<'m> Analyzer<'m> {
                     let fr = frames.pop().expect("block frame");
                     block_exit(st, fr.merged, eh, keep);
                 }
-                Node::Loop(bt, inner) => self.exec_loop(*bt, inner, st, frames, floor),
+                Node::Loop(bt, inner, loop_pc, end_pc) => {
+                    self.exec_loop(*bt, inner, *loop_pc, *end_pc, st, frames, floor)
+                }
                 Node::If(bt, then_b, else_b) => {
                     self.exec_if(*bt, then_b, else_b, st, frames, floor)
                 }
@@ -825,10 +1440,13 @@ impl<'m> Analyzer<'m> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_loop(
         &mut self,
         bt: BlockType,
         inner: &[Node],
+        loop_pc: u32,
+        end_pc: u32,
         st: &mut State,
         frames: &mut Vec<Frame>,
         floor: usize,
@@ -903,7 +1521,10 @@ impl<'m> Analyzer<'m> {
         self.recording = saved_rec;
 
         // The single recording pass, from the stabilized header, with
-        // forward exits live.
+        // forward exits live. Straight-line loop bodies additionally
+        // collect hoisted-guard candidates: if every `Emit` access in the
+        // body has a loop-invariant symbolic bound, the loop is versioned
+        // and those accesses become `ElideHoisted`.
         *st = header;
         frames.push(Frame {
             is_loop: true,
@@ -912,9 +1533,79 @@ impl<'m> Analyzer<'m> {
             merged: None,
             backedge: None,
         });
+        let hoisting = self.recording
+            && self.hoist
+            && !inner.is_empty()
+            && inner.iter().all(|n| matches!(n, Node::Plain(_)));
+        if hoisting {
+            let mut written = Vec::new();
+            collect_written_locals(inner, self.body, &mut written);
+            self.loop_stack.push(LoopCtx {
+                loop_pc,
+                end_pc,
+                written,
+                guards: Vec::new(),
+                pcs: Vec::new(),
+                ok: true,
+            });
+        }
         self.exec_seq(inner, st, frames, floor);
         frames.pop();
+        if hoisting {
+            let ctx = self.loop_stack.pop().expect("loop ctx");
+            if ctx.ok && !ctx.pcs.is_empty() {
+                for &pc in &ctx.pcs {
+                    self.kinds[pc as usize] = CheckKind::ElideHoisted;
+                    self.summary.emitted -= 1;
+                    self.summary.elided_hoisted += 1;
+                }
+                let mut guards: Vec<GuardExpr> = Vec::new();
+                for g in ctx.guards {
+                    match guards.iter_mut().find(|e| {
+                        e.bound_local == g.bound_local && e.strict == g.strict && e.shift == g.shift
+                    }) {
+                        Some(e) => e.addend = e.addend.max(g.addend),
+                        None => guards.push(g),
+                    }
+                }
+                self.hoists.push(HoistPlan {
+                    loop_pc: ctx.loop_pc,
+                    end_pc: ctx.end_pc,
+                    guards,
+                });
+            }
+        }
         block_exit(st, None, eh, keep);
+    }
+
+    /// A preheader guard covering one `Emit` access with symbolic address
+    /// `(sym.local << sym.shift) + sym.addend` and the given extent, if
+    /// the loop admits one: the index local itself when loop-invariant,
+    /// else a direct relational bound `index <u/≤u n` on an invariant `n`.
+    fn guard_for(sym: &Sym, extent: u64, st: &State, written: &[u32]) -> Option<GuardExpr> {
+        let needed = sym.addend + extent;
+        if needed > 0x7FFF_FFFF {
+            return None;
+        }
+        if !written.contains(&sym.local) {
+            return Some(GuardExpr {
+                bound_local: sym.local,
+                strict: false,
+                shift: sym.shift,
+                addend: needed,
+            });
+        }
+        for (&(a, n), &strict) in st.rel.iter() {
+            if a == sym.local && !written.contains(&n) {
+                return Some(GuardExpr {
+                    bound_local: n,
+                    strict,
+                    shift: sym.shift,
+                    addend: needed,
+                });
+            }
+        }
+        None
     }
 
     /// One non-recording pass over a loop body from `header`; returns the
@@ -1018,18 +1709,27 @@ impl<'m> Analyzer<'m> {
         let extent = u64::from(offset) + u64::from(size);
         let end_min = addr.lo + extent;
         let end_max = addr.hi + extent;
+        // Dominating-check facts need *exact* provenance: they compare
+        // checked extents of the runtime value, which a mod-2^32
+        // congruence cannot order. Inexact provenance still feeds
+        // hoisted-guard synthesis below (the guard recomputes the bound
+        // in 64-bit, where the wrapped value can only be smaller).
+        let exact_sym = addr.sym.filter(|s| s.exact);
+        let mut dom_static = false;
         let kind = if end_max <= self.mem_min {
             CheckKind::ElideInBounds
         } else if end_min > self.mem_max {
             CheckKind::StaticOob
-        } else if let Some(sym) = addr.sym {
+        } else if let Some(sym) = exact_sym {
             let key = (sym.local, sym.shift);
             let need = sym.addend + extent;
             match st.checked.get(&key) {
-                Some(&have) if have >= need => CheckKind::ElideDominated,
+                Some(&(have, st_have)) if have >= need => {
+                    dom_static = st_have;
+                    CheckKind::ElideDominated
+                }
                 _ => {
-                    let e = st.checked.entry(key).or_insert(need);
-                    *e = (*e).max(need);
+                    record_fact(st, key, need, false);
                     CheckKind::Emit
                 }
             }
@@ -1037,12 +1737,10 @@ impl<'m> Analyzer<'m> {
             CheckKind::Emit
         };
         if kind == CheckKind::ElideInBounds {
-            // A statically proven bound is also a dominating fact.
-            if let Some(sym) = addr.sym {
-                let key = (sym.local, sym.shift);
-                let need = sym.addend + extent;
-                let e = st.checked.entry(key).or_insert(need);
-                *e = (*e).max(need);
+            // A statically proven bound is also a dominating fact — a
+            // *static* one, consumable under clamp too.
+            if let Some(sym) = exact_sym {
+                record_fact(st, (sym.local, sym.shift), sym.addend + extent, true);
             }
         }
         if kind == CheckKind::StaticOob {
@@ -1056,12 +1754,40 @@ impl<'m> Analyzer<'m> {
                 CheckKind::ElideInBounds => self.summary.elided_in_bounds += 1,
                 CheckKind::ElideDominated => self.summary.elided_dominated += 1,
                 CheckKind::StaticOob => self.summary.static_oob += 1,
+                CheckKind::ElideHoisted => unreachable!("assigned only at loop finalize"),
+            }
+            if kind == CheckKind::ElideDominated && dom_static {
+                self.clamp_ok.push(pc as u32);
+            }
+            if let Some(sym) = exact_sym {
+                if (sym.local as usize) < self.param_written.len()
+                    && !self.param_written[sym.local as usize]
+                {
+                    let e = self.footprint.entry((sym.local, sym.shift)).or_insert(0);
+                    *e = (*e).max(sym.addend + extent);
+                }
             }
             if addr.hi == U32_MAX {
                 self.any_unbounded = true;
             } else {
                 self.any_bounded = true;
                 self.max_needed = self.max_needed.max(end_max);
+            }
+            if kind == CheckKind::Emit && self.hoist {
+                if let Some(ctx) = self.loop_stack.last_mut() {
+                    if ctx.ok {
+                        match addr
+                            .sym
+                            .and_then(|s| Self::guard_for(&s, extent, st, &ctx.written))
+                        {
+                            Some(g) => {
+                                ctx.guards.push(g);
+                                ctx.pcs.push(pc as u32);
+                            }
+                            None => ctx.ok = false,
+                        }
+                    }
+                }
             }
         }
     }
@@ -1111,11 +1837,29 @@ impl<'m> Analyzer<'m> {
             }
             Call(fi) => {
                 let ty = self.module.func_type(*fi).expect("validated call");
-                for _ in 0..ty.params.len() {
-                    st.stack.pop();
+                let n = ty.params.len();
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let v = st.stack.pop().expect("validated call args");
+                    args.push((v.lo, v.hi));
                 }
-                if ty.result().is_some() {
-                    st.stack.push(AbsVal::top());
+                args.reverse();
+                if self.recording {
+                    self.call_args.push((*fi, args));
+                }
+                if let Some(rt) = ty.result() {
+                    // Imports and non-i32 results stay ⊤; defined callees
+                    // narrow to their Phase-A return interval.
+                    let v = match (rt, fi.checked_sub(self.ni)) {
+                        (ValType::I32, Some(d)) => {
+                            match self.ret_ivs.get(d as usize).copied().flatten() {
+                                Some((lo, hi)) => AbsVal::iv(lo, hi),
+                                None => AbsVal::top(),
+                            }
+                        }
+                        _ => AbsVal::top(),
+                    };
+                    st.stack.push(v);
                 }
                 // Calls cannot touch our locals, and linear memory only
                 // grows, so intervals and facts survive.
@@ -1146,6 +1890,7 @@ impl<'m> Analyzer<'m> {
                     local: *l,
                     shift: 0,
                     addend: 0,
+                    exact: true,
                 });
                 st.stack.push(v);
             }
@@ -1169,6 +1914,13 @@ impl<'m> Analyzer<'m> {
                 if v.pred.is_some_and(|p| p.mentions(*l)) {
                     v.pred = None;
                 }
+                // An exact copy of another local (`end = n`) makes the
+                // two equal: record both ≤ directions so either can serve
+                // as the other's loop-invariant bound.
+                if let Some(m) = v.as_local() {
+                    st.add_rel(*l, m, false);
+                    st.add_rel(m, *l, false);
+                }
                 let mut stored = v;
                 stored.sym = None;
                 st.locals[*l as usize] = stored;
@@ -1178,6 +1930,7 @@ impl<'m> Analyzer<'m> {
                         local: *l,
                         shift: 0,
                         addend: 0,
+                        exact: true,
                     });
                     st.stack.push(top);
                 }
@@ -1200,7 +1953,24 @@ impl<'m> Analyzer<'m> {
             I64Const(_) | F32Const(_) | F64Const(_) => st.stack.push(AbsVal::top()),
 
             I32Add => self.binop(st, abs_add),
-            I32Sub => self.binop(st, abs_sub),
+            I32Sub => {
+                let b = st.stack.pop().expect("validated binop");
+                let a = st.stack.pop().expect("validated binop");
+                let mut r = abs_sub(&a, &b);
+                // Interval subtraction gave up, but a relational fact
+                // `b <u a` proves `a - b` cannot wrap: it lies in
+                // [strict, a.hi - b.lo].
+                if r.lo == 0 && r.hi == U32_MAX {
+                    if let (Some(la), Some(lb)) = (a.as_local(), b.as_local()) {
+                        if b.lo <= a.hi {
+                            if let Some(strict) = st.rel_lt(lb, la) {
+                                r = AbsVal::iv(u64::from(strict), a.hi - b.lo);
+                            }
+                        }
+                    }
+                }
+                st.stack.push(r);
+            }
             I32Mul => self.binop(st, abs_mul),
             I32And => self.binop(st, abs_and),
             I32Shl => self.binop(st, abs_shl),
@@ -1349,9 +2119,14 @@ fn block_exit(st: &mut State, merged: Option<State>, eh: usize, keep: usize) {
 // ─────────────────────────────── branch refinement ───────────────────────
 
 /// Narrow `state` assuming `pred` evaluated to `truth`. Only refines
-/// operands with trivial local provenance; signed comparisons are treated
-/// as unsigned when both sides are provably non-negative (`hi < 2^31`),
-/// otherwise skipped. An empty intersection marks the state dead.
+/// operands with trivial local provenance. Unsigned comparisons refine
+/// directly; signed comparisons refine whenever the *other* side is
+/// provably non-negative, by intersecting the value's parts with a signed
+/// region set that includes the negative (high unsigned) half where the
+/// operator allows it — this is what recovers a descending induction
+/// variable from its wrapped-decrement split. An empty intersection marks
+/// the state dead. Afterwards, relational `a <u b` facts are recorded
+/// when both sides are locals and the comparison has an unsigned reading.
 fn refine(state: &mut State, pred: &Pred, truth: bool) {
     if !state.live {
         return;
@@ -1363,28 +2138,56 @@ fn refine(state: &mut State, pred: &Pred, truth: bool) {
     let r_iv = pred
         .r_local
         .map_or(pred.r_iv, |l| iv_of(&state.locals[l as usize]));
-    const NONNEG: u64 = 0x7FFF_FFFF;
-    let uop = match op {
-        CmpOp::LtU | CmpOp::LeU | CmpOp::GtU | CmpOp::GeU | CmpOp::Eq | CmpOp::Ne => op,
-        CmpOp::LtS | CmpOp::LeS | CmpOp::GtS | CmpOp::GeS => {
-            if l_iv.1 <= NONNEG && r_iv.1 <= NONNEG {
-                match op {
-                    CmpOp::LtS => CmpOp::LtU,
-                    CmpOp::LeS => CmpOp::LeU,
-                    CmpOp::GtS => CmpOp::GtU,
-                    CmpOp::GeS => CmpOp::GeU,
-                    _ => unreachable!(),
-                }
-            } else {
-                return;
-            }
-        }
-    };
     if let Some(l) = pred.l_local {
-        apply_constraint(state, l, uop, r_iv);
+        apply_constraint(state, l, op, r_iv);
+    }
+    if !state.live {
+        return;
     }
     if let Some(r) = pred.r_local {
-        apply_constraint(state, r, uop.mirror(), l_iv);
+        apply_constraint(state, r, op.mirror(), l_iv);
+    }
+    if !state.live {
+        return;
+    }
+    // Unsigned reading of the comparison, for relational facts and
+    // constant feasibility: native unsigned ops pass through; signed ops
+    // convert when both (post-refinement) operands are non-negative.
+    const NONNEG: u64 = 0x7FFF_FFFF;
+    let l_now = pred
+        .l_local
+        .map_or(pred.l_iv, |l| iv_of(&state.locals[l as usize]));
+    let r_now = pred
+        .r_local
+        .map_or(pred.r_iv, |l| iv_of(&state.locals[l as usize]));
+    let uop = match op {
+        CmpOp::LtU | CmpOp::LeU | CmpOp::GtU | CmpOp::GeU | CmpOp::Eq | CmpOp::Ne => Some(op),
+        CmpOp::LtS | CmpOp::LeS | CmpOp::GtS | CmpOp::GeS
+            if l_now.1 <= NONNEG && r_now.1 <= NONNEG =>
+        {
+            Some(match op {
+                CmpOp::LtS => CmpOp::LtU,
+                CmpOp::LeS => CmpOp::LeU,
+                CmpOp::GtS => CmpOp::GtU,
+                CmpOp::GeS => CmpOp::GeU,
+                _ => unreachable!(),
+            })
+        }
+        _ => None,
+    };
+    let Some(uop) = uop else { return };
+    if let (Some(l), Some(r)) = (pred.l_local, pred.r_local) {
+        match uop {
+            CmpOp::LtU => state.add_rel(l, r, true),
+            CmpOp::LeU => state.add_rel(l, r, false),
+            CmpOp::GtU => state.add_rel(r, l, true),
+            CmpOp::GeU => state.add_rel(r, l, false),
+            CmpOp::Eq => {
+                state.add_rel(l, r, false);
+                state.add_rel(r, l, false);
+            }
+            _ => {}
+        }
     }
     // Constant-vs-constant infeasibility (e.g. a folded `0 != 0` guard).
     if pred.l_local.is_none() && pred.r_local.is_none() {
@@ -1407,52 +2210,102 @@ fn iv_of(v: &AbsVal) -> (u64, u64) {
     (v.lo, v.hi)
 }
 
-fn apply_constraint(state: &mut State, l: u32, op: CmpOp, other: (u64, u64)) {
-    let v = &mut state.locals[l as usize];
-    let (mut lo, mut hi) = (v.lo, v.hi);
-    match op {
+/// The allowed unsigned regions (at most 2, ordered, disjoint) for a
+/// value satisfying `value op other`. `None` means no information; an
+/// empty vector means the constraint is infeasible.
+fn constraint_regions(op: CmpOp, other: (u64, u64)) -> Option<Vec<(u64, u64)>> {
+    const NONNEG: u64 = 0x7FFF_FFFF;
+    const NEG_LO: u64 = 0x8000_0000;
+    Some(match op {
         CmpOp::LtU => {
             if other.1 == 0 {
-                state.live = false;
-                return;
+                vec![]
+            } else {
+                vec![(0, other.1 - 1)]
             }
-            hi = hi.min(other.1 - 1);
         }
-        CmpOp::LeU => hi = hi.min(other.1),
+        CmpOp::LeU => vec![(0, other.1)],
         CmpOp::GtU => {
             if other.0 == U32_MAX {
-                state.live = false;
-                return;
+                vec![]
+            } else {
+                vec![(other.0 + 1, U32_MAX)]
             }
-            lo = lo.max(other.0 + 1);
         }
-        CmpOp::GeU => lo = lo.max(other.0),
-        CmpOp::Eq => {
-            lo = lo.max(other.0);
-            hi = hi.min(other.1);
-        }
+        CmpOp::GeU => vec![(other.0, U32_MAX)],
+        CmpOp::Eq => vec![(other.0, other.1)],
         CmpOp::Ne => {
-            // Only useful when the other side is an exact endpoint.
             if other.0 == other.1 {
-                if lo == other.0 && hi == other.0 {
-                    state.live = false;
-                    return;
+                let c = other.0;
+                let mut v = Vec::new();
+                if c > 0 {
+                    v.push((0, c - 1));
                 }
-                if lo == other.0 {
-                    lo += 1;
-                } else if hi == other.0 {
-                    hi -= 1;
+                if c < U32_MAX {
+                    v.push((c + 1, U32_MAX));
                 }
+                v
+            } else {
+                return None;
             }
         }
-        _ => return,
-    }
-    if lo > hi {
+        // Signed comparisons against a wholly non-negative other side:
+        // `<s`/`<=s` admit the negative (high unsigned) half, `>s`/`>=s`
+        // confine the value to the non-negative half.
+        CmpOp::LtS if other.1 <= NONNEG => {
+            let mut v = Vec::new();
+            if other.1 > 0 {
+                v.push((0, other.1 - 1));
+            }
+            v.push((NEG_LO, U32_MAX));
+            v
+        }
+        CmpOp::LeS if other.1 <= NONNEG => vec![(0, other.1), (NEG_LO, U32_MAX)],
+        CmpOp::GtS if other.1 <= NONNEG => {
+            if other.0 == NONNEG {
+                vec![]
+            } else {
+                vec![(other.0 + 1, NONNEG)]
+            }
+        }
+        CmpOp::GeS if other.1 <= NONNEG => vec![(other.0, NONNEG)],
+        _ => return None,
+    })
+}
+
+fn apply_constraint(state: &mut State, l: u32, op: CmpOp, other: (u64, u64)) {
+    let Some(regions) = constraint_regions(op, other) else {
+        return;
+    };
+    if regions.is_empty() {
         state.live = false;
         return;
     }
-    v.lo = lo;
-    v.hi = hi;
+    let v = &mut state.locals[l as usize];
+    let parts = v.parts();
+    let mut pieces: Vec<(u64, u64)> = Vec::new();
+    for &(plo, phi) in &parts {
+        for &(rlo, rhi) in &regions {
+            let lo = plo.max(rlo);
+            let hi = phi.min(rhi);
+            if lo <= hi {
+                pieces.push((lo, hi));
+            }
+        }
+    }
+    if pieces.is_empty() {
+        state.live = false;
+        return;
+    }
+    v.lo = pieces[0].0;
+    v.hi = pieces[pieces.len() - 1].1;
+    v.split = if pieces.len() == 1 {
+        None
+    } else {
+        // 3+ pieces collapse to (first, hull of the rest): a sound
+        // superset that keeps the leading gap.
+        Some((pieces[0], (pieces[1].0, pieces[pieces.len() - 1].1)))
+    };
 }
 
 // ──────────────────────────────────── tests ──────────────────────────────
@@ -1948,5 +2801,250 @@ mod tests {
         );
         let p = plan_of(&m, &meta);
         assert_eq!(p.kind_at(10), CheckKind::Emit);
+    }
+
+    /// The canonical unsigned counted loop with a ⊤ bound: `for i in
+    /// 0..p0` store at `(i<<2)+64`.
+    fn dyn_loop_body() -> Vec<Instr> {
+        vec![
+            Instr::I32Const(0),
+            Instr::LocalSet(1),
+            Instr::LocalGet(0),
+            Instr::LocalSet(2),
+            Instr::Block(BlockType::Empty),
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::I32GeU,
+            Instr::BrIf(0),
+            Instr::Loop(BlockType::Empty),
+            Instr::LocalGet(1),
+            Instr::I32Const(2),
+            Instr::I32Shl,
+            Instr::LocalGet(1),
+            Instr::I32Store(MemArg::offset(64)),
+            Instr::LocalGet(1),
+            Instr::I32Const(1),
+            Instr::I32Add,
+            Instr::LocalTee(1),
+            Instr::LocalGet(2),
+            Instr::I32LtU,
+            Instr::BrIf(0),
+            Instr::End,
+            Instr::End,
+            Instr::End,
+        ]
+    }
+
+    #[test]
+    fn unsigned_dynamic_bound_loop_gets_hoisted_guard() {
+        let (m, meta) = mk(&[I32], &[I32, I32], 1, dyn_loop_body());
+        let plan = plan_of(&m, &meta);
+        assert_eq!(plan.summary.elided_hoisted, 1);
+        assert_eq!(plan.summary.emitted, 0);
+        let h = (0..m.functions[0].body.len() as u32)
+            .find_map(|pc| plan.hoist_at(pc))
+            .expect("loop is versioned");
+        assert_eq!(h.guards.len(), 1);
+        let g = h.guards[0];
+        assert_eq!(g.bound_local, 2, "bound is the loop-invariant end local");
+        assert!(g.strict, "backedge compares `i <u end`");
+        assert_eq!(g.shift, 2);
+        assert_eq!(g.addend, 68, "worst access is `(end-1)<<2 + 64 + 4`");
+    }
+
+    #[test]
+    fn signed_compare_on_top_bound_is_not_hoisted() {
+        // `i <s end` proves nothing about the unsigned index when `end`
+        // is ⊤ (a negative bound admits huge unsigned indices), so the
+        // loop must keep its per-access check rather than gain a guard.
+        let mut body = dyn_loop_body();
+        for instr in &mut body {
+            match instr {
+                Instr::I32GeU => *instr = Instr::I32GeS,
+                Instr::I32LtU => *instr = Instr::I32LtS,
+                _ => {}
+            }
+        }
+        let (m, meta) = mk(&[I32], &[I32, I32], 1, body);
+        let plan = plan_of(&m, &meta);
+        assert_eq!(plan.summary.elided_hoisted, 0);
+        assert_eq!(plan.summary.emitted, 1);
+    }
+
+    #[test]
+    fn hoisting_can_be_disabled_by_config() {
+        let (m, meta) = mk(&[I32], &[I32, I32], 1, dyn_loop_body());
+        let cfg = AnalysisConfig {
+            interprocedural: true,
+            hoist: false,
+        };
+        let plan = &analyze_module_with(&m, &meta, &cfg).funcs[0];
+        assert_eq!(plan.summary.elided_hoisted, 0);
+        assert_eq!(plan.summary.emitted, 1);
+        assert!((0..m.functions[0].body.len() as u32).all(|pc| plan.hoist_at(pc).is_none()));
+    }
+
+    #[test]
+    fn descending_loop_interval_split_proves_accesses() {
+        // `for i in (0..100).rev()` store at `(i<<2)`: the descending
+        // update wraps through -1 on exit, so the index interval only
+        // stays useful if the analysis splits it at the wrap.
+        let body = vec![
+            Instr::I32Const(99),
+            Instr::LocalSet(0),
+            Instr::Block(BlockType::Empty),
+            Instr::Loop(BlockType::Empty),
+            Instr::LocalGet(0),
+            Instr::I32Const(2),
+            Instr::I32Shl,
+            Instr::LocalGet(0),
+            Instr::I32Store(MemArg::offset(0)),
+            Instr::LocalGet(0),
+            Instr::I32Const(1),
+            Instr::I32Sub,
+            Instr::LocalTee(0),
+            Instr::I32Const(0),
+            Instr::I32GeS,
+            Instr::BrIf(0),
+            Instr::End,
+            Instr::End,
+            Instr::End,
+        ];
+        let (m, meta) = mk(&[], &[I32], 1, body);
+        let plan = plan_of(&m, &meta);
+        assert_eq!(plan.summary.elided_in_bounds, 1, "{:?}", plan.summary);
+        assert_eq!(plan.summary.emitted, 0);
+    }
+
+    /// Two-function module: exported `go()` + internal helper, for the
+    /// interprocedural tests. Returns the plans for (go, helper).
+    fn two_func_plans(
+        go_body: Vec<Instr>,
+        go_locals: &[ValType],
+        helper_ty: FuncType,
+        helper_body: Vec<Instr>,
+    ) -> (FuncPlan, FuncPlan) {
+        let mut m = Module::new();
+        m.types.push(FuncType {
+            params: vec![],
+            results: vec![],
+        });
+        m.types.push(helper_ty);
+        m.memory = Some(MemoryType {
+            limits: Limits {
+                min: 1,
+                max: Some(1),
+            },
+        });
+        m.functions.push(Function {
+            type_idx: 0,
+            locals: go_locals.to_vec(),
+            body: go_body,
+            name: Some("go".into()),
+        });
+        m.functions.push(Function {
+            type_idx: 1,
+            locals: vec![],
+            body: helper_body,
+            name: None,
+        });
+        m.exports.push(lb_wasm::module::Export {
+            name: "go".into(),
+            kind: lb_wasm::module::ExportKind::Func(0),
+        });
+        let meta = validate(&m).expect("test module validates");
+        let plan = analyze_module(&m, &meta);
+        (plan.funcs[0].clone(), plan.funcs[1].clone())
+    }
+
+    #[test]
+    fn callee_return_interval_narrows_caller_load() {
+        // helper() = 100; go() loads at helper()<<2: in bounds only
+        // because the return interval [100,100] propagates to the call
+        // result.
+        let go = vec![
+            Instr::Call(1),
+            Instr::I32Const(2),
+            Instr::I32Shl,
+            Instr::I32Load(MemArg::offset(0)),
+            Instr::Drop,
+            Instr::End,
+        ];
+        let helper = vec![Instr::I32Const(100), Instr::End];
+        let (go_plan, helper_plan) = two_func_plans(
+            go,
+            &[],
+            FuncType {
+                params: vec![],
+                results: vec![I32],
+            },
+            helper,
+        );
+        assert_eq!(helper_plan.summary.ret_iv, Some((100, 100)));
+        assert_eq!(go_plan.summary.elided_in_bounds, 1);
+        assert_eq!(go_plan.summary.emitted, 0);
+    }
+
+    #[test]
+    fn caller_argument_interval_narrows_callee_access() {
+        // go() calls helper(8); helper stores at `p0 << 2`. The access is
+        // provable only through the propagated argument interval [8,8] —
+        // with ⊤ parameters it would need a check.
+        let go = vec![Instr::I32Const(8), Instr::Call(1), Instr::End];
+        let helper = vec![
+            Instr::LocalGet(0),
+            Instr::I32Const(2),
+            Instr::I32Shl,
+            Instr::I32Const(7),
+            Instr::I32Store(MemArg::offset(0)),
+            Instr::End,
+        ];
+        let (_, helper_plan) = two_func_plans(
+            go,
+            &[],
+            FuncType {
+                params: vec![I32],
+                results: vec![],
+            },
+            helper,
+        );
+        assert_eq!(helper_plan.summary.elided_in_bounds, 1);
+        assert_eq!(helper_plan.summary.emitted, 0);
+    }
+
+    #[test]
+    fn dynamic_dominator_is_not_clamp_consumable() {
+        // Two identical loads from a ⊤ parameter: the first emits its
+        // check and records a *dynamic* fact, so the second is
+        // `ElideDominated` — but NOT clamp-consumable. Under `trap` the
+        // dominating guard faults on OOB, so control never reaches the
+        // second load with a bad address; under `clamp` the dominator
+        // only clamped its own effective address (the local still holds
+        // the raw value), so the dominated access must clamp again.
+        let body = vec![
+            Instr::LocalGet(0),
+            Instr::I32Load(MemArg::offset(0)),
+            Instr::Drop,
+            Instr::LocalGet(0),
+            Instr::I32Load(MemArg::offset(0)),
+            Instr::Drop,
+            Instr::End,
+        ];
+        let (m, meta) = mk(&[I32], &[], 1, body);
+        let plan = plan_of(&m, &meta);
+        assert_eq!(plan.summary.elided_dominated, 1);
+        let pc = m.functions[0]
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, Instr::I32Load(_)))
+            .map(|(pc, _)| pc)
+            .nth(1)
+            .unwrap();
+        assert_eq!(plan.kind_at(pc), CheckKind::ElideDominated);
+        assert!(
+            !plan.clamp_elidable(pc),
+            "a dynamic dominating check must not lift the clamp"
+        );
     }
 }

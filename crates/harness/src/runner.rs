@@ -445,6 +445,12 @@ fn run_once(bench: &Benchmark, spec: &RunSpec) -> Result<RunResult, RunFailure> 
             "checks_emitted",
             telemetry.counter("jit.checks.emitted").to_string(),
         ),
+        // Fast-loop-body sites covered by a hoisted preheader guard
+        // (check-free in the versioned fast copy).
+        (
+            "checks_hoisted",
+            telemetry.counter("jit.checks.hoisted").to_string(),
+        ),
         // Translation validation (only nonzero when LB_VERIFY is set):
         // sites the validator proved and anything it could not.
         (

@@ -65,6 +65,7 @@ pub struct CompileParams<'a> {
 /// registration takes a lock and these sites run once per compiled access.
 struct CheckCounters {
     elided: lb_telemetry::Counter,
+    hoisted: lb_telemetry::Counter,
     emitted: lb_telemetry::Counter,
     static_oob: lb_telemetry::Counter,
 }
@@ -73,6 +74,7 @@ fn check_counters() -> &'static CheckCounters {
     static C: std::sync::OnceLock<CheckCounters> = std::sync::OnceLock::new();
     C.get_or_init(|| CheckCounters {
         elided: lb_telemetry::counter("jit.checks.static_elided"),
+        hoisted: lb_telemetry::counter("jit.checks.hoisted"),
         emitted: lb_telemetry::counter("jit.checks.emitted"),
         static_oob: lb_telemetry::counter("jit.checks.static_oob"),
     })
@@ -131,6 +133,13 @@ struct Gen<'a> {
     free_f: Vec<Xmm>,
     labels: HashMap<u32, Label>,
     loop_headers: std::collections::HashSet<u32>,
+    /// Loop-versioning context while a hoisted loop's fast (1) or slow (2)
+    /// copy is being emitted: `(loop_pc, end_pc, copy)`.
+    copy_ctx: Option<(u32, u32, u8)>,
+    /// Per-copy duplicates of branch-target labels inside the versioned
+    /// range, keyed by `(dest_pc, copy)` — the backedge of each copy must
+    /// re-enter that same copy.
+    copy_labels: HashMap<(u32, u8), Label>,
     trap_labels: [Option<Label>; 12],
     end_label: Label,
     end_label_used: bool,
@@ -192,6 +201,8 @@ pub fn compile_function_mapped(
         free_f,
         labels: HashMap::new(),
         loop_headers: std::collections::HashSet::new(),
+        copy_ctx: None,
+        copy_labels: HashMap::new(),
         trap_labels: [None; 12],
         end_label,
         end_label_used: false,
@@ -556,6 +567,47 @@ impl<'a> Gen<'a> {
         self.fmeta.height_at[pc as usize] as usize
     }
 
+    /// The label a branch to `dest` resolves to: the per-copy duplicate
+    /// when `dest` lies inside the loop range currently being versioned
+    /// (the backedge must re-enter the same copy), the shared label
+    /// otherwise (loop exits converge outside the range).
+    fn jump_label(&mut self, dest: u32) -> Label {
+        if let Some((lp, ep, copy)) = self.copy_ctx {
+            if dest > lp && dest <= ep {
+                return self.copy_label(dest, copy);
+            }
+        }
+        self.labels[&dest]
+    }
+
+    /// The label to bind at `pc`, if any. Inside a versioned copy the
+    /// range's own targets bind their per-copy duplicates; the `Loop` pc
+    /// itself was already handled by the preheader.
+    fn bind_label_at(&mut self, pc: u32) -> Option<Label> {
+        if let Some((lp, ep, copy)) = self.copy_ctx {
+            if pc >= lp && pc <= ep {
+                if pc == lp || !self.labels.contains_key(&pc) {
+                    return None;
+                }
+                return Some(self.copy_label(pc, copy));
+            }
+        }
+        self.labels.get(&pc).copied()
+    }
+
+    fn copy_label(&mut self, pc: u32, copy: u8) -> Label {
+        if let Some(&l) = self.copy_labels.get(&(pc, copy)) {
+            return l;
+        }
+        let l = self.a.label();
+        self.copy_labels.insert((pc, copy), l);
+        l
+    }
+
+    fn in_fast_copy(&self) -> bool {
+        matches!(self.copy_ctx, Some((_, _, 1)))
+    }
+
     // ── prologue / epilogue ────────────────────────────────────────
 
     fn prologue(&mut self) {
@@ -664,7 +716,7 @@ impl<'a> Gen<'a> {
             let l = self.end_label;
             self.a.jmp(l);
         } else {
-            let l = self.labels[&dest.dest_pc];
+            let l = self.jump_label(dest.dest_pc);
             self.a.jmp(l);
         }
     }
@@ -772,6 +824,7 @@ impl<'a> Gen<'a> {
                 let extent = u64::from(offset) + u64::from(size);
                 enum Act {
                     Skip,
+                    Hoisted,
                     Check,
                     Dead,
                 }
@@ -780,6 +833,17 @@ impl<'a> Gen<'a> {
                     // proven against the declared minimum memory, and a
                     // dominating check has already trapped any OOB path.
                     Some(CheckKind::ElideInBounds | CheckKind::ElideDominated) => Act::Skip,
+                    // Fast-copy sites are covered by the preheader guard;
+                    // the slow copy — and a loop body reached only through
+                    // dead-code revival, where no guard ran — re-emits the
+                    // full check.
+                    Some(CheckKind::ElideHoisted) => {
+                        if self.in_fast_copy() {
+                            Act::Hoisted
+                        } else {
+                            Act::Check
+                        }
+                    }
                     Some(CheckKind::StaticOob) => Act::Dead,
                     Some(CheckKind::Emit) => Act::Check,
                     None => {
@@ -811,6 +875,7 @@ impl<'a> Gen<'a> {
                 let c = check_counters();
                 match act {
                     Act::Skip => c.elided.inc(),
+                    Act::Hoisted => c.hoisted.inc(),
                     Act::Dead => {
                         // Provably out of bounds: trap unconditionally.
                         // The access code that follows is unreachable but
@@ -840,11 +905,31 @@ impl<'a> Gen<'a> {
             }
             BoundsStrategy::Clamp => {
                 let c = check_counters();
-                // Only the in-bounds proof survives clamping: a dominating
-                // *clamp* redirects instead of trapping, so it proves
-                // nothing about this access.
-                if plan_kind == Some(CheckKind::ElideInBounds) {
-                    c.elided.inc();
+                // The static in-bounds proof survives clamping; so does a
+                // fast-copy hoisted site (the preheader guard proved every
+                // iteration in bounds, making the clamp the identity) and
+                // a dominated site whose dominating fact was itself static
+                // (`clamp_ok`: a dominating *clamp* redirects instead of
+                // trapping and proves nothing dynamic, but a static fact
+                // stands regardless of what the dominator emitted).
+                let elide = match plan_kind {
+                    Some(CheckKind::ElideInBounds) => {
+                        c.elided.inc();
+                        true
+                    }
+                    Some(CheckKind::ElideHoisted) if self.in_fast_copy() => {
+                        c.hoisted.inc();
+                        true
+                    }
+                    Some(CheckKind::ElideDominated)
+                        if self.plan.is_some_and(|pl| pl.clamp_elidable(self.cur_pc)) =>
+                    {
+                        c.elided.inc();
+                        true
+                    }
+                    _ => false,
+                };
+                if elide {
                     return self.access_mem(addr, offset);
                 }
                 c.emitted.inc();
@@ -1226,12 +1311,30 @@ impl<'a> Gen<'a> {
 
     #[allow(clippy::too_many_lines)]
     fn walk(&mut self) {
+        let mut pc = 0usize;
+        while pc < self.body.len() {
+            if let Some(end) = self.hoistable_at(pc) {
+                self.emit_versioned_loop(pc, end);
+                pc = end + 1;
+                continue;
+            }
+            if self.step(pc) {
+                return;
+            }
+            pc += 1;
+        }
+        unreachable!("function body must end with End");
+    }
+
+    /// Lower one instruction. Returns `true` when the function's final
+    /// `End` was reached (the epilogue has been emitted).
+    fn step(&mut self, pc: usize) -> bool {
         use Instr::*;
-        for pc in 0..self.body.len() {
+        {
             self.cur_pc = pc;
             self.pc_map.push((self.a.len() as u32, pc as u32));
             // Label binding (and revival of dead code).
-            if let Some(&l) = self.labels.get(&(pc as u32)) {
+            if let Some(l) = self.bind_label_at(pc as u32) {
                 if !self.dead {
                     self.spill_all();
                     let h = self.stack.len();
@@ -1257,12 +1360,12 @@ impl<'a> Gen<'a> {
                         self.depth -= 1;
                         if self.depth < 0 {
                             self.finish_function();
-                            return;
+                            return true;
                         }
                     }
                     _ => {}
                 }
-                continue;
+                return false;
             }
 
             match instr {
@@ -1283,7 +1386,7 @@ impl<'a> Gen<'a> {
                     self.a.test_rr(W::W32, c, c);
                     self.done_read(c, co);
                     let dest = self.fmeta.ctrl[pc];
-                    let l = self.labels[&dest];
+                    let l = self.jump_label(dest);
                     self.a.jcc(Cc::E, l);
                     self.checked.clear();
                 }
@@ -1295,7 +1398,7 @@ impl<'a> Gen<'a> {
                         let l = self.end_label;
                         self.a.jmp(l);
                     } else {
-                        let l = self.labels[&dest];
+                        let l = self.jump_label(dest);
                         self.a.jmp(l);
                     }
                     self.dead = true;
@@ -1305,7 +1408,7 @@ impl<'a> Gen<'a> {
                     if self.depth < 0 {
                         self.spill_all();
                         self.finish_function();
-                        return;
+                        return true;
                     }
                     self.checked.clear();
                 }
@@ -1331,7 +1434,7 @@ impl<'a> Gen<'a> {
                         let l = self.end_label;
                         self.a.jcc(Cc::Ne, l);
                     } else {
-                        let l = self.labels[&dest.dest_pc];
+                        let l = self.jump_label(dest.dest_pc);
                         self.a.jcc(Cc::Ne, l);
                     }
                     self.checked.clear();
@@ -1830,7 +1933,137 @@ impl<'a> Gen<'a> {
                 self.spill_all();
             }
         }
-        unreachable!("function body must end with End");
+        false
+    }
+
+    // ── loop versioning (hoisted bounds checks) ────────────────────
+
+    /// When `pc` is the `Loop` of a plan-versioned range reachable here
+    /// (live, or revived by a label at the loop itself), the range's end
+    /// pc. The plan is consulted at the optimizing tiers under the
+    /// strategies whose codegen honours it, mirroring `mem_operand`; a
+    /// loop whose header is dead and only revived *inside* the range is
+    /// not versioned — its body is emitted once, fully checked.
+    fn hoistable_at(&self, pc: usize) -> Option<usize> {
+        if self.p.opt == OptLevel::None
+            || !matches!(
+                self.p.strategy,
+                BoundsStrategy::Trap | BoundsStrategy::Clamp
+            )
+            || (self.dead && !self.labels.contains_key(&(pc as u32)))
+        {
+            return None;
+        }
+        let h = self.plan?.hoist_at(pc as u32)?;
+        Some(h.end_pc as usize)
+    }
+
+    /// Emit a hoisted loop `[loop_pc, end_pc]` twice: preheader guards
+    /// select the check-free fast copy when every per-iteration bound is
+    /// proven within `mem_size`, the fully checked slow copy otherwise.
+    /// Both copies start and end in canonical spilled state at the same
+    /// stack heights, so wasm-level machine state at every iteration —
+    /// and at any trap — is bit-identical to the unversioned lowering;
+    /// the only difference is which copy's checks execute.
+    fn emit_versioned_loop(&mut self, loop_pc: usize, end_pc: usize) {
+        self.cur_pc = loop_pc;
+        self.pc_map.push((self.a.len() as u32, loop_pc as u32));
+        // The preheader is a control-flow boundary: bind any label at the
+        // `Loop` pc (an else-arm or branch may start here, possibly
+        // reviving dead code), then flush to canonical slots.
+        if let Some(&l) = self.labels.get(&(loop_pc as u32)) {
+            if !self.dead {
+                self.spill_all();
+                self.a.bind(l);
+            } else {
+                self.a.bind(l);
+                let h = self.label_height(loop_pc as u32);
+                self.reset_stack_to(h);
+                self.dead = false;
+            }
+        } else {
+            self.spill_all();
+        }
+        self.checked.clear();
+        let entry_h = self.stack.len();
+
+        let slow = self.a.label();
+        let cont = self.a.label();
+        let guards = self
+            .plan
+            .and_then(|pl| pl.hoist_at(loop_pc as u32))
+            .expect("caller checked hoist_at")
+            .guards
+            .clone();
+        for g in &guards {
+            self.emit_hoist_guard(g, slow);
+        }
+
+        // Fast copy: `mem_operand` skips every `ElideHoisted` check.
+        self.copy_ctx = Some((loop_pc as u32, end_pc as u32, 1));
+        for pc in loop_pc..=end_pc {
+            let done = self.step(pc);
+            debug_assert!(!done, "hoisted range balances its Loop/End");
+        }
+        let fast_dead = self.dead;
+        let mut exit_h = 0;
+        if !fast_dead {
+            self.spill_all();
+            exit_h = self.stack.len();
+            self.a.jmp(cont);
+        }
+
+        // Slow copy: every check re-emitted.
+        self.copy_ctx = Some((loop_pc as u32, end_pc as u32, 2));
+        self.dead = false;
+        self.reset_stack_to(entry_h);
+        self.a.bind(slow);
+        for pc in loop_pc..=end_pc {
+            let done = self.step(pc);
+            debug_assert!(!done, "hoisted range balances its Loop/End");
+        }
+        // Same instruction range under the same label set: the copies
+        // agree on end-of-range liveness and stack height. When both end
+        // dead, the walk continues dead past the loop and `cont` (which
+        // nothing jumped to) stays unbound.
+        debug_assert_eq!(self.dead, fast_dead);
+        self.copy_ctx = None;
+        if !fast_dead {
+            self.spill_all();
+            self.a.bind(cont);
+            self.reset_stack_to(exit_h);
+            self.dead = false;
+        }
+    }
+
+    /// One preheader guard: route to `slow` unless
+    /// `((bound - strict) << shift) + addend <= mem_size` with the
+    /// adjusted bound in `0..=i32::MAX`. The range pre-check keeps the
+    /// 64-bit bound computation exact and conservatively sends huge,
+    /// zero-strict, or wrapping bounds down the checked copy. This exact
+    /// instruction shape is what `lb-verify`'s abstract interpreter
+    /// recognizes as a hoisted-guard fact source — keep them in sync.
+    fn emit_hoist_guard(&mut self, g: &lb_analysis::GuardExpr, slow: Label) {
+        if let Some(&pr) = self.pinned.get(&g.bound_local) {
+            self.a.mov_rr(W::W32, SCRATCH, pr);
+        } else {
+            let m = self.local_mem(g.bound_local);
+            self.a.mov_rm(W::W32, SCRATCH, m);
+        }
+        if g.strict {
+            self.a.sub_ri(W::W64, SCRATCH, 1);
+        }
+        self.a.cmp_ri(W::W64, SCRATCH, 0x7FFF_FFFF);
+        self.a.jcc(Cc::A, slow);
+        if g.shift > 0 {
+            self.a.shl_i(W::W64, SCRATCH, g.shift);
+        }
+        if g.addend > 0 {
+            self.a.add_ri(W::W64, SCRATCH, g.addend as i32);
+        }
+        self.a
+            .cmp_rm(W::W64, SCRATCH, Mem::base(Reg::R15, ctx_off::MEM_SIZE));
+        self.a.jcc(Cc::A, slow);
     }
 
     fn finish_function(&mut self) {

@@ -82,6 +82,9 @@ pub struct JitProfile {
     /// Run the `lb-analysis` bounds-check elimination pass at load time
     /// and consume its plan at the optimizing tiers.
     pub analysis: bool,
+    /// Let the analysis synthesize loop-preheader guards and version the
+    /// covered loops (no effect with `analysis` off).
+    pub hoisting: bool,
 }
 
 impl JitProfile {
@@ -90,6 +93,14 @@ impl JitProfile {
     /// testing).
     pub fn with_analysis(mut self, on: bool) -> JitProfile {
         self.analysis = on;
+        self
+    }
+
+    /// Toggle hoisted-guard synthesis / loop versioning (on by default;
+    /// turning it off keeps per-access checks, for differential testing
+    /// and A/B benchmarks).
+    pub fn with_hoisting(mut self, on: bool) -> JitProfile {
+        self.hoisting = on;
         self
     }
 
@@ -102,6 +113,7 @@ impl JitProfile {
             safepoints: false,
             gc_pause: false,
             analysis: true,
+            hoisting: true,
         }
     }
 
@@ -115,6 +127,7 @@ impl JitProfile {
             safepoints: false,
             gc_pause: false,
             analysis: true,
+            hoisting: true,
         }
     }
 
@@ -128,6 +141,7 @@ impl JitProfile {
             safepoints: true,
             gc_pause: true,
             analysis: true,
+            hoisting: true,
         }
     }
 }
@@ -232,10 +246,13 @@ impl Engine for JitEngine {
             }
         }
         let canon_types = canonical_type_ids(module);
-        let plan = self
-            .profile
-            .analysis
-            .then(|| Arc::new(lb_analysis::analyze_module(module, &meta)));
+        let plan = self.profile.analysis.then(|| {
+            let cfg = lb_analysis::AnalysisConfig {
+                interprocedural: true,
+                hoist: self.profile.hoisting,
+            };
+            Arc::new(lb_analysis::analyze_module_with(module, &meta, &cfg))
+        });
         Ok(Arc::new(JitModule {
             module: module.clone(),
             meta,

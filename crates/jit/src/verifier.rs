@@ -12,6 +12,8 @@
 //!   region, or a static bound
 //! * `verify.proven_elided` — proven by a re-checked elision (plan entry
 //!   or peephole)
+//! * `verify.proven_hoisted` — fast-loop-body sites proven by a matched
+//!   loop-preheader guard (mirrors `jit.checks.hoisted`)
 //! * `verify.findings` — everything that did not prove
 
 use crate::codegen::OptLevel;
@@ -46,6 +48,7 @@ struct VerifyCounters {
     sites: lb_telemetry::Counter,
     guarded: lb_telemetry::Counter,
     elided: lb_telemetry::Counter,
+    hoisted: lb_telemetry::Counter,
     findings: lb_telemetry::Counter,
 }
 
@@ -55,6 +58,7 @@ fn counters() -> &'static VerifyCounters {
         sites: lb_telemetry::counter("verify.sites_checked"),
         guarded: lb_telemetry::counter("verify.proven_guarded"),
         elided: lb_telemetry::counter("verify.proven_elided"),
+        hoisted: lb_telemetry::counter("verify.proven_hoisted"),
         findings: lb_telemetry::counter("verify.findings"),
     })
 }
@@ -101,6 +105,7 @@ pub fn verify_emitted(
     c.sites.add(report.sites_checked);
     c.guarded.add(report.proven_guarded);
     c.elided.add(report.proven_elided);
+    c.hoisted.add(report.proven_hoisted);
     c.findings.add(report.findings.len() as u64);
     if !report.findings.is_empty() {
         for f in &report.findings {

@@ -129,6 +129,9 @@ pub struct FuncReport {
     /// Sites proven safe by an *earlier* check (plan elision or the
     /// peephole), with the proof re-checked.
     pub proven_elided: u64,
+    /// Fast-loop-body sites proven safe by a loop-preheader guard whose
+    /// machine fact dominates the access (mirrors `jit.checks.hoisted`).
+    pub proven_hoisted: u64,
     /// Everything that could not be proven.
     pub findings: Vec<Finding>,
 }
@@ -139,6 +142,7 @@ impl FuncReport {
         self.sites_checked += other.sites_checked;
         self.proven_guarded += other.proven_guarded;
         self.proven_elided += other.proven_elided;
+        self.proven_hoisted += other.proven_hoisted;
         self.findings.extend(other.findings);
     }
 }

@@ -7,7 +7,9 @@
 #   3. the in-tree repo lint (unsafe/mmap/opcode containment, signal
 #      safety, unwrap policy)
 #   4. translation validation end-to-end + mutation detection
-#   5. profiler smoke: one kernel sampled at 997 Hz, the chrome trace
+#   5. elision-regression gate: no PolyBench kernel's static elision
+#      ratio may fall below its recorded floor (scripts/elision_floors.tsv)
+#   6. profiler smoke: one kernel sampled at 997 Hz, the chrome trace
 #      must re-parse and the attribution percentages must sum to ~100
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +24,8 @@ run cargo test -q --workspace
 run cargo test -q -p lb-analysis --test repo_lint
 run cargo test -q --test verify_e2e
 run cargo test -q --test verify_mutation
+run cargo run --release -p lb-bench --bin analysis_report -- \
+  --check scripts/elision_floors.tsv
 run env LB_PROF=sample:997 LB_PROF_OUT=target/prof-smoke \
   cargo run --release -p lb-bench --bin prof_report -- --smoke
 

@@ -1,16 +1,21 @@
 //! End-to-end translation validation: every function of every PolyBench
-//! kernel, compiled under every bounds-check strategy at every tier, with
-//! the analysis plan both consumed and withheld, must verify with zero
-//! findings — and the verifier's independently-derived elision count must
-//! equal what codegen said it elided (`jit.checks.static_elided`).
+//! kernel — plus the synthetic dynamic-bound modules whose loops the
+//! analysis *versions* with hoisted preheader guards — compiled under
+//! every bounds-check strategy at every tier, with the analysis plan both
+//! consumed and withheld, must verify with zero findings. The verifier's
+//! independently-derived counts must equal what codegen said it did:
+//! `proven_elided == jit.checks.static_elided` and
+//! `proven_hoisted == jit.checks.hoisted`, per configuration.
 //!
 //! One `#[test]` on purpose: the jit and verify counters are
 //! process-global, so the sweep owns the whole binary and compares
 //! per-configuration deltas without interference.
 
+mod common;
+
 use lb_jit::codegen::{compile_function, CompileParams, OptLevel};
 use lb_verify::{verify_function, FuncInput};
-use lb_wasm::PAGE_SIZE;
+use lb_wasm::{Module, PAGE_SIZE};
 
 const STRATEGIES: [lb_core::BoundsStrategy; 5] = [
     lb_core::BoundsStrategy::None,
@@ -20,97 +25,137 @@ const STRATEGIES: [lb_core::BoundsStrategy; 5] = [
     lb_core::BoundsStrategy::Uffd,
 ];
 
+/// Totals one module contributes to the sweep.
+#[derive(Default)]
+struct SweepTotals {
+    configs: usize,
+    sites: u64,
+    elided: u64,
+    hoisted: u64,
+}
+
+fn sweep_module(name: &str, module: &Module, totals: &mut SweepTotals) {
+    let jit_elided = lb_telemetry::counter("jit.checks.static_elided");
+    let jit_hoisted = lb_telemetry::counter("jit.checks.hoisted");
+    let meta = lb_wasm::validate(module).expect("module validates");
+    let plan = lb_analysis::analyze_module(module, &meta);
+    let mem_min_bytes = module
+        .memory
+        .as_ref()
+        .map_or(0, |m| u64::from(m.limits.min) * PAGE_SIZE as u64);
+    assert_eq!(plan.mem_min_bytes, mem_min_bytes, "{name}: plan mem_min");
+
+    for strategy in STRATEGIES {
+        // (tier, analysis plan consulted) — `OptLevel::None` never
+        // consults the plan (mirrors `mem_operand`), `Full` without a
+        // plan exercises the legacy peephole.
+        for (opt, with_plan) in [
+            (OptLevel::None, false),
+            (OptLevel::Basic, true),
+            (OptLevel::Full, true),
+            (OptLevel::Full, false),
+        ] {
+            let params = CompileParams {
+                module,
+                metas: &meta.funcs,
+                strategy,
+                opt,
+                safepoints: false,
+                funcptrs_base: 0,
+                plans: with_plan.then_some(&plan),
+            };
+            let before_elided = jit_elided.get();
+            let before_hoisted = jit_hoisted.get();
+            let codes: Vec<Vec<u8>> = (0..module.functions.len())
+                .map(|di| compile_function(params, di))
+                .collect();
+            let jit_elided_delta = jit_elided.get() - before_elided;
+            let jit_hoisted_delta = jit_hoisted.get() - before_hoisted;
+
+            let mut verify_elided = 0u64;
+            let mut verify_hoisted = 0u64;
+            for (di, code) in codes.iter().enumerate() {
+                let func_plan = (with_plan && opt != OptLevel::None).then(|| &plan.funcs[di]);
+                let report = verify_function(&FuncInput {
+                    func_index: di,
+                    code,
+                    body: &module.functions[di].body,
+                    meta: &meta.funcs[di],
+                    strategy,
+                    plan: func_plan,
+                    mem_min_bytes,
+                    reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES as u64,
+                });
+                assert!(
+                    report.findings.is_empty(),
+                    "{name} [{strategy:?}/{opt:?}/plan={with_plan}] func {di}: {}",
+                    report
+                        .findings
+                        .iter()
+                        .map(|f| f.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                );
+                assert_eq!(
+                    report.sites_checked,
+                    report.proven_guarded + report.proven_elided + report.proven_hoisted,
+                    "{name} [{strategy:?}/{opt:?}/plan={with_plan}] func {di}: \
+                     every site must be proven one way or the other"
+                );
+                verify_elided += report.proven_elided;
+                verify_hoisted += report.proven_hoisted;
+                totals.sites += report.sites_checked;
+            }
+            assert_eq!(
+                verify_elided, jit_elided_delta,
+                "{name} [{strategy:?}/{opt:?}/plan={with_plan}]: the verifier's \
+                 elision count must agree with jit.checks.static_elided"
+            );
+            assert_eq!(
+                verify_hoisted, jit_hoisted_delta,
+                "{name} [{strategy:?}/{opt:?}/plan={with_plan}]: the verifier's \
+                 hoisted count must agree with jit.checks.hoisted"
+            );
+            totals.elided += verify_elided;
+            totals.hoisted += verify_hoisted;
+            totals.configs += 1;
+        }
+    }
+}
+
 #[test]
 fn all_kernels_verify_with_zero_findings() {
-    let jit_elided = lb_telemetry::counter("jit.checks.static_elided");
-    let mut configs = 0usize;
-    let mut total_sites = 0u64;
-    let mut total_elided = 0u64;
+    let mut totals = SweepTotals::default();
 
     for name in lb_polybench::NAMES {
         let bench = lb_polybench::by_name(name, lb_polybench::Dataset::Mini).expect("known kernel");
-        let module = &bench.module;
-        let meta = lb_wasm::validate(module).expect("kernel validates");
-        let plan = lb_analysis::analyze_module(module, &meta);
-        let mem_min_bytes = module
-            .memory
-            .as_ref()
-            .map_or(0, |m| u64::from(m.limits.min) * PAGE_SIZE as u64);
-        assert_eq!(plan.mem_min_bytes, mem_min_bytes, "{name}: plan mem_min");
-
-        for strategy in STRATEGIES {
-            // (tier, analysis plan consulted) — `OptLevel::None` never
-            // consults the plan (mirrors `mem_operand`), `Full` without a
-            // plan exercises the legacy peephole.
-            for (opt, with_plan) in [
-                (OptLevel::None, false),
-                (OptLevel::Basic, true),
-                (OptLevel::Full, true),
-                (OptLevel::Full, false),
-            ] {
-                let params = CompileParams {
-                    module,
-                    metas: &meta.funcs,
-                    strategy,
-                    opt,
-                    safepoints: false,
-                    funcptrs_base: 0,
-                    plans: with_plan.then_some(&plan),
-                };
-                let before = jit_elided.get();
-                let codes: Vec<Vec<u8>> = (0..module.functions.len())
-                    .map(|di| compile_function(params, di))
-                    .collect();
-                let jit_delta = jit_elided.get() - before;
-
-                let mut verify_elided = 0u64;
-                for (di, code) in codes.iter().enumerate() {
-                    let func_plan = (with_plan && opt != OptLevel::None).then(|| &plan.funcs[di]);
-                    let report = verify_function(&FuncInput {
-                        func_index: di,
-                        code,
-                        body: &module.functions[di].body,
-                        meta: &meta.funcs[di],
-                        strategy,
-                        plan: func_plan,
-                        mem_min_bytes,
-                        reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES as u64,
-                    });
-                    assert!(
-                        report.findings.is_empty(),
-                        "{name} [{strategy:?}/{opt:?}/plan={with_plan}] func {di}: {}",
-                        report
-                            .findings
-                            .iter()
-                            .map(|f| f.to_string())
-                            .collect::<Vec<_>>()
-                            .join("; ")
-                    );
-                    assert_eq!(
-                        report.sites_checked,
-                        report.proven_guarded + report.proven_elided,
-                        "{name} [{strategy:?}/{opt:?}/plan={with_plan}] func {di}: \
-                         every site must be proven one way or the other"
-                    );
-                    verify_elided += report.proven_elided;
-                    total_sites += report.sites_checked;
-                }
-                assert_eq!(
-                    verify_elided, jit_delta,
-                    "{name} [{strategy:?}/{opt:?}/plan={with_plan}]: the verifier's \
-                     elision count must agree with jit.checks.static_elided"
-                );
-                total_elided += verify_elided;
-                configs += 1;
-            }
-        }
+        sweep_module(name, &bench.module, &mut totals);
     }
+    // The synthetic dynamic-bound modules: the only ones in the sweep
+    // whose plans contain `ElideHoisted` sites, so the only ones that
+    // exercise versioned-loop emission and its verification.
+    let hoisted_before = totals.hoisted;
+    sweep_module(
+        "dynamic-bound",
+        &common::dynamic_bound_module(),
+        &mut totals,
+    );
+    sweep_module(
+        "multi-function",
+        &common::multi_function_module(),
+        &mut totals,
+    );
+    assert!(
+        totals.hoisted > hoisted_before,
+        "the synthetic modules must exercise hoisted-guard verification"
+    );
+
     // The sweep must actually have exercised elision: the analysis plans
     // and the peephole both fire on these kernels.
-    assert_eq!(configs, 30 * 5 * 4);
-    assert!(total_sites > 0, "kernels contain memory accesses");
+    assert_eq!(totals.configs, 32 * 5 * 4);
+    assert!(totals.sites > 0, "kernels contain memory accesses");
     assert!(
-        total_elided > 0,
+        totals.elided > 0,
         "expected some elided checks across the sweep"
     );
 }
