@@ -74,6 +74,8 @@ pub const SITES: &[&str] = &[
     "core.uffd.wake",       // UFFDIO_WAKE from the watchdog's stall recovery
     "core.madvise.discard", // madvise(MADV_DONTNEED) when recycling memory
     "core.pool.reset",      // pooled-memory reset on release to the free-list
+    "serve.dispatch",       // lb-serve shard worker dispatching a request
+    "serve.queue_full",     // lb-serve admission: forces the queue-full path
 ];
 
 /// Telemetry counter names for per-site fire counts, index-aligned with
@@ -88,6 +90,8 @@ const SITE_COUNTERS: &[&str] = &[
     "chaos.fired.core.uffd.wake",
     "chaos.fired.core.madvise.discard",
     "chaos.fired.core.pool.reset",
+    "chaos.fired.serve.dispatch",
+    "chaos.fired.serve.queue_full",
 ];
 
 /// Symbolic errno values supported in specs, as (name, value) pairs.

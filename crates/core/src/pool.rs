@@ -208,21 +208,33 @@ pub fn pooled_count() -> usize {
 }
 
 /// Tear down every parked entry, returning how many were evicted. Tests
-/// use this between configurations; long-lived processes can use it to
-/// release reservations and fds under memory pressure.
+/// use this between configurations; long-lived processes (lb-serve's
+/// capacity-shed relief path) use it to release reservations and fds
+/// under memory pressure.
+///
+/// Sweeps repeatedly until a full pass evicts nothing: a concurrent
+/// `release` can park an entry in a slot an in-progress sweep already
+/// passed, and a single pass would silently leave it resident — the
+/// cross-thread leak the pool stress test pins down.
 pub fn drain() -> usize {
     let mut n = 0;
-    for list in &FREE {
-        for slot in list.iter() {
-            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
-            if !p.is_null() {
-                // SAFETY: the swap transferred exclusive ownership.
-                unsafe { Box::from_raw(p) }.teardown();
-                n += 1;
+    loop {
+        let mut evicted_this_pass = 0;
+        for list in &FREE {
+            for slot in list.iter() {
+                let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+                if !p.is_null() {
+                    // SAFETY: the swap transferred exclusive ownership.
+                    unsafe { Box::from_raw(p) }.teardown();
+                    evicted_this_pass += 1;
+                }
             }
         }
+        n += evicted_this_pass;
+        if evicted_this_pass == 0 {
+            return n;
+        }
     }
-    n
 }
 
 /// Try to serve an instantiation from the pool. Returns ready-to-use
@@ -277,8 +289,13 @@ pub(crate) fn acquire(
         .desc()
         .committed
         .store(initial_bytes, Ordering::Release);
-    if verify_zero_enabled() && initial_bytes > 0 {
-        verify_zero_window(&parts, initial_bytes);
+    if verify_zero_enabled() && initial_bytes > 0 && !verify_zero_window(&parts, initial_bytes) {
+        // Populating the window failed (injected or real uffd error): the
+        // entry is unverifiable, so poison it — tear down and miss, never
+        // hand out memory the check could not cover, and never abort.
+        parts.teardown();
+        stats::count_pool_miss();
+        return None;
     }
     stats::count_pool_hit();
     Some(parts)
@@ -322,7 +339,13 @@ pub(crate) fn release(parts: ArenaParts) {
 /// memory. For `uffd` the pages are populated via ioctl first: this is
 /// host context with no trap frame armed, so letting the read SIGBUS
 /// would kill the process rather than fault-service.
-fn verify_zero_window(parts: &ArenaParts, initial_bytes: usize) {
+///
+/// Returns `false` if population failed, meaning the window could not be
+/// checked — the caller must treat the entry as poisoned and tear it
+/// down. The panic is reserved for an *observed* nonzero byte, which is
+/// a genuine zero-fill invariant violation.
+#[must_use]
+fn verify_zero_window(parts: &ArenaParts, initial_bytes: usize) -> bool {
     let base = parts.reservation.base().as_ptr();
     let end = crate::region::round_up_to_page(initial_bytes);
     if let Some(u) = &parts.uffd {
@@ -331,7 +354,7 @@ fn verify_zero_window(parts: &ArenaParts, initial_bytes: usize) {
             match u.zeropage(base as usize + off, 4096) {
                 Ok(()) => {}
                 Err(e) if e.raw_os_error() == Some(libc::EEXIST) => {}
-                Err(e) => panic!("pool verify_zero: populate failed: {e}"),
+                Err(_) => return false,
             }
             off += 4096;
         }
@@ -348,4 +371,5 @@ fn verify_zero_window(parts: &ArenaParts, initial_bytes: usize) {
             i * 8
         );
     }
+    true
 }

@@ -1,0 +1,284 @@
+//! Per-shard circuit breakers.
+//!
+//! A shard that fails `failure_threshold` consecutive requests trips
+//! `Closed → Open`: admission stops routing to it (traffic fails over to
+//! healthy shards) for a backoff window. When the window elapses the
+//! breaker moves to `HalfOpen` and admits exactly one tagged *probe*
+//! request; a successful probe closes the breaker, a failed probe
+//! re-opens it with the backoff doubled (capped at `open_max`). Only
+//! probe outcomes drive `HalfOpen` transitions — stragglers admitted
+//! before the trip that finish later cannot close the breaker by
+//! accident.
+//!
+//! Transitions increment `serve.breaker.{open,half_open,close}` so the
+//! chaos campaign can assert trips and recoveries actually happened.
+
+use crate::metrics;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// First open window after a trip.
+    pub open_base: Duration,
+    /// Cap on the exponentially-growing open window.
+    pub open_max: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_base: Duration::from_millis(10),
+            open_max: Duration::from_millis(640),
+        }
+    }
+}
+
+/// Admission verdict for one request against one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Shard healthy; route normally.
+    Yes,
+    /// Shard is half-open and this request is the single probe; tag it.
+    Probe,
+    /// Shard is open (or the probe slot is taken); try another shard.
+    No,
+}
+
+/// One shard's breaker state machine (all-atomic; no locks on the
+/// admission path).
+pub struct Breaker {
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    opened_at_ns: AtomicU64,
+    backoff_ns: AtomicU64,
+    probe_claimed: AtomicBool,
+    cfg: BreakerConfig,
+}
+
+impl Breaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            state: AtomicU8::new(CLOSED),
+            consecutive_failures: AtomicU32::new(0),
+            opened_at_ns: AtomicU64::new(0),
+            backoff_ns: AtomicU64::new(cfg.open_base.as_nanos() as u64),
+            probe_claimed: AtomicBool::new(false),
+            cfg,
+        }
+    }
+
+    /// Whether the breaker currently blocks normal traffic.
+    pub fn is_open(&self) -> bool {
+        self.state.load(Ordering::Acquire) != CLOSED
+    }
+
+    /// Decide admission at monotonic time `now_ns`.
+    pub fn admit(&self, now_ns: u64) -> Admit {
+        match self.state.load(Ordering::Acquire) {
+            CLOSED => Admit::Yes,
+            OPEN => {
+                let opened = self.opened_at_ns.load(Ordering::Acquire);
+                let backoff = self.backoff_ns.load(Ordering::Acquire);
+                if now_ns.saturating_sub(opened) < backoff {
+                    return Admit::No;
+                }
+                // Backoff elapsed: move to half-open and claim the probe
+                // in one race-free step — only the thread that wins the
+                // state CAS may send the probe.
+                if self
+                    .state
+                    .compare_exchange(OPEN, HALF_OPEN, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    self.probe_claimed.store(true, Ordering::Release);
+                    metrics().breaker_half_open.inc();
+                    Admit::Probe
+                } else {
+                    Admit::No
+                }
+            }
+            _ => {
+                // Half-open: the single probe slot may have been freed if
+                // a previous probe could not be enqueued.
+                if self
+                    .probe_claimed
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    Admit::Probe
+                } else {
+                    Admit::No
+                }
+            }
+        }
+    }
+
+    /// The probe could not actually be dispatched (queue full); free the
+    /// slot so a later request can re-probe.
+    pub fn probe_aborted(&self) {
+        self.probe_claimed.store(false, Ordering::Release);
+    }
+
+    /// A request on this shard completed. `probe` is the tag handed out
+    /// by [`Breaker::admit`].
+    pub fn on_success(&self, probe: bool) {
+        if probe {
+            if self
+                .state
+                .compare_exchange(HALF_OPEN, CLOSED, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.consecutive_failures.store(0, Ordering::Release);
+                self.backoff_ns
+                    .store(self.cfg.open_base.as_nanos() as u64, Ordering::Release);
+                self.probe_claimed.store(false, Ordering::Release);
+                metrics().breaker_close.inc();
+            }
+        } else if self.state.load(Ordering::Acquire) == CLOSED {
+            self.consecutive_failures.store(0, Ordering::Release);
+        }
+    }
+
+    /// A request on this shard failed at monotonic time `now_ns`.
+    pub fn on_failure(&self, probe: bool, now_ns: u64) {
+        if probe {
+            // Failed probe: re-open with doubled backoff.
+            if self
+                .state
+                .compare_exchange(HALF_OPEN, OPEN, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let cur = self.backoff_ns.load(Ordering::Acquire);
+                let max = self.cfg.open_max.as_nanos() as u64;
+                self.backoff_ns
+                    .store(cur.saturating_mul(2).min(max), Ordering::Release);
+                self.opened_at_ns.store(now_ns, Ordering::Release);
+                self.probe_claimed.store(false, Ordering::Release);
+                metrics().breaker_open.inc();
+            }
+            return;
+        }
+        if self.state.load(Ordering::Acquire) != CLOSED {
+            // Straggler failure from before the trip; the breaker is
+            // already reacting.
+            return;
+        }
+        let fails = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        if fails >= self.cfg.failure_threshold
+            && self
+                .state
+                .compare_exchange(CLOSED, OPEN, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            self.opened_at_ns.store(now_ns, Ordering::Release);
+            self.backoff_ns
+                .store(self.cfg.open_base.as_nanos() as u64, Ordering::Release);
+            self.probe_claimed.store(false, Ordering::Release);
+            metrics().breaker_open.inc();
+        }
+    }
+
+    /// Current state name (diagnostics).
+    pub fn state_name(&self) -> &'static str {
+        match self.state.load(Ordering::Acquire) {
+            CLOSED => "closed",
+            OPEN => "open",
+            _ => "half_open",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_base: Duration::from_millis(10),
+            open_max: Duration::from_millis(40),
+        }
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = Breaker::new(cfg());
+        b.on_failure(false, 0);
+        b.on_failure(false, 0);
+        b.on_success(false); // resets the streak
+        b.on_failure(false, 0);
+        b.on_failure(false, 0);
+        assert!(!b.is_open());
+        b.on_failure(false, 0);
+        assert!(b.is_open());
+        assert_eq!(b.state_name(), "open");
+    }
+
+    #[test]
+    fn trip_half_open_close_cycle() {
+        let b = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(false, 0);
+        }
+        assert_eq!(b.admit(5 * MS), Admit::No, "inside open window");
+        assert_eq!(b.admit(11 * MS), Admit::Probe, "backoff elapsed");
+        assert_eq!(b.admit(11 * MS), Admit::No, "single probe only");
+        b.on_success(true);
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.admit(12 * MS), Admit::Yes);
+    }
+
+    #[test]
+    fn failed_probe_doubles_backoff() {
+        let b = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(false, 0);
+        }
+        assert_eq!(b.admit(11 * MS), Admit::Probe);
+        b.on_failure(true, 11 * MS);
+        // Backoff doubled to 20ms from the re-open point.
+        assert_eq!(b.admit(11 * MS + 19 * MS), Admit::No);
+        assert_eq!(b.admit(11 * MS + 21 * MS), Admit::Probe);
+        b.on_failure(true, 32 * MS);
+        // Doubled again to 40ms (the cap).
+        assert_eq!(b.admit(32 * MS + 39 * MS), Admit::No);
+        assert_eq!(b.admit(32 * MS + 41 * MS), Admit::Probe);
+        b.on_failure(true, 73 * MS);
+        // Capped at 40ms, not 80.
+        assert_eq!(b.admit(73 * MS + 41 * MS), Admit::Probe);
+    }
+
+    #[test]
+    fn straggler_success_cannot_close_breaker() {
+        let b = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(false, 0);
+        }
+        // A non-probe request admitted before the trip completes late.
+        b.on_success(false);
+        assert!(b.is_open(), "only probe outcomes drive recovery");
+    }
+
+    #[test]
+    fn aborted_probe_frees_the_slot() {
+        let b = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(false, 0);
+        }
+        assert_eq!(b.admit(11 * MS), Admit::Probe);
+        b.probe_aborted();
+        assert_eq!(b.admit(11 * MS), Admit::Probe, "slot reusable after abort");
+    }
+}

@@ -1,0 +1,274 @@
+//! Deadline wheel: hashed timing wheel that sheds expired queued
+//! requests and watchdogs in-flight overruns.
+//!
+//! Admitted requests are registered with an absolute deadline. The wheel
+//! is advanced either by a ticker thread (production) or by explicit
+//! [`DeadlineWheel::advance`] calls with a synthetic clock (tests). When
+//! a request's deadline tick fires:
+//!
+//! - still **Pending** (queued) → it is shed with
+//!   [`ShedReason::DeadlineQueued`] before any worker touches it;
+//! - **Running** → the run is *not* interrupted (a wasm invoke cannot be
+//!   safely preempted mid-store); instead the entry is re-armed as a
+//!   watchdog at `deadline + grace`. If the run is still going when the
+//!   watchdog fires, `serve.watchdog.overrun` is incremented and the
+//!   ticket flagged, so overruns are visible even though the shard thread
+//!   finishes the work;
+//! - **Resolved** → the entry is dropped.
+//!
+//! The wheel is 512 hashed buckets at ~1ms granularity; entries further
+//! out than one revolution simply stay in their bucket until their tick
+//! comes up (each entry stores its absolute tick).
+
+use crate::metrics;
+use crate::ticket::{Outcome, ShedReason, Slot, PENDING, RESOLVED, RUNNING};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+const WHEEL_SLOTS: usize = 512;
+
+struct Entry {
+    slot: Arc<Slot>,
+    /// Absolute tick at which this entry fires.
+    tick: u64,
+    /// Whether this is the re-armed watchdog pass.
+    watchdog: bool,
+}
+
+/// The deadline wheel shared between admission, the ticker thread, and
+/// tests.
+pub struct DeadlineWheel {
+    buckets: Vec<Mutex<Vec<Entry>>>,
+    /// Last fully-processed tick.
+    last_tick: Mutex<u64>,
+    tick_ns: u64,
+    grace_ns: u64,
+    stop: AtomicBool,
+}
+
+impl DeadlineWheel {
+    /// A wheel with `tick_ns` granularity and a `grace_ns` watchdog
+    /// allowance for in-flight runs.
+    pub fn new(tick_ns: u64, grace_ns: u64, now_ns: u64) -> Arc<DeadlineWheel> {
+        let mut buckets = Vec::with_capacity(WHEEL_SLOTS);
+        for _ in 0..WHEEL_SLOTS {
+            buckets.push(Mutex::new(Vec::new()));
+        }
+        Arc::new(DeadlineWheel {
+            buckets,
+            last_tick: Mutex::new(now_ns / tick_ns.max(1)),
+            tick_ns: tick_ns.max(1),
+            grace_ns,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Register an admitted request. The entry fires on the first tick
+    /// strictly after its deadline.
+    pub(crate) fn register(&self, slot: Arc<Slot>) {
+        let deadline_tick = slot.deadline_ns / self.tick_ns + 1;
+        let last = *self.last_tick.lock().unwrap_or_else(|e| e.into_inner());
+        let tick = deadline_tick.max(last + 1);
+        self.insert(Entry {
+            slot,
+            tick,
+            watchdog: false,
+        });
+    }
+
+    fn insert(&self, entry: Entry) {
+        let bucket = &self.buckets[(entry.tick as usize) % WHEEL_SLOTS];
+        bucket.lock().unwrap_or_else(|e| e.into_inner()).push(entry);
+    }
+
+    /// Advance the wheel to `now_ns`, firing every tick in between.
+    /// Deterministic: tests call this with a synthetic clock.
+    pub fn advance(&self, now_ns: u64) {
+        let target = now_ns / self.tick_ns;
+        loop {
+            let tick = {
+                let mut last = self.last_tick.lock().unwrap_or_else(|e| e.into_inner());
+                if *last >= target {
+                    return;
+                }
+                *last += 1;
+                *last
+            };
+            let fired = {
+                let mut bucket = self.buckets[(tick as usize) % WHEEL_SLOTS]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                let mut fired = Vec::new();
+                bucket.retain_mut(|e| {
+                    if e.tick <= tick {
+                        fired.push(Entry {
+                            slot: Arc::clone(&e.slot),
+                            tick: e.tick,
+                            watchdog: e.watchdog,
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+                fired
+            };
+            for entry in fired {
+                self.fire(entry, now_ns);
+            }
+        }
+    }
+
+    fn fire(&self, entry: Entry, now_ns: u64) {
+        match entry.slot.state() {
+            RESOLVED => {}
+            RUNNING => {
+                if entry.watchdog {
+                    // Still running past deadline + grace: flag it.
+                    entry.slot.watchdog_fired.store(1, Ordering::Relaxed);
+                    metrics().watchdog_overrun.inc();
+                } else {
+                    // Re-arm for the watchdog pass.
+                    let wd_tick =
+                        (entry.slot.deadline_ns.saturating_add(self.grace_ns) / self.tick_ns + 1)
+                            .max(entry.tick + 1);
+                    self.insert(Entry {
+                        slot: entry.slot,
+                        tick: wd_tick,
+                        watchdog: true,
+                    });
+                }
+            }
+            _ => {
+                // Pending past its deadline: shed before dispatch. The
+                // CAS inside resolve_from loses harmlessly if a worker
+                // claims concurrently.
+                entry.slot.resolve_from(
+                    PENDING,
+                    Outcome::Shed {
+                        reason: ShedReason::DeadlineQueued,
+                    },
+                    now_ns,
+                );
+            }
+        }
+    }
+
+    /// Run the production ticker until [`DeadlineWheel::stop_ticker`].
+    pub fn run_ticker(self: &Arc<DeadlineWheel>) {
+        while !self.stop.load(Ordering::Acquire) {
+            self.advance(lb_telemetry::clock::now_ns());
+            std::thread::sleep(std::time::Duration::from_nanos(self.tick_ns));
+        }
+    }
+
+    /// Ask the ticker thread to exit.
+    pub fn stop_ticker(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Entries currently parked in the wheel (tests / diagnostics).
+    pub fn len(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|b| b.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the wheel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    const MS: u64 = 1_000_000;
+
+    fn slot(deadline_ns: u64) -> Arc<Slot> {
+        Slot::new(
+            0,
+            0,
+            0,
+            false,
+            0,
+            deadline_ns,
+            Arc::new(AtomicUsize::new(1)),
+        )
+    }
+
+    #[test]
+    fn queued_request_sheds_after_deadline() {
+        let wheel = DeadlineWheel::new(MS, 10 * MS, 0);
+        let s = slot(5 * MS);
+        wheel.register(Arc::clone(&s));
+        wheel.advance(4 * MS);
+        assert_eq!(s.state(), PENDING, "not expired yet");
+        wheel.advance(7 * MS);
+        assert_eq!(s.state(), RESOLVED);
+        let t = crate::Ticket { slot: s };
+        match t.wait() {
+            Outcome::Shed { reason } => assert_eq!(reason, ShedReason::DeadlineQueued),
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn running_request_gets_watchdog_not_shed() {
+        let wheel = DeadlineWheel::new(MS, 10 * MS, 0);
+        let s = slot(5 * MS);
+        wheel.register(Arc::clone(&s));
+        assert!(s.try_claim(1 * MS));
+        wheel.advance(7 * MS);
+        assert_eq!(s.state(), RUNNING, "running work is never interrupted");
+        assert_eq!(s.watchdog_fired.load(Ordering::Relaxed), 0);
+        // Past deadline + grace: watchdog fires.
+        wheel.advance(20 * MS);
+        assert_eq!(s.watchdog_fired.load(Ordering::Relaxed), 1);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn resolved_entries_fall_out() {
+        let wheel = DeadlineWheel::new(MS, 10 * MS, 0);
+        let s = slot(5 * MS);
+        wheel.register(Arc::clone(&s));
+        assert!(s.try_claim(1 * MS));
+        assert!(s.resolve_from(
+            RUNNING,
+            Outcome::Completed {
+                queue_ns: 0,
+                run_ns: 1
+            },
+            2 * MS,
+        ));
+        wheel.advance(7 * MS);
+        assert!(wheel.is_empty());
+        assert_eq!(s.watchdog_fired.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn zero_deadline_sheds_on_first_tick() {
+        let wheel = DeadlineWheel::new(MS, 10 * MS, 0);
+        let s = slot(0);
+        wheel.register(Arc::clone(&s));
+        wheel.advance(MS);
+        assert_eq!(s.state(), RESOLVED);
+    }
+
+    #[test]
+    fn far_future_deadline_survives_a_full_revolution() {
+        // 600 ticks out — more than the 512 bucket count, so the entry's
+        // bucket is visited once before its tick comes up.
+        let wheel = DeadlineWheel::new(MS, 10 * MS, 0);
+        let s = slot(600 * MS);
+        wheel.register(Arc::clone(&s));
+        wheel.advance(550 * MS);
+        assert_eq!(s.state(), PENDING, "not expired at tick 550");
+        wheel.advance(601 * MS);
+        assert_eq!(s.state(), RESOLVED);
+    }
+}

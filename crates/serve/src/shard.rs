@@ -1,0 +1,231 @@
+//! Shard workers: pinned threads that own a slice of the instance pool
+//! and execute admitted requests.
+//!
+//! Each shard is one worker thread draining one bounded queue. The
+//! worker re-checks the deadline at dispatch (a request that expired in
+//! the queue is shed, never run — this is also how zero-deadline
+//! requests die), claims the ticket's slot (losing the claim race to the
+//! deadline wheel is fine), consults the `serve.dispatch` chaos site,
+//! and then instantiates + invokes the kernel under `catch_unwind` so a
+//! panicking request becomes a `Failed` outcome instead of killing the
+//! shard.
+//!
+//! Graceful degradation under pool exhaustion: instantiation already
+//! falls back from pool-hit to fresh-mmap inside `LinearMemory`; if even
+//! the slow path fails with a resource errno (ENOMEM/EAGAIN/ENOSPC) the
+//! request is load-shed with [`ShedReason::Capacity`] and the pool is
+//! drained to return memory to the OS (`serve.pool.relief`) — the server
+//! never aborts.
+//!
+//! Every outcome is fed to the shard's circuit breaker.
+
+use crate::breaker::Breaker;
+use crate::metrics;
+use crate::ticket::{FailStage, Outcome, ShedReason, Slot, PENDING, RUNNING};
+use crate::ServerInner;
+use lb_core::{LoadError, MemoryError};
+use lb_telemetry::clock::now_ns;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pin the calling thread to `cpu` (modulo the CPU count). Best-effort;
+/// an error just leaves the thread unpinned.
+fn pin_to_cpu(cpu: usize) {
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let target = cpu % n;
+    // SAFETY: standard affinity call with a properly zeroed set.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_SET(target, &mut set);
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+    }
+}
+
+/// Breaker/pool side effect an outcome implies (applied before the
+/// outcome is published).
+enum SideEffect {
+    Success,
+    Failure,
+    Capacity,
+}
+
+/// What one execution attempt produced (before outcome accounting).
+enum ExecResult {
+    Done { run_ns: u64 },
+    Fail { stage: FailStage, error: String },
+    Capacity,
+}
+
+/// Whether a `LoadError` means "the machine is out of a resource" (shed
+/// + relief) as opposed to "this request is broken" (fail + breaker).
+fn is_capacity(err: &LoadError) -> bool {
+    let io_err = match err {
+        LoadError::Memory(MemoryError::Reserve(e)) => e,
+        LoadError::Memory(MemoryError::Protect(e)) => e,
+        LoadError::Memory(MemoryError::Uffd(e)) => e,
+        _ => return false,
+    };
+    matches!(
+        io_err.raw_os_error(),
+        Some(libc::ENOMEM) | Some(libc::EAGAIN) | Some(libc::ENOSPC)
+    )
+}
+
+fn execute(inner: &ServerInner, slot: &Slot) -> ExecResult {
+    let kernel = &inner.kernels[slot.kernel];
+    let started = now_ns();
+    let mut instance = match kernel.module.instantiate(&inner.memory, &inner.linker) {
+        Ok(i) => i,
+        Err(e) if is_capacity(&e) => return ExecResult::Capacity,
+        Err(e) => {
+            return ExecResult::Fail {
+                stage: FailStage::Instantiate,
+                error: e.to_string(),
+            }
+        }
+    };
+    match instance.invoke(&kernel.entry, &kernel.args) {
+        Ok(_) => ExecResult::Done {
+            run_ns: now_ns().saturating_sub(started),
+        },
+        Err(trap) => ExecResult::Fail {
+            stage: FailStage::Invoke,
+            error: trap.to_string(),
+        },
+    }
+}
+
+fn run_one(inner: &ServerInner, breaker: &Breaker, slot: Arc<Slot>) {
+    let now = now_ns();
+
+    if inner.shed_queued.load(Ordering::Acquire) {
+        slot.resolve_from(
+            PENDING,
+            Outcome::Shed {
+                reason: ShedReason::Shutdown,
+            },
+            now,
+        );
+        return;
+    }
+
+    // Deadline re-check at dispatch: expired queued work (including
+    // zero-deadline requests, whose deadline equals their admission
+    // time) is shed before any instantiation happens.
+    if now >= slot.deadline_ns {
+        slot.resolve_from(
+            PENDING,
+            Outcome::Shed {
+                reason: ShedReason::DeadlineDispatch,
+            },
+            now,
+        );
+        return;
+    }
+
+    if !slot.try_claim(now) {
+        // The deadline wheel (or shutdown shedding) resolved it first.
+        return;
+    }
+
+    // From here on this worker exclusively owns the RUNNING state (the
+    // wheel only resolves PENDING slots), so the resolve below always
+    // wins. Breaker feedback and side effects therefore happen *before*
+    // publishing the outcome: a submitter whose wait() returns then
+    // observes the breaker transition its failure caused.
+    let (outcome, side_effect) = if let Some(e) = lb_chaos::inject("serve.dispatch") {
+        (
+            Outcome::Failed {
+                stage: FailStage::Dispatch,
+                error: format!("injected dispatch fault: {e}"),
+            },
+            SideEffect::Failure,
+        )
+    } else {
+        match catch_unwind(AssertUnwindSafe(|| execute(inner, &slot))) {
+            Ok(ExecResult::Done { run_ns }) => (
+                Outcome::Completed {
+                    queue_ns: slot.queue_ns(),
+                    run_ns,
+                },
+                SideEffect::Success,
+            ),
+            Ok(ExecResult::Fail { stage, error }) => {
+                (Outcome::Failed { stage, error }, SideEffect::Failure)
+            }
+            Ok(ExecResult::Capacity) => (
+                Outcome::Shed {
+                    reason: ShedReason::Capacity,
+                },
+                SideEffect::Capacity,
+            ),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                (
+                    Outcome::Failed {
+                        stage: FailStage::Worker,
+                        error: msg,
+                    },
+                    SideEffect::Failure,
+                )
+            }
+        }
+    };
+
+    let done = now_ns();
+    let m = metrics();
+    match side_effect {
+        SideEffect::Success => {
+            if let Outcome::Completed { queue_ns, run_ns } = outcome {
+                m.queue_ns.record(queue_ns);
+                m.run_ns.record(run_ns);
+            }
+            breaker.on_success(slot.probe);
+        }
+        SideEffect::Failure => breaker.on_failure(slot.probe, done),
+        SideEffect::Capacity => {
+            // Resource exhaustion: load-shed and give memory back.
+            lb_core::pool::drain();
+            m.pool_relief.inc();
+            // Exhaustion is environmental, not a shard fault, but a
+            // half-open probe that could not run must not close the
+            // breaker; re-arm the probe slot instead.
+            if slot.probe {
+                breaker.probe_aborted();
+            }
+        }
+    }
+    slot.resolve_from(RUNNING, outcome, done);
+}
+
+/// The shard worker loop: drain the queue until the channel closes.
+pub(crate) fn worker_loop(
+    inner: Arc<ServerInner>,
+    breaker: Arc<Breaker>,
+    rx: Receiver<Arc<Slot>>,
+    shard_idx: usize,
+) {
+    if inner.pin_workers {
+        pin_to_cpu(shard_idx);
+    }
+    loop {
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(slot) => run_one(&inner, &breaker, slot),
+            Err(RecvTimeoutError::Timeout) => {
+                if inner.stop_workers.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}

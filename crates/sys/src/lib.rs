@@ -241,6 +241,10 @@ pub const EEXIST: c_int = 17;
 pub const EAGAIN: c_int = 11;
 /// Interrupted system call.
 pub const EINTR: c_int = 4;
+/// Out of memory (mmap/populate failure under pressure).
+pub const ENOMEM: c_int = 12;
+/// No space left on device (tmpfs-backed mappings).
+pub const ENOSPC: c_int = 28;
 
 /// Close the descriptor on `execve`.
 pub const O_CLOEXEC: c_int = 0o2000000;

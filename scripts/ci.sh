@@ -11,6 +11,9 @@
 #      ratio may fall below its recorded floor (scripts/elision_floors.tsv)
 #   6. profiler smoke: one kernel sampled at 997 Hz, the chrome trace
 #      must re-parse and the attribution percentages must sum to ~100
+#   7. serving smoke: a short closed-loop serve_bench run; every admitted
+#      request must resolve exactly once and the latency histogram must
+#      be populated
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,5 +31,6 @@ run cargo run --release -p lb-bench --bin analysis_report -- \
   --check scripts/elision_floors.tsv
 run env LB_PROF=sample:997 LB_PROF_OUT=target/prof-smoke \
   cargo run --release -p lb-bench --bin prof_report -- --smoke
+run cargo run --release -p lb-bench --bin serve_bench -- --smoke true
 
 echo "==> ci.sh: all gates passed"
