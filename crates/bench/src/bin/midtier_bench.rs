@@ -1,0 +1,180 @@
+//! Measure what the mid tier (IR-driven linear-scan register homes +
+//! redundant-access elimination, `OptLevel::Mid`) buys over the baseline
+//! tier (`OptLevel::None`, the spill-everything single pass a tiered
+//! runtime executes before tier-up), and write the results to
+//! `BENCH_midtier.json`.
+//!
+//! Every PolyBench kernel runs under both tiers for each of the trap,
+//! clamp and uffd bounds-check strategies; the JSON records per-row
+//! speedups plus the mid tier's register-allocation work counters
+//! (`jit.midtier.*`), and the geometric-mean speedup under the trap
+//! strategy as the headline number.
+//!
+//! Usage: `midtier_bench [--smoke] [--out PATH]`
+//! (default `BENCH_midtier.json`; `--smoke` runs a three-kernel,
+//! trap-only subset and writes nothing unless `--out` is given).
+
+use lb_core::exec::{Engine, Linker};
+use lb_core::{BoundsStrategy, MemoryConfig};
+use lb_jit::{JitEngine, JitProfile, OptLevel};
+use lb_polybench::common::Dataset;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Measurement {
+    time: Duration,
+    spills: u64,
+    reloads_elided: u64,
+    dead_stores_elided: u64,
+}
+
+fn profile(opt: OptLevel) -> JitProfile {
+    let mut p = JitProfile::wasmtime();
+    p.opt = opt;
+    p
+}
+
+fn measure(
+    bench: &lb_polybench::Benchmark,
+    strategy: BoundsStrategy,
+    opt: OptLevel,
+    iters: u32,
+) -> Measurement {
+    let before = lb_telemetry::snapshot();
+    let engine = JitEngine::new(profile(opt));
+    let loaded = engine.load(&bench.module).expect("load");
+    let config = MemoryConfig::new(strategy, 1, 256);
+    let mut inst = loaded
+        .instantiate(&config, &Linker::new())
+        .expect("instantiate");
+    inst.invoke("init", &[]).expect("init");
+    inst.invoke("kernel", &[]).expect("kernel"); // warm
+    let t = Instant::now();
+    for _ in 0..iters {
+        inst.invoke("kernel", &[]).expect("kernel");
+    }
+    let time = t.elapsed() / iters;
+    let delta = lb_telemetry::snapshot().delta_since(&before);
+    Measurement {
+        time,
+        spills: delta.counter("jit.midtier.spills"),
+        reloads_elided: delta.counter("jit.midtier.reloads_elided"),
+        dead_stores_elided: delta.counter("jit.midtier.dead_stores_elided"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("usage: midtier_bench [--smoke] [--out PATH]");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("usage: midtier_bench [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let kernels: Vec<&str> = if smoke {
+        lb_polybench::NAMES.iter().take(3).copied().collect()
+    } else {
+        lb_polybench::NAMES.to_vec()
+    };
+    let strategies: &[BoundsStrategy] = if smoke {
+        &[BoundsStrategy::Trap]
+    } else {
+        &[
+            BoundsStrategy::Trap,
+            BoundsStrategy::Clamp,
+            BoundsStrategy::Uffd,
+        ]
+    };
+    let iters: u32 = if smoke { 2 } else { 5 };
+
+    let mut rows = String::new();
+    let mut trap_log_sum = 0.0f64;
+    let mut trap_rows = 0usize;
+    let mut first = true;
+    for name in &kernels {
+        let bench = lb_polybench::by_name(name, Dataset::Mini).expect("known kernel");
+        for &strategy in strategies {
+            let base = measure(&bench, strategy, OptLevel::None, iters);
+            let mid = measure(&bench, strategy, OptLevel::Mid, iters);
+            assert!(
+                mid.reloads_elided > 0,
+                "{name}/{strategy:?}: the mid tier must home hot locals"
+            );
+            let speedup = base.time.as_secs_f64() / mid.time.as_secs_f64();
+            if strategy == BoundsStrategy::Trap {
+                trap_log_sum += speedup.ln();
+                trap_rows += 1;
+            }
+            println!(
+                "{name:<12} {:<8} baseline {:>10.3?} mid {:>10.3?} speedup {speedup:.3}x \
+                 (spills {}, reloads elided {}, dead stores {})",
+                strategy.name(),
+                base.time,
+                mid.time,
+                mid.spills,
+                mid.reloads_elided,
+                mid.dead_stores_elided
+            );
+            if !first {
+                rows.push_str(",\n");
+            }
+            first = false;
+            write!(
+                rows,
+                "    {{\"bench\": \"{name}\", \"strategy\": \"{}\", \
+                 \"time_baseline_ns\": {}, \"time_mid_ns\": {}, \"speedup\": {:.4}, \
+                 \"spills\": {}, \"reloads_elided\": {}, \"dead_stores_elided\": {}}}",
+                strategy.name(),
+                base.time.as_nanos(),
+                mid.time.as_nanos(),
+                speedup,
+                mid.spills,
+                mid.reloads_elided,
+                mid.dead_stores_elided
+            )
+            .unwrap();
+        }
+    }
+
+    let geomean = (trap_log_sum / trap_rows as f64).exp();
+    println!("geomean speedup (trap, {trap_rows} kernels): {geomean:.3}x");
+    if !smoke {
+        assert!(
+            geomean >= 1.10,
+            "mid tier must be at least 1.10x the baseline tier (geomean, trap); got {geomean:.3}x"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"description\": \"mid tier (linear-scan register homes + \
+         redundant-access elimination) vs the baseline spill-everything tier; \
+         wasmtime profile shape, per PolyBench kernel x strategy\",\n  \
+         \"iters\": {iters},\n  \"geomean_speedup_trap\": {geomean:.4},\n  \
+         \"results\": [\n{rows}\n  ]\n}}\n"
+    );
+    match (smoke, out_path) {
+        (_, Some(p)) => {
+            std::fs::write(&p, json).expect("write results");
+            println!("wrote {p}");
+        }
+        (false, None) => {
+            std::fs::write("BENCH_midtier.json", json).expect("write results");
+            println!("wrote BENCH_midtier.json");
+        }
+        (true, None) => println!("smoke mode: results not written"),
+    }
+}

@@ -35,6 +35,11 @@ pub enum OptLevel {
     None,
     /// Register abstract stack (the Wasmtime-profile default).
     Basic,
+    /// Mid-tier: `Basic` plus IR-driven linear-scan register homes for
+    /// hot locals (`crate::regalloc`), dead-store elimination, and the
+    /// `Full` redundancy passes. Register assignment comes from liveness
+    /// over the three-address IR rather than a first-locals heuristic.
+    Mid,
     /// `Basic` plus constant folding and redundant-bounds-check
     /// elimination (the WAVM/LLVM-profile stand-in).
     Full,
@@ -80,6 +85,26 @@ fn check_counters() -> &'static CheckCounters {
     })
 }
 
+/// Telemetry counters for the mid-tier's redundant-access elimination,
+/// incremented at compile time (per site lowered, not per execution).
+struct MidtierCounters {
+    /// Caller-saved home save/reload pairs emitted around call-like sites.
+    spills: lb_telemetry::Counter,
+    /// `local.get`s satisfied from a register home (no slot reload).
+    reloads_elided: lb_telemetry::Counter,
+    /// Dead `local.set`s dropped entirely.
+    dead_stores_elided: lb_telemetry::Counter,
+}
+
+fn midtier_counters() -> &'static MidtierCounters {
+    static C: std::sync::OnceLock<MidtierCounters> = std::sync::OnceLock::new();
+    C.get_or_init(|| MidtierCounters {
+        spills: lb_telemetry::counter("jit.midtier.spills"),
+        reloads_elided: lb_telemetry::counter("jit.midtier.reloads_elided"),
+        dead_stores_elided: lb_telemetry::counter("jit.midtier.dead_stores_elided"),
+    })
+}
+
 const INT_POOL: [Reg; 8] = [
     Reg::RAX,
     Reg::RCX,
@@ -113,8 +138,9 @@ enum AVal {
     P(Reg),
 }
 
-/// Callee-saved registers available for local pinning (WAVM profile).
-const PIN_REGS: [Reg; 3] = [Reg::RBX, Reg::R12, Reg::R13];
+/// Callee-saved registers available for local pinning (WAVM profile) and
+/// mid-tier register homes (in allocation-priority order).
+pub const PIN_REGS: [Reg; 3] = [Reg::RBX, Reg::R12, Reg::R13];
 
 struct Gen<'a> {
     a: Asm,
@@ -150,10 +176,16 @@ struct Gen<'a> {
     checked: HashMap<(u32, u8), u64>,
     /// Provenance of register values for check elimination.
     origin: HashMap<u8, (u32, u8, u64)>,
-    /// Locals pinned to callee-saved registers (`Full` opt only).
+    /// Locals pinned to callee-saved registers (`Full` opt only) or to
+    /// mid-tier register homes (`Mid`, callee- and caller-saved).
     pinned: HashMap<u32, Reg>,
     /// Number of pinned (saved) registers, in PIN_REGS order.
     n_pinned: usize,
+    /// Mid-tier allocation plan (register homes, dead stores). `Mid` only.
+    midplan: Option<crate::regalloc::MidPlan>,
+    /// Caller-saved registers withheld from the allocation pools because
+    /// they serve as mid-tier homes.
+    reserved: Vec<Reg>,
     /// `(code_offset, wasm_pc)` per lowered instruction — the
     /// wasm-offset side table the profiler resolves samples through.
     pc_map: Vec<(u32, u32)>,
@@ -164,6 +196,18 @@ fn full_pools() -> (Vec<Reg>, Vec<Xmm>) {
         INT_POOL.to_vec(),
         (0..F_POOL_N).map(Xmm).collect::<Vec<_>>(),
     )
+}
+
+/// The imm32 whose sign-extended 64-bit image equals the value's slot
+/// representation (slots hold 64 bits, i32/f32 zero-extended), if any.
+fn const_as_imm32(v: Value) -> Option<i32> {
+    match v {
+        Value::I32(i) if i >= 0 => Some(i),
+        Value::I64(i) => i32::try_from(i).ok(),
+        Value::F32(f) if f.to_bits() <= i32::MAX as u32 => Some(f.to_bits() as i32),
+        Value::F64(f) => i32::try_from(f.to_bits() as i64).ok(),
+        _ => None,
+    }
 }
 
 /// Compile one defined function to machine code (self-contained except for
@@ -184,7 +228,14 @@ pub fn compile_function_mapped(
 ) -> (Vec<u8>, Vec<(u32, u32)>) {
     let func = &p.module.functions[defined_idx];
     let fmeta = &p.metas[defined_idx];
-    let (free_i, free_f) = full_pools();
+    let plan = p.plans.and_then(|mp| mp.funcs.get(defined_idx));
+    let midplan = (p.opt == OptLevel::Mid)
+        .then(|| crate::regalloc::allocate(p.module, fmeta, &func.body, plan));
+    let reserved: Vec<Reg> = midplan.as_ref().map_or(Vec::new(), |mp| {
+        mp.caller_saved().iter().map(|&(_, r)| r).collect()
+    });
+    let (mut free_i, free_f) = full_pools();
+    free_i.retain(|r| !reserved.contains(r));
     let mut a = Asm::new();
     let end_label = a.label();
     let mut g = Gen {
@@ -192,7 +243,7 @@ pub fn compile_function_mapped(
         p,
         fmeta,
         body: &func.body,
-        plan: p.plans.and_then(|mp| mp.funcs.get(defined_idx)),
+        plan,
         cur_pc: 0,
         n_locals: fmeta.local_types.len(),
         local_types: &fmeta.local_types,
@@ -212,9 +263,17 @@ pub fn compile_function_mapped(
         origin: HashMap::new(),
         pinned: HashMap::new(),
         n_pinned: 0,
+        midplan,
+        reserved,
         pc_map: Vec::with_capacity(func.body.len()),
     };
-    if p.opt == OptLevel::Full {
+    if let Some(mp) = &g.midplan {
+        // Mid-tier: homes come from linear-scan allocation over the IR —
+        // liveness-weighted, not first-come — plus up to two caller-saved
+        // homes the `Full` heuristic cannot use.
+        g.pinned = mp.homes().iter().copied().collect();
+        g.n_pinned = mp.n_pinned;
+    } else if p.opt == OptLevel::Full {
         // Pin the first few integer locals (loop counters, bases) in
         // callee-saved registers — the optimizing-AOT register allocation
         // that separates the WAVM profile from the baseline tiers.
@@ -345,6 +404,15 @@ impl<'a> Gen<'a> {
                 self.release_f(x);
             }
             AVal::C(v) => {
+                if self.p.opt == OptLevel::Mid {
+                    if let Some(imm) = const_as_imm32(v) {
+                        // Single store, no scratch round-trip: the slot's
+                        // 64-bit image equals the sign-extended imm32.
+                        self.a.mov_mi(m, imm);
+                        self.stack[idx] = AVal::Slot;
+                        return;
+                    }
+                }
                 match v {
                     Value::I32(i) => self.a.mov_ri32(SCRATCH, i),
                     Value::F32(f) => self.a.mov_ri32(SCRATCH, f.to_bits() as i32),
@@ -623,7 +691,12 @@ impl<'a> Gen<'a> {
             .cmp_rm(W::W64, Reg::RSP, Mem::base(Reg::R15, ctx_off::STACK_LIMIT));
         let so = self.trap_label(TrapKind::StackOverflow);
         self.a.jcc(Cc::B, so);
-        // Park incoming arguments in their local slots.
+        // Park incoming arguments in their local slots. The mid-tier
+        // always parks to the slot first and loads register homes
+        // afterwards: its caller-saved homes (r8/r9) double as the 5th
+        // and 6th integer argument registers, so a direct move could
+        // clobber an argument not yet parked.
+        let mid = self.p.opt == OptLevel::Mid;
         let n_params = self.fmeta.n_params as usize;
         let mut ii = 0usize;
         let mut fi = 0usize;
@@ -631,16 +704,23 @@ impl<'a> Gen<'a> {
             let m = self.local_mem(i as u32);
             match self.local_types[i] {
                 ValType::I32 | ValType::I64 => {
-                    if let Some(&pr) = self.pinned.get(&(i as u32)) {
-                        self.a.mov_rr(W::W64, pr, INT_ARGS[ii]);
-                    } else {
-                        self.a.mov_mr(W::W64, m, INT_ARGS[ii]);
+                    match self.pinned.get(&(i as u32)) {
+                        Some(&pr) if !mid => self.a.mov_rr(W::W64, pr, INT_ARGS[ii]),
+                        _ => self.a.mov_mr(W::W64, m, INT_ARGS[ii]),
                     }
                     ii += 1;
                 }
                 ValType::F32 | ValType::F64 => {
                     self.a.fstore(true, m, Xmm(fi as u8));
                     fi += 1;
+                }
+            }
+        }
+        if mid {
+            for i in 0..n_params {
+                if let Some(&pr) = self.pinned.get(&(i as u32)) {
+                    let m = self.local_mem(i as u32);
+                    self.a.mov_rm(W::W64, pr, m);
                 }
             }
         }
@@ -693,7 +773,8 @@ impl<'a> Gen<'a> {
     fn reset_stack_to(&mut self, height: usize) {
         self.stack.clear();
         self.stack.resize(height, AVal::Slot);
-        let (fi, ff) = full_pools();
+        let (mut fi, ff) = full_pools();
+        fi.retain(|r| !self.reserved.contains(r));
         self.free_i = fi;
         self.free_f = ff;
         self.origin.clear();
@@ -736,25 +817,63 @@ impl<'a> Gen<'a> {
         self.a.mov_rm(W::W32, SCRATCH, Mem::base(SCRATCH, 0));
         self.a.test_rr(W::W32, SCRATCH, SCRATCH);
         self.a.jcc(Cc::E, skip);
+        // Save/reload stays inside the taken region: the untaken fast
+        // path must not touch the homes.
+        self.save_caller_homes();
         self.a.mov_rr(W::W64, Reg::RDI, Reg::R15);
         self.a
             .mov_ri64(SCRATCH, runtime::lb_jit_pause as *const () as usize as i64);
         self.a.call_r(SCRATCH);
+        self.reload_caller_homes();
         self.a.bind(skip);
     }
 
     // ── helper-call plumbing ───────────────────────────────────────
 
+    /// Caller-saved mid-tier homes do not survive a call: snapshot each
+    /// into its local's canonical frame slot. Pairs with
+    /// [`Gen::reload_caller_homes`] after the call instruction.
+    fn save_caller_homes(&mut self) {
+        let saves: Vec<(u32, Reg)> = self
+            .midplan
+            .as_ref()
+            .map_or(Vec::new(), |mp| mp.caller_saved());
+        if saves.is_empty() {
+            return;
+        }
+        for &(l, r) in &saves {
+            let m = self.local_mem(l);
+            self.a.mov_mr(W::W64, m, r);
+        }
+        midtier_counters().spills.add(saves.len() as u64);
+    }
+
+    /// Restore caller-saved homes from their canonical slots after a
+    /// call. Touches neither `rax` nor `xmm0`, so it is safe to emit
+    /// before the call result is claimed.
+    fn reload_caller_homes(&mut self) {
+        let saves: Vec<(u32, Reg)> = self
+            .midplan
+            .as_ref()
+            .map_or(Vec::new(), |mp| mp.caller_saved());
+        for &(l, r) in &saves {
+            let m = self.local_mem(l);
+            self.a.mov_rm(W::W64, r, m);
+        }
+    }
+
     /// Call an `extern "C"` helper taking one f32/f64 argument (in xmm0)
     /// and returning an integer (rax). Used for trapping truncations.
     fn helper_f_to_i(&mut self, addr: usize) {
         self.spill_all();
+        self.save_caller_homes();
         let top = self.stack.len() - 1;
         let m = self.slot_mem(top);
         self.a.fload(true, Xmm(0), m);
         self.stack.pop();
         self.a.mov_ri64(SCRATCH, addr as i64);
         self.a.call_r(SCRATCH);
+        self.reload_caller_homes();
         self.claim_i(Reg::RAX);
         self.push_i(Reg::RAX);
     }
@@ -762,12 +881,14 @@ impl<'a> Gen<'a> {
     /// Call a helper taking one u64 (rdi) returning float (xmm0).
     fn helper_i_to_f(&mut self, addr: usize) {
         self.spill_all();
+        self.save_caller_homes();
         let top = self.stack.len() - 1;
         let m = self.slot_mem(top);
         self.a.mov_rm(W::W64, Reg::RDI, m);
         self.stack.pop();
         self.a.mov_ri64(SCRATCH, addr as i64);
         self.a.call_r(SCRATCH);
+        self.reload_caller_homes();
         let x = Xmm(0);
         let pos = self.free_f.iter().position(|v| *v == x).expect("xmm0 free");
         self.free_f.remove(pos);
@@ -777,6 +898,7 @@ impl<'a> Gen<'a> {
     /// Call a helper taking two floats (xmm0, xmm1) returning float.
     fn helper_ff_to_f(&mut self, addr: usize) {
         self.spill_all();
+        self.save_caller_homes();
         let n = self.stack.len();
         let (m0, m1) = (self.slot_mem(n - 2), self.slot_mem(n - 1));
         self.a.fload(true, Xmm(0), m0);
@@ -785,6 +907,7 @@ impl<'a> Gen<'a> {
         self.stack.pop();
         self.a.mov_ri64(SCRATCH, addr as i64);
         self.a.call_r(SCRATCH);
+        self.reload_caller_homes();
         let x = Xmm(0);
         let pos = self.free_f.iter().position(|v| *v == x).expect("xmm0 free");
         self.free_f.remove(pos);
@@ -796,7 +919,7 @@ impl<'a> Gen<'a> {
     /// Record provenance for check elimination: value in `r` is
     /// `local << shift` plus a non-negative addend.
     fn track_local_origin(&mut self, r: Reg, l: u32) {
-        if self.p.opt == OptLevel::Full {
+        if matches!(self.p.opt, OptLevel::Full | OptLevel::Mid) {
             self.origin.insert(r.0, (l, 0, 0));
         }
     }
@@ -853,7 +976,7 @@ impl<'a> Gen<'a> {
                         // cannot newly go out of bounds. Kept as the
                         // fallback mode for differential testing.
                         let mut skip = false;
-                        if self.p.opt == OptLevel::Full {
+                        if matches!(self.p.opt, OptLevel::Full | OptLevel::Mid) {
                             if let Some((l, sh, add)) = origin {
                                 let key = (l, sh);
                                 let need = add + extent;
@@ -1084,6 +1207,7 @@ impl<'a> Gen<'a> {
         let ni = self.p.module.num_imported_funcs();
         self.spill_all();
         self.checked.clear();
+        self.save_caller_homes();
         let n = ty.params.len();
         let base_slot = self.stack.len() - n;
         if fi < ni {
@@ -1098,6 +1222,7 @@ impl<'a> Gen<'a> {
             self.a
                 .mov_ri64(SCRATCH, runtime::lb_jit_host as *const () as usize as i64);
             self.a.call_r(SCRATCH);
+            self.reload_caller_homes();
             self.stack.truncate(base_slot);
             if ty.result().is_some() {
                 // Result was written into the arg0 slot (== new top).
@@ -1109,6 +1234,7 @@ impl<'a> Gen<'a> {
             self.a
                 .mov_ri64(SCRATCH, (self.p.funcptrs_base + fi as usize * 8) as i64);
             self.a.call_m(Mem::base(SCRATCH, 0));
+            self.reload_caller_homes();
             self.push_call_result(ty.result());
         }
     }
@@ -1118,6 +1244,7 @@ impl<'a> Gen<'a> {
         self.pop_to_fixed(Reg::R10);
         self.spill_all();
         self.checked.clear();
+        self.save_caller_homes();
         // Bounds-check the table index.
         self.a
             .cmp_rm(W::W64, Reg::R10, Mem::base(Reg::R15, ctx_off::TABLE_LEN));
@@ -1154,6 +1281,7 @@ impl<'a> Gen<'a> {
             },
         );
         self.a.call_r(Reg::R10);
+        self.reload_caller_homes();
         self.release_i(Reg::R10);
         self.push_call_result(ty.result());
     }
@@ -1498,6 +1626,9 @@ impl<'a> Gen<'a> {
                     if let Some(&pr) = self.pinned.get(l) {
                         // Zero-cost: push an alias of the pinned register.
                         self.stack.push(AVal::P(pr));
+                        if self.p.opt == OptLevel::Mid {
+                            midtier_counters().reloads_elided.inc();
+                        }
                     } else {
                         let m = self.local_mem(*l);
                         match ty {
@@ -1518,7 +1649,20 @@ impl<'a> Gen<'a> {
                 LocalSet(l) | LocalTee(l) => {
                     let tee = matches!(instr, LocalTee(_));
                     let ty = self.local_types[*l as usize];
-                    if let Some(&pr) = self.pinned.get(l) {
+                    let dead_store = !tee
+                        && self
+                            .midplan
+                            .as_ref()
+                            .is_some_and(|mp| mp.is_dead_store(pc as u32));
+                    if dead_store {
+                        // Liveness proved no path reads this local again:
+                        // drop the value instead of storing it. A homed
+                        // local keeps its old value in the register, so
+                        // stack aliases of it stay valid untouched.
+                        let v = self.stack.pop().expect("validated stack");
+                        self.free_val(v);
+                        midtier_counters().dead_stores_elided.inc();
+                    } else if let Some(&pr) = self.pinned.get(l) {
                         // Snapshot any live aliases of the old value first.
                         self.materialize_pinned_aliases(pr);
                         let r = self.pop_i();
@@ -1552,7 +1696,7 @@ impl<'a> Gen<'a> {
                         }
                     }
                     // Any cached check against this local is now stale.
-                    if self.p.opt == OptLevel::Full {
+                    if matches!(self.p.opt, OptLevel::Full | OptLevel::Mid) {
                         self.checked.retain(|(cl, _), _| cl != l);
                         self.origin.retain(|_, (ol, _, _)| ol != l);
                     }
@@ -1605,6 +1749,7 @@ impl<'a> Gen<'a> {
                 MemoryGrow => {
                     self.spill_all();
                     self.checked.clear();
+                    self.save_caller_homes();
                     let top = self.stack.len() - 1;
                     let tm = self.slot_mem(top);
                     self.a.mov_rm(W::W32, Reg::RSI, tm);
@@ -1613,6 +1758,7 @@ impl<'a> Gen<'a> {
                     self.a
                         .mov_ri64(SCRATCH, runtime::lb_jit_grow as *const () as usize as i64);
                     self.a.call_r(SCRATCH);
+                    self.reload_caller_homes();
                     self.claim_i(Reg::RAX);
                     // Sign-extended i32 result: clear upper bits.
                     self.a.mov_rr(W::W32, Reg::RAX, Reg::RAX);

@@ -26,6 +26,7 @@ fn code_bytes_counter(opt: OptLevel) -> &'static str {
     match opt {
         OptLevel::None => "jit.code_bytes.none",
         OptLevel::Basic => "jit.code_bytes.basic",
+        OptLevel::Mid => "jit.code_bytes.mid",
         OptLevel::Full => "jit.code_bytes.full",
     }
 }
@@ -35,6 +36,7 @@ fn tier_label(opt: OptLevel) -> &'static str {
     match opt {
         OptLevel::None => "baseline",
         OptLevel::Basic => "basic",
+        OptLevel::Mid => "mid",
         OptLevel::Full => "full",
     }
 }
@@ -85,6 +87,9 @@ pub struct JitProfile {
     /// Let the analysis synthesize loop-preheader guards and version the
     /// covered loops (no effect with `analysis` off).
     pub hoisting: bool,
+    /// Target tier of the background recompile when `tiered` (the
+    /// `LB_TIER` knob swaps this between `Full` and `Mid`).
+    pub tier_target: OptLevel,
 }
 
 impl JitProfile {
@@ -104,6 +109,20 @@ impl JitProfile {
         self
     }
 
+    /// Use the mid-tier (`OptLevel::Mid`: IR-driven linear-scan register
+    /// homes plus redundant-access elimination) as this profile's
+    /// optimizing tier — the load-time tier for AOT profiles, the
+    /// background tier-up target for tiered ones. The `LB_TIER=mid`
+    /// environment knob routes here.
+    pub fn with_midtier(mut self, on: bool) -> JitProfile {
+        if self.tiered {
+            self.tier_target = if on { OptLevel::Mid } else { OptLevel::Full };
+        } else if on {
+            self.opt = OptLevel::Mid;
+        }
+        self
+    }
+
     /// WAVM: LLVM-quality AOT — our `Full` tier at load time.
     pub fn wavm() -> JitProfile {
         JitProfile {
@@ -114,6 +133,7 @@ impl JitProfile {
             gc_pause: false,
             analysis: true,
             hoisting: true,
+            tier_target: OptLevel::Full,
         }
     }
 
@@ -128,6 +148,7 @@ impl JitProfile {
             gc_pause: false,
             analysis: true,
             hoisting: true,
+            tier_target: OptLevel::Full,
         }
     }
 
@@ -142,6 +163,7 @@ impl JitProfile {
             gc_pause: true,
             analysis: true,
             hoisting: true,
+            tier_target: OptLevel::Full,
         }
     }
 }
@@ -395,6 +417,7 @@ impl JitModule {
         let module = self.module.clone();
         let metas = self.meta.clone();
         let safepoints = self.profile.safepoints;
+        let target = self.profile.tier_target;
         let plan = self.plan.clone();
         std::thread::Builder::new()
             .name("lb-tierup".into())
@@ -406,13 +429,13 @@ impl JitModule {
                 let mut func_ranges = Vec::with_capacity(module.functions.len());
                 let compile_ns = lb_telemetry::histogram("jit.compile_ns");
                 let compile_count = lb_telemetry::counter("jit.compile.count");
-                let code_bytes = lb_telemetry::counter(code_bytes_counter(OptLevel::Full));
+                let code_bytes = lb_telemetry::counter(code_bytes_counter(target));
                 for di in 0..module.functions.len() {
                     let params = CompileParams {
                         module: &module,
                         metas: &metas.funcs,
                         strategy,
-                        opt: OptLevel::Full,
+                        opt: target,
                         safepoints,
                         funcptrs_base: sc.funcptrs.base_addr(),
                         plans: plan.as_deref(),
@@ -426,7 +449,7 @@ impl JitModule {
                             &metas,
                             plan.as_deref(),
                             strategy,
-                            OptLevel::Full,
+                            target,
                             di,
                             &code,
                         );
@@ -446,7 +469,7 @@ impl JitModule {
                     }
                 }
                 let buf = Arc::new(CodeBuf::publish(&blob).expect("publish tier-up code"));
-                register_prof_region(&buf, &blob, strategy, OptLevel::Full, func_ranges);
+                register_prof_region(&buf, &blob, strategy, target, func_ranges);
                 // Swap function pointers; running activations finish on the
                 // old code, future calls use the optimized tier.
                 for (di, off) in offsets.iter().enumerate() {

@@ -1,0 +1,690 @@
+//! Three-address IR between wasm decode and machine-code emission.
+//!
+//! The mid-tier lowers each function body into a flat sequence of
+//! [`IrOp`]s over *virtual registers*: every operand-stack value gets a
+//! fresh vreg, local reads/writes become explicit defs/uses of a local
+//! index, and every linear-memory access is preceded by an explicit
+//! [`IrOp::Guard`] carrying the `CheckKind` the analysis plan assigned
+//! to the site (bounds checks are first-class IR, not a lowering detail
+//! — the same principle the translation validator enforces on the
+//! emitted bytes). Call-like instructions — `call`, `call_indirect`,
+//! `memory.grow`, and the ops the baseline lowers through `extern "C"`
+//! helpers — are marked [`IrOp::Call`] because they clobber the
+//! caller-saved register file.
+//!
+//! The operand stack is replayed with the validator's `height_at` table
+//! as ground truth: at every pc the vreg stack is resynchronized to the
+//! declared height, so control-flow merges (else arms, branch targets,
+//! dead-code revival) need no special cases — merged values simply get
+//! fresh vregs, exactly like the emitter's canonical-slot rule.
+//!
+//! `lb-regalloc` (`crate::regalloc`) consumes this form for liveness,
+//! live intervals, and the redundant-access pass. The lowering is a pure
+//! function of `(body, meta, module, plan)` — no strategy, no
+//! environment — so the verifier can re-derive the identical IR (and
+//! from it the identical register assignment) when checking mid-tier
+//! output.
+
+use lb_analysis::{CheckKind, FuncPlan};
+use lb_wasm::validate::FuncMeta;
+use lb_wasm::{Instr, Module};
+
+/// A virtual register holding one operand-stack value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VReg(pub u32);
+
+/// One IR operation. `pc` on the containing [`IrInst`] ties it back to
+/// the wasm instruction it lowers.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum IrOp {
+    /// `dst <- constant` (value immaterial to allocation).
+    Const {
+        dst: VReg,
+    },
+    /// `dst <- local[l]` — a reload; elided when `l` has a register home.
+    GetLocal {
+        dst: VReg,
+        local: u32,
+    },
+    /// `local[l] <- src`. `tee` keeps `src` on the stack. A non-tee set
+    /// whose local is not live-out is a dead store the allocator elides.
+    SetLocal {
+        src: VReg,
+        local: u32,
+        tee: bool,
+    },
+    /// `dst <- global[g]` (no call, no clobber).
+    GetGlobal {
+        dst: VReg,
+    },
+    /// `global[g] <- src`.
+    SetGlobal {
+        src: VReg,
+    },
+    /// Bounds check for the following access, in the shape the plan
+    /// chose. `Emit` when no plan was consulted.
+    Guard {
+        addr: VReg,
+        kind: CheckKind,
+        offset: u32,
+        bytes: u32,
+    },
+    /// `dst <- memory[addr + offset]`.
+    Load {
+        dst: VReg,
+        addr: VReg,
+    },
+    /// `memory[addr + offset] <- src`.
+    Store {
+        addr: VReg,
+        src: VReg,
+    },
+    /// Pure computation: pops `srcs`, pushes `dsts` (unary/binary ops,
+    /// comparisons, conversions, `select`, `memory.size`).
+    Pure {
+        dsts: Vec<VReg>,
+        srcs: Vec<VReg>,
+    },
+    /// Call-like op: clobbers every caller-saved register. Covers
+    /// `call`, `call_indirect`, `memory.grow`, and helper-lowered ops
+    /// (trapping truncations, float min/max/copysign, u64→float).
+    Call {
+        args: Vec<VReg>,
+        ret: Option<VReg>,
+    },
+    /// Hoisted preheader guards at a versioned `Loop`: reads the bound
+    /// locals, keeping them live into the loop even when the body never
+    /// mentions them again.
+    HoistGuard {
+        locals: Vec<u32>,
+    },
+    /// Structured-control marker (`block`/`loop`/`if`/`else`/`end`).
+    Enter {
+        is_loop: bool,
+    },
+    Else,
+    Exit,
+    /// Unconditional branch to `dest` (a wasm pc; `body_len` = return).
+    Br {
+        dest: u32,
+    },
+    /// Conditional branch on `cond`.
+    BrIf {
+        cond: VReg,
+        dest: u32,
+    },
+    /// Indexed branch on `sel` to one of `dests` (default last).
+    BrTable {
+        sel: VReg,
+        dests: Vec<u32>,
+    },
+    /// `if` falls through on true, jumps to `dest` on false.
+    If {
+        cond: VReg,
+        dest: u32,
+    },
+    Return,
+    Unreachable,
+    /// Pop-and-discard.
+    Drop {
+        src: VReg,
+    },
+    Nop,
+}
+
+/// An [`IrOp`] tagged with the wasm pc it lowers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrInst {
+    /// Instruction index in the wasm body.
+    pub pc: u32,
+    /// Loop-nesting depth at this pc (0 = top level).
+    pub loop_depth: u32,
+    /// The operation.
+    pub op: IrOp,
+}
+
+/// A function lowered to three-address form.
+#[derive(Debug, Clone, Default)]
+pub struct IrFunc {
+    /// Ops in program order; several may share a pc.
+    pub insts: Vec<IrInst>,
+    /// Number of virtual registers used.
+    pub n_vregs: u32,
+    /// Number of locals (params + declared).
+    pub n_locals: u32,
+}
+
+/// Operand-stack effect `(pops, pushes)` of one instruction. Control
+/// instructions are handled structurally and return `(0, 0)` here.
+fn stack_effect(instr: &Instr, module: &Module) -> (usize, usize) {
+    use Instr::*;
+    match instr {
+        Unreachable | Nop | Block(_) | Loop(_) | Else | End | Br(_) | Return => (0, 0),
+        If(_) | BrIf(_) | BrTable(_) | Drop => (1, 0),
+        Select => (3, 1),
+        LocalGet(_) | GlobalGet(_) => (0, 1),
+        LocalSet(_) | GlobalSet(_) => (1, 0),
+        LocalTee(_) => (1, 1),
+        Call(fi) => module.func_type(*fi).map_or((0, 0), |ty| {
+            (ty.params.len(), usize::from(ty.result().is_some()))
+        }),
+        CallIndirect(ti) => module.types.get(*ti as usize).map_or((0, 0), |ty| {
+            (ty.params.len() + 1, usize::from(ty.result().is_some()))
+        }),
+        MemorySize => (0, 1),
+        MemoryGrow => (1, 1),
+        I32Const(_) | I64Const(_) | F32Const(_) | F64Const(_) => (0, 1),
+        i => {
+            if let Some(acc) = i.mem_access() {
+                if acc.is_store {
+                    (2, 0)
+                } else {
+                    (1, 1)
+                }
+            } else if is_unary(i) {
+                (1, 1)
+            } else {
+                // Everything else in the MVP numeric set is binary.
+                (2, 1)
+            }
+        }
+    }
+}
+
+/// Ops consuming one value and producing one (unary arithmetic,
+/// conversions, reinterprets, eqz tests).
+fn is_unary(instr: &Instr) -> bool {
+    use Instr::*;
+    matches!(
+        instr,
+        I32Eqz
+            | I64Eqz
+            | I32Clz
+            | I32Ctz
+            | I32Popcnt
+            | I64Clz
+            | I64Ctz
+            | I64Popcnt
+            | F32Abs
+            | F32Neg
+            | F32Ceil
+            | F32Floor
+            | F32Trunc
+            | F32Nearest
+            | F32Sqrt
+            | F64Abs
+            | F64Neg
+            | F64Ceil
+            | F64Floor
+            | F64Trunc
+            | F64Nearest
+            | F64Sqrt
+            | I32WrapI64
+            | I32TruncF32S
+            | I32TruncF32U
+            | I32TruncF64S
+            | I32TruncF64U
+            | I64ExtendI32S
+            | I64ExtendI32U
+            | I64TruncF32S
+            | I64TruncF32U
+            | I64TruncF64S
+            | I64TruncF64U
+            | F32ConvertI32S
+            | F32ConvertI32U
+            | F32ConvertI64S
+            | F32ConvertI64U
+            | F32DemoteF64
+            | F64ConvertI32S
+            | F64ConvertI32U
+            | F64ConvertI64S
+            | F64ConvertI64U
+            | F64PromoteF32
+            | I32ReinterpretF32
+            | I64ReinterpretF64
+            | F32ReinterpretI32
+            | F64ReinterpretI64
+    )
+}
+
+/// Ops the baseline emitter lowers through an `extern "C"` helper call
+/// (so they clobber caller-saved registers like a real call).
+fn is_helper_call(instr: &Instr) -> bool {
+    use Instr::*;
+    matches!(
+        instr,
+        F32Min
+            | F32Max
+            | F64Min
+            | F64Max
+            | F32Copysign
+            | F64Copysign
+            | I32TruncF32S
+            | I32TruncF32U
+            | I32TruncF64S
+            | I32TruncF64U
+            | I64TruncF32S
+            | I64TruncF32U
+            | I64TruncF64S
+            | I64TruncF64U
+            | F32ConvertI64U
+            | F64ConvertI64U
+    )
+}
+
+/// Lower one validated function body to three-address form.
+///
+/// The walk mirrors the emitter's reachability rule (dead code after
+/// `unreachable`/`br`/`br_table`/`return`/`else` until a branch-target
+/// label revives it) so every op corresponds to code the emitter
+/// actually produces. `plan` must be the same plan codegen consults;
+/// pass `None` for plan-less tiers.
+pub fn lower(module: &Module, meta: &FuncMeta, body: &[Instr], plan: Option<&FuncPlan>) -> IrFunc {
+    // Branch-target labels, exactly as codegen's `collect_labels`.
+    let mut labels: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for (pc, instr) in body.iter().enumerate() {
+        match instr {
+            Instr::If(_) | Instr::Else => {
+                labels.insert(meta.ctrl[pc]);
+            }
+            Instr::Br(_) | Instr::BrIf(_) => {
+                labels.insert(meta.branch_table[meta.ctrl[pc] as usize].dest_pc);
+            }
+            Instr::BrTable(t) => {
+                let base = meta.ctrl[pc] as usize;
+                for k in 0..=t.targets.len() {
+                    labels.insert(meta.branch_table[base + k].dest_pc);
+                }
+            }
+            _ => {}
+        }
+    }
+    labels.remove(&meta.body_len);
+
+    let mut f = IrFunc {
+        n_locals: meta.local_types.len() as u32,
+        ..IrFunc::default()
+    };
+    let mut next = 0u32;
+    let mut fresh = || {
+        let v = VReg(next);
+        next += 1;
+        v
+    };
+    let mut vstack: Vec<VReg> = Vec::new();
+    // The height resync above every instruction makes underflow
+    // impossible on validated input; the fallback is never reached.
+    fn popv(v: &mut Vec<VReg>) -> VReg {
+        v.pop().unwrap_or(VReg(0))
+    }
+    // Kinds of open blocks; `true` = loop (for nesting depth).
+    let mut blocks: Vec<bool> = Vec::new();
+    let mut dead = false;
+
+    for (pc, instr) in body.iter().enumerate() {
+        use Instr::*;
+        if labels.contains(&(pc as u32)) {
+            dead = false;
+        }
+        let loop_depth = blocks.iter().filter(|&&l| l).count() as u32;
+        let emit = |op: IrOp, f: &mut IrFunc| {
+            f.insts.push(IrInst {
+                pc: pc as u32,
+                loop_depth,
+                op,
+            });
+        };
+        if dead {
+            // Structure still nests in dead code (the emitter tracks
+            // depth the same way to find the reviving `End`).
+            match instr {
+                Block(_) | If(_) => blocks.push(false),
+                Loop(_) => blocks.push(true),
+                End => {
+                    if blocks.pop().is_none() {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            continue;
+        }
+        // Resynchronize the vreg stack to the validator's height: merge
+        // points and revived code materialize fresh vregs for values
+        // whose producers ran on another path.
+        let h = meta.height_at[pc] as usize;
+        while vstack.len() > h {
+            vstack.pop();
+        }
+        while vstack.len() < h {
+            vstack.push(fresh());
+        }
+
+        match instr {
+            Unreachable => {
+                emit(IrOp::Unreachable, &mut f);
+                dead = true;
+            }
+            Nop => emit(IrOp::Nop, &mut f),
+            Block(_) => {
+                blocks.push(false);
+                emit(IrOp::Enter { is_loop: false }, &mut f);
+            }
+            Loop(_) => {
+                blocks.push(true);
+                if let Some(hp) = plan.and_then(|p| p.hoist_at(pc as u32)) {
+                    emit(
+                        IrOp::HoistGuard {
+                            locals: hp.guards.iter().map(|g| g.bound_local).collect(),
+                        },
+                        &mut f,
+                    );
+                }
+                emit(IrOp::Enter { is_loop: true }, &mut f);
+            }
+            If(_) => {
+                blocks.push(false);
+                let cond = popv(&mut vstack);
+                emit(
+                    IrOp::If {
+                        cond,
+                        dest: meta.ctrl[pc],
+                    },
+                    &mut f,
+                );
+            }
+            Else => {
+                emit(IrOp::Else, &mut f);
+                dead = true;
+            }
+            End => {
+                emit(IrOp::Exit, &mut f);
+                if blocks.pop().is_none() {
+                    break;
+                }
+            }
+            Br(_) => {
+                emit(
+                    IrOp::Br {
+                        dest: meta.branch_table[meta.ctrl[pc] as usize].dest_pc,
+                    },
+                    &mut f,
+                );
+                dead = true;
+            }
+            BrIf(_) => {
+                let cond = popv(&mut vstack);
+                emit(
+                    IrOp::BrIf {
+                        cond,
+                        dest: meta.branch_table[meta.ctrl[pc] as usize].dest_pc,
+                    },
+                    &mut f,
+                );
+            }
+            BrTable(t) => {
+                let sel = popv(&mut vstack);
+                let base = meta.ctrl[pc] as usize;
+                let dests = (0..=t.targets.len())
+                    .map(|k| meta.branch_table[base + k].dest_pc)
+                    .collect();
+                emit(IrOp::BrTable { sel, dests }, &mut f);
+                dead = true;
+            }
+            Return => {
+                emit(IrOp::Return, &mut f);
+                dead = true;
+            }
+            Call(_) | CallIndirect(_) | MemoryGrow => {
+                let (pops, pushes) = stack_effect(instr, module);
+                let args = vstack.split_off(vstack.len() - pops);
+                let ret = (pushes == 1).then(&mut fresh);
+                if let Some(r) = ret {
+                    vstack.push(r);
+                }
+                emit(IrOp::Call { args, ret }, &mut f);
+            }
+            Drop => {
+                let src = popv(&mut vstack);
+                emit(IrOp::Drop { src }, &mut f);
+            }
+            LocalGet(l) => {
+                let dst = fresh();
+                vstack.push(dst);
+                emit(IrOp::GetLocal { dst, local: *l }, &mut f);
+            }
+            LocalSet(l) | LocalTee(l) => {
+                let tee = matches!(instr, LocalTee(_));
+                let src = if tee {
+                    vstack.last().copied().unwrap_or(VReg(0))
+                } else {
+                    popv(&mut vstack)
+                };
+                emit(
+                    IrOp::SetLocal {
+                        src,
+                        local: *l,
+                        tee,
+                    },
+                    &mut f,
+                );
+            }
+            GlobalGet(_) => {
+                let dst = fresh();
+                vstack.push(dst);
+                emit(IrOp::GetGlobal { dst }, &mut f);
+            }
+            GlobalSet(_) => {
+                let src = popv(&mut vstack);
+                emit(IrOp::SetGlobal { src }, &mut f);
+            }
+            i => {
+                if let Some(acc) = i.mem_access() {
+                    let kind = plan.map_or(CheckKind::Emit, |p| p.kind_at(pc));
+                    if acc.is_store {
+                        let src = popv(&mut vstack);
+                        let addr = popv(&mut vstack);
+                        emit(
+                            IrOp::Guard {
+                                addr,
+                                kind,
+                                offset: acc.memarg.offset,
+                                bytes: acc.bytes,
+                            },
+                            &mut f,
+                        );
+                        emit(IrOp::Store { addr, src }, &mut f);
+                    } else {
+                        let addr = popv(&mut vstack);
+                        let dst = fresh();
+                        vstack.push(dst);
+                        emit(
+                            IrOp::Guard {
+                                addr,
+                                kind,
+                                offset: acc.memarg.offset,
+                                bytes: acc.bytes,
+                            },
+                            &mut f,
+                        );
+                        emit(IrOp::Load { dst, addr }, &mut f);
+                    }
+                } else if is_helper_call(i) {
+                    let (pops, _) = stack_effect(i, module);
+                    let args = vstack.split_off(vstack.len() - pops);
+                    let ret = fresh();
+                    vstack.push(ret);
+                    emit(
+                        IrOp::Call {
+                            args,
+                            ret: Some(ret),
+                        },
+                        &mut f,
+                    );
+                } else {
+                    let (pops, pushes) = stack_effect(i, module);
+                    let srcs = vstack.split_off(vstack.len() - pops);
+                    let dsts: Vec<VReg> = (0..pushes).map(|_| fresh()).collect();
+                    vstack.extend(&dsts);
+                    emit(IrOp::Pure { dsts, srcs }, &mut f);
+                }
+            }
+        }
+    }
+    f.n_vregs = next;
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_wasm::module::Function;
+    use lb_wasm::{BlockType, FuncType, Limits, MemArg, MemoryType, ValType};
+
+    fn module_with(body: Vec<Instr>, locals: Vec<ValType>) -> (Module, FuncMeta) {
+        let mut m = Module::new();
+        m.types.push(FuncType {
+            params: vec![ValType::I32],
+            results: vec![ValType::I32],
+        });
+        m.memory = Some(MemoryType {
+            limits: Limits {
+                min: 1,
+                max: Some(1),
+            },
+        });
+        m.functions.push(Function {
+            type_idx: 0,
+            locals,
+            body,
+            name: None,
+        });
+        let meta = lb_wasm::validate(&m).expect("module validates");
+        let fm = meta.funcs[0].clone();
+        (m, fm)
+    }
+
+    #[test]
+    fn locals_become_defs_and_uses() {
+        let (m, fm) = module_with(
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalSet(1),
+                Instr::LocalGet(1),
+                Instr::End,
+            ],
+            vec![ValType::I32],
+        );
+        let ir = lower(&m, &fm, &m.functions[0].body, None);
+        let gets: Vec<u32> = ir
+            .insts
+            .iter()
+            .filter_map(|i| match i.op {
+                IrOp::GetLocal { local, .. } => Some(local),
+                _ => None,
+            })
+            .collect();
+        let sets: Vec<u32> = ir
+            .insts
+            .iter()
+            .filter_map(|i| match i.op {
+                IrOp::SetLocal { local, .. } => Some(local),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gets, vec![0, 1]);
+        assert_eq!(sets, vec![1]);
+        // The set consumes the vreg the first get defined.
+        let d0 = ir.insts.iter().find_map(|i| match i.op {
+            IrOp::GetLocal { dst, local: 0 } => Some(dst),
+            _ => None,
+        });
+        let s1 = ir.insts.iter().find_map(|i| match &i.op {
+            IrOp::SetLocal { src, local: 1, .. } => Some(*src),
+            _ => None,
+        });
+        assert_eq!(d0, s1);
+    }
+
+    #[test]
+    fn guards_precede_accesses_with_plan_kind() {
+        let (m, fm) = module_with(
+            vec![
+                Instr::LocalGet(0),
+                Instr::I32Load(MemArg::offset(16)),
+                Instr::End,
+            ],
+            vec![],
+        );
+        let ir = lower(&m, &fm, &m.functions[0].body, None);
+        let gi = ir
+            .insts
+            .iter()
+            .position(|i| matches!(i.op, IrOp::Guard { .. }))
+            .expect("guard emitted");
+        assert!(
+            matches!(
+                ir.insts[gi].op,
+                IrOp::Guard {
+                    kind: CheckKind::Emit,
+                    offset: 16,
+                    bytes: 4,
+                    ..
+                }
+            ),
+            "plan-less guard defaults to Emit: {:?}",
+            ir.insts[gi].op
+        );
+        assert!(
+            matches!(ir.insts[gi + 1].op, IrOp::Load { .. }),
+            "guard immediately precedes its access"
+        );
+    }
+
+    #[test]
+    fn dead_code_is_not_lowered_until_revived() {
+        let (m, fm) = module_with(
+            vec![
+                Instr::Block(BlockType::Empty),
+                Instr::Br(0),
+                Instr::LocalGet(0), // dead
+                Instr::Drop,        // dead
+                Instr::End,         // label: revives
+                Instr::LocalGet(0),
+                Instr::End,
+            ],
+            vec![],
+        );
+        let ir = lower(&m, &fm, &m.functions[0].body, None);
+        let gets = ir
+            .insts
+            .iter()
+            .filter(|i| matches!(i.op, IrOp::GetLocal { .. }))
+            .count();
+        assert_eq!(gets, 1, "dead local.get must not be lowered");
+    }
+
+    #[test]
+    fn loop_depth_tracks_nesting() {
+        let (m, fm) = module_with(
+            vec![
+                Instr::Loop(BlockType::Empty),
+                Instr::LocalGet(0),
+                Instr::Drop,
+                Instr::End,
+                Instr::LocalGet(0),
+                Instr::End,
+            ],
+            vec![],
+        );
+        let ir = lower(&m, &fm, &m.functions[0].body, None);
+        let depths: Vec<u32> = ir
+            .insts
+            .iter()
+            .filter(|i| matches!(i.op, IrOp::GetLocal { .. }))
+            .map(|i| i.loop_depth)
+            .collect();
+        assert_eq!(depths, vec![1, 0]);
+    }
+}

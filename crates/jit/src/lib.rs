@@ -13,6 +13,8 @@ pub mod asm;
 pub mod codebuf;
 pub mod codegen;
 pub mod engine;
+pub mod ir;
+pub mod regalloc;
 pub mod runtime;
 pub mod verifier;
 

@@ -1,0 +1,457 @@
+//! Linear-scan register allocation for the mid-tier, over the pinned-locals
+//! model.
+//!
+//! The baseline emitter keeps every local in its canonical frame slot and
+//! reloads it at each `local.get`. The mid-tier instead assigns *register
+//! homes* to the hottest integer locals, computed here from the
+//! three-address IR (`crate::ir`):
+//!
+//! 1. **Liveness.** Per-instruction backward dataflow over the IR CFG
+//!    (branch edges from the validator's control tables) yields, for each
+//!    op, the set of locals that may still be read. Hoisted preheader
+//!    guards read their bound locals, so [`crate::ir::IrOp::HoistGuard`]
+//!    counts as a use — a bound local stays live into its versioned loop
+//!    even when the fast body never mentions it again.
+//! 2. **Weighted intervals.** Each local's spill weight is the sum of its
+//!    uses and defs, weighted `4^loop_depth` — one reload avoided in a
+//!    doubly-nested PolyBench kernel is worth sixteen at top level.
+//! 3. **Assignment.** The top three locals by weight get the callee-saved
+//!    pool ([`crate::codegen::PIN_REGS`], in order — so the emitter's
+//!    existing prologue/epilogue/frame layout applies unchanged). Up to
+//!    two more get the caller-saved homes `r8`/`r9`, but only when their
+//!    weight exceeds twice the function's total weighted call cost: the
+//!    emitter must save and reload every caller-saved home around every
+//!    call-like site, and a home that costs more in save/reload traffic
+//!    than it saves in reloads is kept in its slot.
+//! 4. **Redundant-access elimination.** A non-tee `local.set` whose local
+//!    is not live-out is a dead store; the emitter drops it entirely
+//!    (slot-homed) or skips the register move (register-homed).
+//!
+//! The whole pass is a pure function of `(module, meta, body, plan)` — no
+//! strategy, no environment, no randomness — so `lb-verify`'s harness can
+//! re-derive the identical assignment when checking mid-tier output
+//! against the machine code actually emitted.
+
+use crate::asm::Reg;
+use crate::codegen::PIN_REGS;
+use crate::ir::{self, IrOp};
+use lb_analysis::FuncPlan;
+use lb_wasm::validate::FuncMeta;
+use lb_wasm::{Instr, Module};
+
+/// Caller-saved registers usable as mid-tier homes. Only `r8`/`r9`: the
+/// rest of the integer pool is claimed at fixed positions by the emitter
+/// (`rax` for results, `rdx`/`rcx` for division and shifts, `r10` for
+/// indirect-call targets) and pinning those would deadlock allocation.
+pub const CALLER_HOMES: [Reg; 2] = [Reg::R8, Reg::R9];
+
+/// Loop-depth cap for `4^depth` weights (beyond this, everything is
+/// equally scorching and the weights would risk overflow).
+const DEPTH_CAP: u32 = 10;
+
+/// Allocation statistics, for tests and telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Locals granted a register home (callee- plus caller-saved).
+    pub reg_homed: u32,
+    /// Of those, homes in caller-saved registers (save/reload at calls).
+    pub caller_saved_homed: u32,
+    /// Hot locals (nonzero weight) left in their frame slot — spill
+    /// pressure the pools could not absorb.
+    pub slot_homed_hot: u32,
+    /// Dead `local.set`s the emitter will elide.
+    pub dead_stores: u32,
+    /// Call-like sites (each forces a save/reload of caller-saved homes).
+    pub calls: u32,
+}
+
+/// The mid-tier plan for one function: register homes for hot locals and
+/// the dead stores to elide. Produced by [`allocate`].
+#[derive(Debug, Clone, Default)]
+pub struct MidPlan {
+    /// `(local, home)`, sorted by local index.
+    homes: Vec<(u32, Reg)>,
+    /// Number of callee-saved homes (`PIN_REGS[0..n_pinned]` are in use;
+    /// drives the emitter's prologue/epilogue and frame layout).
+    pub n_pinned: usize,
+    /// pcs of non-tee `local.set`s whose local is dead, sorted.
+    dead_stores: Vec<u32>,
+    /// Aggregate statistics.
+    pub stats: AllocStats,
+}
+
+impl MidPlan {
+    /// The register home of `local`, if it was granted one.
+    #[inline]
+    pub fn home(&self, local: u32) -> Option<Reg> {
+        self.homes
+            .binary_search_by_key(&local, |&(l, _)| l)
+            .ok()
+            .map(|i| self.homes[i].1)
+    }
+
+    /// All `(local, home)` pairs, sorted by local index.
+    #[inline]
+    pub fn homes(&self) -> &[(u32, Reg)] {
+        &self.homes
+    }
+
+    /// Locals homed in caller-saved registers, in [`CALLER_HOMES`] order.
+    pub fn caller_saved(&self) -> Vec<(u32, Reg)> {
+        let mut v: Vec<(u32, Reg)> = self
+            .homes
+            .iter()
+            .filter(|&&(_, r)| CALLER_HOMES.contains(&r))
+            .copied()
+            .collect();
+        v.sort_by_key(|&(_, r)| CALLER_HOMES.iter().position(|&c| c == r));
+        v
+    }
+
+    /// Whether the `local.set` at `pc` stores a dead value.
+    #[inline]
+    pub fn is_dead_store(&self, pc: u32) -> bool {
+        self.dead_stores.binary_search(&pc).is_ok()
+    }
+}
+
+/// Bitset over locals, one per IR instruction boundary.
+#[derive(Clone, PartialEq, Eq)]
+struct Bits(Vec<u64>);
+
+impl Bits {
+    fn new(n: usize) -> Bits {
+        Bits(vec![0; n.div_ceil(64)])
+    }
+    #[inline]
+    fn set(&mut self, i: u32) {
+        self.0[i as usize / 64] |= 1 << (i % 64);
+    }
+    #[inline]
+    fn clear(&mut self, i: u32) {
+        self.0[i as usize / 64] &= !(1 << (i % 64));
+    }
+    #[inline]
+    fn get(&self, i: u32) -> bool {
+        self.0[i as usize / 64] & (1 << (i % 64)) != 0
+    }
+    /// `self |= other`; true if `self` changed.
+    fn union(&mut self, other: &Bits) -> bool {
+        let mut changed = false;
+        for (d, s) in self.0.iter_mut().zip(&other.0) {
+            let next = *d | s;
+            changed |= next != *d;
+            *d = next;
+        }
+        changed
+    }
+}
+
+/// Compute the mid-tier plan for one validated function.
+///
+/// `plan` must be the same analysis plan the emitter will consult (or
+/// `None`), so hoisted-guard uses line up with the guards actually
+/// emitted.
+pub fn allocate(
+    module: &Module,
+    meta: &FuncMeta,
+    body: &[Instr],
+    plan: Option<&FuncPlan>,
+) -> MidPlan {
+    let f = ir::lower(module, meta, body, plan);
+    let n = f.insts.len();
+    let nl = meta.local_types.len();
+    if n == 0 || nl == 0 {
+        return MidPlan::default();
+    }
+
+    // `insts` is ordered by pc; map a branch-target pc to the first IR
+    // instruction at-or-after it (`None` = function exit).
+    let ir_at = |pc: u32| -> Option<usize> {
+        let i = f.insts.partition_point(|inst| inst.pc < pc);
+        (i < n).then_some(i)
+    };
+    let succs = |i: usize| -> Vec<usize> {
+        let next = (i + 1 < n).then_some(i + 1);
+        let inst = &f.insts[i];
+        match &inst.op {
+            IrOp::Unreachable | IrOp::Return => vec![],
+            IrOp::Br { dest } => ir_at(*dest).into_iter().collect(),
+            IrOp::BrIf { dest, .. } | IrOp::If { dest, .. } => {
+                next.into_iter().chain(ir_at(*dest)).collect()
+            }
+            IrOp::BrTable { dests, .. } => dests.iter().filter_map(|&d| ir_at(d)).collect(),
+            IrOp::Else => ir_at(meta.ctrl[inst.pc as usize]).into_iter().collect(),
+            _ => next.into_iter().collect(),
+        }
+    };
+
+    // Backward may-liveness to fixpoint. `live[i]` is the live-out set of
+    // instruction `i`.
+    let mut live: Vec<Bits> = (0..n).map(|_| Bits::new(nl)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            // live-out = union of successors' live-in.
+            let mut out = Bits::new(nl);
+            for s in succs(i) {
+                let mut li = live[s].clone();
+                match &f.insts[s].op {
+                    IrOp::SetLocal { local, .. } => li.clear(*local),
+                    _ => {}
+                }
+                match &f.insts[s].op {
+                    IrOp::GetLocal { local, .. } => li.set(*local),
+                    IrOp::HoistGuard { locals } => {
+                        for &l in locals {
+                            li.set(l);
+                        }
+                    }
+                    _ => {}
+                }
+                out.union(&li);
+            }
+            changed |= live[i].union(&out);
+        }
+    }
+
+    // Weighted use counts and total call cost.
+    let mut weight = vec![0u64; nl];
+    let mut call_cost = 0u64;
+    let mut calls = 0u32;
+    for inst in &f.insts {
+        let w = 4u64.pow(inst.loop_depth.min(DEPTH_CAP));
+        match &inst.op {
+            IrOp::GetLocal { local, .. } | IrOp::SetLocal { local, .. } => {
+                weight[*local as usize] += w;
+            }
+            IrOp::HoistGuard { locals } => {
+                for &l in locals {
+                    weight[l as usize] += w;
+                }
+            }
+            IrOp::Call { .. } => {
+                call_cost += 2 * w;
+                calls += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Dead stores: non-tee sets whose local is not live-out.
+    let mut dead_stores = Vec::new();
+    for (i, inst) in f.insts.iter().enumerate() {
+        if let IrOp::SetLocal {
+            local, tee: false, ..
+        } = inst.op
+        {
+            if !live[i].get(local) {
+                dead_stores.push(inst.pc);
+            }
+        }
+    }
+    dead_stores.sort_unstable();
+    dead_stores.dedup();
+
+    // Assignment: hottest int locals first, callee-saved pool before the
+    // caller-saved one, the latter only when reload savings beat the
+    // save/restore traffic at call sites.
+    let mut hot: Vec<u32> = (0..nl as u32)
+        .filter(|&l| weight[l as usize] > 0 && meta.local_types[l as usize].is_int())
+        .collect();
+    hot.sort_by_key(|&l| (std::cmp::Reverse(weight[l as usize]), l));
+    let mut homes: Vec<(u32, Reg)> = Vec::new();
+    let mut n_pinned = 0;
+    let mut caller = 0;
+    let mut slot_homed_hot = 0u32;
+    for &l in &hot {
+        if n_pinned < PIN_REGS.len() {
+            homes.push((l, PIN_REGS[n_pinned]));
+            n_pinned += 1;
+        } else if caller < CALLER_HOMES.len() && weight[l as usize] > 2 * call_cost {
+            homes.push((l, CALLER_HOMES[caller]));
+            caller += 1;
+        } else {
+            slot_homed_hot += 1;
+        }
+    }
+    homes.sort_by_key(|&(l, _)| l);
+
+    MidPlan {
+        stats: AllocStats {
+            reg_homed: homes.len() as u32,
+            caller_saved_homed: caller as u32,
+            slot_homed_hot,
+            dead_stores: dead_stores.len() as u32,
+            calls,
+        },
+        homes,
+        n_pinned,
+        dead_stores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_wasm::module::Function;
+    use lb_wasm::{BlockType, FuncType, Limits, MemoryType, ValType};
+
+    /// One defined function `(i32) -> i32` with `locals` extra i32 locals
+    /// and the given body, plus a second callee `f1: (i32) -> i32`.
+    fn module_with(body: Vec<Instr>, n_locals: usize) -> (Module, FuncMeta) {
+        let mut m = Module::new();
+        m.types.push(FuncType {
+            params: vec![ValType::I32],
+            results: vec![ValType::I32],
+        });
+        m.memory = Some(MemoryType {
+            limits: Limits {
+                min: 1,
+                max: Some(1),
+            },
+        });
+        m.functions.push(Function {
+            type_idx: 0,
+            locals: vec![ValType::I32; n_locals],
+            body,
+            name: None,
+        });
+        m.functions.push(Function {
+            type_idx: 0,
+            locals: vec![],
+            body: vec![Instr::LocalGet(0), Instr::End],
+            name: None,
+        });
+        let meta = lb_wasm::validate(&m).expect("module validates");
+        let fm = meta.funcs[0].clone();
+        (m, fm)
+    }
+
+    /// `loop { <uses of locals 1..=k>; l0 -= 1; br_if l0 } ; return l0`
+    fn counted_loop(uses: &[u32], call: bool) -> Vec<Instr> {
+        let mut b = vec![Instr::Loop(BlockType::Empty)];
+        for &l in uses {
+            b.push(Instr::LocalGet(l));
+            b.push(Instr::Drop);
+        }
+        if call {
+            b.push(Instr::LocalGet(0));
+            b.push(Instr::Call(1));
+            b.push(Instr::Drop);
+        }
+        b.extend([
+            Instr::LocalGet(0),
+            Instr::I32Const(1),
+            Instr::I32Sub,
+            Instr::LocalTee(0),
+            Instr::BrIf(0),
+            Instr::End,
+            Instr::LocalGet(0),
+            Instr::End,
+        ]);
+        b
+    }
+
+    #[test]
+    fn spill_pressure_caps_register_homes() {
+        // Eight hot locals, five home registers: the three hottest get the
+        // callee-saved pool, two more the caller-saved pool (no calls),
+        // the rest stay slot-homed.
+        let uses: Vec<u32> = (1..8)
+            .flat_map(|l| std::iter::repeat(l).take(l as usize))
+            .collect();
+        let (m, fm) = module_with(counted_loop(&uses, false), 7);
+        let p = allocate(&m, &fm, &m.functions[0].body, None);
+        assert_eq!(p.n_pinned, 3);
+        assert_eq!(p.stats.reg_homed, 5);
+        assert_eq!(p.stats.caller_saved_homed, 2);
+        assert!(p.stats.slot_homed_hot >= 3, "stats: {:?}", p.stats);
+        // Local l has l in-loop uses, so local 7 is the hottest and heads
+        // the callee-saved pool.
+        assert_eq!(p.home(7), Some(PIN_REGS[0]));
+        assert_eq!(p.home(6), Some(PIN_REGS[1]));
+        // The coldest hot locals are slot-homed.
+        assert_eq!(p.home(1), None);
+        assert_eq!(p.home(2), None);
+    }
+
+    #[test]
+    fn calls_make_caller_saved_homes_unprofitable() {
+        let uses: Vec<u32> = (1..6)
+            .flat_map(|l| std::iter::repeat(l).take(l as usize))
+            .collect();
+        let without_call = {
+            let (m, fm) = module_with(counted_loop(&uses, false), 5);
+            allocate(&m, &fm, &m.functions[0].body, None)
+        };
+        let with_call = {
+            let (m, fm) = module_with(counted_loop(&uses, true), 5);
+            allocate(&m, &fm, &m.functions[0].body, None)
+        };
+        assert_eq!(without_call.stats.caller_saved_homed, 2);
+        assert_eq!(with_call.stats.calls, 1);
+        assert_eq!(
+            with_call.stats.caller_saved_homed, 0,
+            "a call in the hot loop must price r8/r9 homes out: {:?}",
+            with_call.stats
+        );
+        // Callee-saved homes are free across calls and stay granted.
+        assert_eq!(with_call.n_pinned, 3);
+    }
+
+    #[test]
+    fn dead_stores_are_found_and_live_ones_kept() {
+        // local 1 is set then never read -> dead; local 2 is set and
+        // returned -> live.
+        let body = vec![
+            Instr::LocalGet(0),
+            Instr::LocalSet(1), // pc 1: dead store
+            Instr::LocalGet(0),
+            Instr::LocalSet(2), // pc 3: live
+            Instr::LocalGet(2),
+            Instr::End,
+        ];
+        let (m, fm) = module_with(body, 2);
+        let p = allocate(&m, &fm, &m.functions[0].body, None);
+        assert!(p.is_dead_store(1));
+        assert!(!p.is_dead_store(3));
+        assert_eq!(p.stats.dead_stores, 1);
+    }
+
+    #[test]
+    fn loop_backedge_keeps_locals_live() {
+        // A set before the backedge is read on the next trip: not dead.
+        let body = vec![
+            Instr::Loop(BlockType::Empty),
+            Instr::LocalGet(1),
+            Instr::I32Const(1),
+            Instr::I32Add,
+            Instr::LocalSet(1), // pc 4: live around the backedge
+            Instr::LocalGet(0),
+            Instr::BrIf(0),
+            Instr::End,
+            Instr::LocalGet(0),
+            Instr::End,
+        ];
+        let (m, fm) = module_with(body, 1);
+        let p = allocate(&m, &fm, &m.functions[0].body, None);
+        assert!(
+            !p.is_dead_store(4),
+            "backedge-carried local must stay live: {:?}",
+            p.dead_stores
+        );
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let uses: Vec<u32> = (1..6).collect();
+        let (m, fm) = module_with(counted_loop(&uses, false), 5);
+        let a = allocate(&m, &fm, &m.functions[0].body, None);
+        let b = allocate(&m, &fm, &m.functions[0].body, None);
+        assert_eq!(a.homes, b.homes);
+        assert_eq!(a.dead_stores, b.dead_stores);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -91,6 +91,21 @@ pub fn verify_emitted(
     } else {
         plan.map(|p| &p.funcs[defined_idx])
     };
+    // Re-derive the mid tier's register homes independently: `allocate` is
+    // a pure function of the same inputs codegen consumed, so the verifier
+    // recomputes rather than trusts the allocation it is checking.
+    let homes = (opt == OptLevel::Mid).then(|| {
+        crate::regalloc::allocate(
+            module,
+            &meta.funcs[defined_idx],
+            &module.functions[defined_idx].body,
+            func_plan,
+        )
+        .homes()
+        .iter()
+        .map(|&(l, r)| (l, r.0))
+        .collect()
+    });
     let report = verify_function(&FuncInput {
         func_index: defined_idx,
         code,
@@ -100,6 +115,7 @@ pub fn verify_emitted(
         plan: func_plan,
         mem_min_bytes,
         reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES as u64,
+        homes,
     });
     let c = counters();
     c.sites.add(report.sites_checked);

@@ -1027,6 +1027,24 @@ impl Absint {
                 }
                 MemClass::Other => {}
             },
+            MovMi { m, v } => match Self::mem_class(st, m) {
+                MemClass::Linear => {
+                    self.record_access(st, off, MachineOp::Store64, m);
+                }
+                MemClass::Slot(disp) => {
+                    st.slots.insert(disp, AbsVal::Const(v as i64 as u64));
+                }
+                MemClass::Ctx(_) => {
+                    if self.recording {
+                        self.findings.push(Finding {
+                            func: self.func,
+                            offset: off,
+                            kind: FindingKind::WritesVmCtx,
+                        });
+                    }
+                }
+                MemClass::Other => {}
+            },
             MovMr8 { m, .. } | MovMr16 { m, .. } => match Self::mem_class(st, m) {
                 MemClass::Linear => {
                     let op = if matches!(inst, MovMr8 { .. }) {
@@ -1391,6 +1409,7 @@ fn linear_operand(inst: &Inst) -> Option<(MachineOp, Mem)> {
         MovsxdM { m, .. } => (MachineOp::Load32S64, m),
         MovMr { w: W::W32, m, .. } => (MachineOp::Store32, m),
         MovMr { w: W::W64, m, .. } => (MachineOp::Store64, m),
+        MovMi { m, .. } => (MachineOp::Store64, m),
         MovMr8 { m, .. } => (MachineOp::Store8, m),
         MovMr16 { m, .. } => (MachineOp::Store16, m),
         Fload { double, m, .. } => (

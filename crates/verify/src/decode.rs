@@ -329,13 +329,15 @@ pub fn decode_one(bytes: &[u8], offset: usize) -> Result<(Inst, usize), DecodeEr
         0xC3 if sse_prefix == 0 => Inst::Ret,
         0xC7 if sse_prefix == 0 && rex.w => {
             let (reg, rm) = modrm(&mut c, rex)?;
-            let d = want_reg(&c, rm)?;
             if reg & 7 != 0 {
                 return c.err("C7 with a nonzero reg field is not emitted");
             }
-            Inst::MovRi64Sx {
-                d: Reg(d),
-                v: c.i32_()?,
+            match rm {
+                Rm::Reg(d) => Inst::MovRi64Sx {
+                    d: Reg(d),
+                    v: c.i32_()?,
+                },
+                Rm::Mem(m) => Inst::MovMi { m, v: c.i32_()? },
             }
         }
         0xE9 if sse_prefix == 0 => Inst::Jmp { rel: c.i32_()? },

@@ -62,6 +62,11 @@ pub struct FuncInput<'a> {
     /// Bytes of virtual-address reservation per linear memory (headroom
     /// for the guard-region strategies).
     pub reserve_bytes: u64,
+    /// Mid-tier register homes as `(local index, machine register number)`
+    /// pairs, recomputed by the caller from the same inputs codegen used
+    /// (`lb-jit`'s `regalloc::allocate` is a pure function of them).
+    /// `None` for every other tier.
+    pub homes: Option<Vec<(u32, u8)>>,
 }
 
 /// Verify one compiled function against its wasm body.
@@ -276,10 +281,26 @@ fn classify(input: &FuncInput<'_>, site: &Site, obs: &SiteObs, report: &mut Func
 /// accepted — ambiguity only ever maps the bound to a *different local's*
 /// slot, which the matched guard shape still proves was compared against
 /// `mem_size` whole.
-fn bound_srcs_for_local(meta: &FuncMeta, l: u32) -> Vec<BoundSrc> {
+fn bound_srcs_for_local(meta: &FuncMeta, l: u32, homes: Option<&[(u32, u8)]>) -> Vec<BoundSrc> {
     // PIN_REGS in codegen: rbx, r12, r13 — assigned to the first three
     // integer locals in index order at OptLevel::Full.
     const PIN_REGS: [u8; 3] = [3, 12, 13];
+    if let Some(homes) = homes {
+        // Mid tier: homes are hotness-ordered, not index-ordered, so the
+        // Full heuristic below does not apply. The frame reserves one
+        // callee-saved save slot per PIN_REGS home (caller-saved homes
+        // r8/r9 need no save area), shifting local slots down exactly as
+        // the Full layout does.
+        let n_pinned = homes
+            .iter()
+            .filter(|&&(_, r)| PIN_REGS.contains(&r))
+            .count() as i32;
+        let mut srcs = vec![BoundSrc::Slot(-8 * (n_pinned + 1 + l as i32))];
+        if let Some(&(_, r)) = homes.iter().find(|&&(hl, _)| hl == l) {
+            srcs.push(BoundSrc::Reg(r));
+        }
+        return srcs;
+    }
     let mut srcs = vec![BoundSrc::Slot(-8 * (1 + l as i32))];
     let mut k = 0usize;
     for (i, ty) in meta.local_types.iter().enumerate() {
@@ -327,7 +348,7 @@ fn classify_hoisted(input: &FuncInput<'_>, site: &Site, obs: &SiteObs, report: &
         return;
     };
     let covered = hoist.iter().all(|g| {
-        let srcs = bound_srcs_for_local(input.meta, g.bound_local);
+        let srcs = bound_srcs_for_local(input.meta, g.bound_local, input.homes.as_deref());
         obs.hfacts.iter().any(|f| {
             srcs.contains(&f.src)
                 && f.strict == g.strict

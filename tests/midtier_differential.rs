@@ -1,0 +1,325 @@
+//! Differential testing for the mid tier: IR-driven linear-scan register
+//! homes, caller-saved home save/reload around calls, and dead-store
+//! elimination must all be *invisible* to program behavior. Modules run
+//! on the interpreter, the baseline tier, and the mid tier under trap
+//! and clamp at exact memory boundaries (n, n±1, 0) and must agree
+//! bit-for-bit on results, trap points, and pre-trap partial stores.
+
+mod common;
+
+use common::{dynamic_bound_module, multi_function_module, A_BASE, K, MAX_N};
+use lb_core::exec::{Engine, Linker};
+use lb_core::{BoundsStrategy, MemoryConfig, Trap};
+use lb_interp::InterpEngine;
+use lb_jit::{JitEngine, JitProfile};
+use lb_wasm::module::{Export, ExportKind, Function};
+use lb_wasm::{BlockType, FuncType, Instr, Limits, MemArg, MemoryType, Module, ValType, Value};
+
+/// Interpreter reference, the baseline register tier, and the mid tier
+/// (with and without hoisting, so register homes are exercised both with
+/// versioned loops and with plain per-access checks).
+fn engines() -> Vec<(&'static str, Box<dyn Engine>)> {
+    vec![
+        ("interp", Box::new(InterpEngine::new())),
+        ("baseline", Box::new(JitEngine::new(JitProfile::wasmtime()))),
+        (
+            "mid",
+            Box::new(JitEngine::new(JitProfile::wasmtime().with_midtier(true))),
+        ),
+        (
+            "mid-nohoist",
+            Box::new(JitEngine::new(
+                JitProfile::wasmtime()
+                    .with_midtier(true)
+                    .with_hoisting(false),
+            )),
+        ),
+    ]
+}
+
+fn repr(r: &Result<Option<Value>, Trap>) -> String {
+    match r {
+        Ok(Some(v)) => format!("ok:{:016x}", v.to_bits()),
+        Ok(None) => "ok:void".into(),
+        Err(t) => format!("trap:{:?}", t.kind()),
+    }
+}
+
+/// Invoke `go(n)` on every engine under `strategy` and assert agreement.
+fn agreed(module: &Module, strategy: BoundsStrategy, n: i32, ctx: &str) -> String {
+    let mut first: Option<(&str, String)> = None;
+    for (name, engine) in engines() {
+        let loaded = engine.load(module).expect("module loads");
+        let config = MemoryConfig::new(strategy, 1, 1).with_reserve(1 << 22);
+        let mut inst = loaded
+            .instantiate(&config, &Linker::new())
+            .expect("instantiate");
+        let got = repr(&inst.invoke("go", &[Value::I32(n)]));
+        match &first {
+            None => first = Some((name, got)),
+            Some((f, want)) => {
+                assert_eq!(want, &got, "{ctx}: n={n}: `{f}` and `{name}` disagree")
+            }
+        }
+    }
+    first.unwrap().1
+}
+
+/// Boundary sweep on the dynamic-bound store loop: every `n` around the
+/// exact memory edge, under both software strategies.
+#[test]
+fn midtier_boundary_agrees() {
+    let m = dynamic_bound_module();
+    for strategy in [BoundsStrategy::Trap, BoundsStrategy::Clamp] {
+        for n in [0, 1, 7, MAX_N - 1, MAX_N] {
+            let got = agreed(&m, strategy, n, "mid-tier in bounds");
+            let want = if n == 0 {
+                "ok:0000000000000000".to_string()
+            } else {
+                format!("ok:{:016x}", n - 1)
+            };
+            assert_eq!(got, want, "{strategy:?} n={n}");
+        }
+    }
+    // One element past the end: trap traps, clamp redirects — but the
+    // engines never diverge from each other.
+    assert!(
+        agreed(&m, BoundsStrategy::Trap, MAX_N + 1, "first oob").starts_with("trap:"),
+        "trap strategy must trap one element past the end"
+    );
+    assert!(
+        agreed(&m, BoundsStrategy::Clamp, MAX_N + 1, "first oob clamped").starts_with("ok:"),
+        "clamp strategy redirects instead of trapping"
+    );
+    assert!(
+        agreed(&m, BoundsStrategy::Trap, -1, "wrapping bound").starts_with("trap:"),
+        "huge unsigned bound still traps at the boundary"
+    );
+}
+
+/// Trap timing: after `go(MAX_N + 1)` traps, every store of an earlier
+/// iteration — and nothing later — must be visible, identically across
+/// the tiers (dead-store elimination must never drop a store another
+/// engine performs before the trap).
+#[test]
+fn midtier_pre_trap_stores_visible_identically() {
+    let mut m = dynamic_bound_module();
+    m.functions.push(Function {
+        type_idx: 0,
+        locals: vec![],
+        body: vec![
+            Instr::LocalGet(0),
+            Instr::I32Const(2),
+            Instr::I32Shl,
+            Instr::I32Load(MemArg::offset(A_BASE)),
+            Instr::End,
+        ],
+        name: Some("peek".into()),
+    });
+    m.exports.push(Export {
+        name: "peek".into(),
+        kind: ExportKind::Func(1),
+    });
+    lb_wasm::validate(&m).expect("module validates");
+
+    let n = MAX_N + 1; // traps on the last iteration
+    let mut first: Option<(&str, Vec<String>)> = None;
+    for (name, engine) in engines() {
+        let loaded = engine.load(&m).expect("module loads");
+        let config = MemoryConfig::new(BoundsStrategy::Trap, 1, 1).with_reserve(1 << 22);
+        let mut inst = loaded
+            .instantiate(&config, &Linker::new())
+            .expect("instantiate");
+        let mut log = vec![repr(&inst.invoke("go", &[Value::I32(n)]))];
+        assert!(log[0].starts_with("trap:"), "{name}: go({n}) must trap");
+        for j in [0, 1, 4096, MAX_N - 1] {
+            log.push(repr(&inst.invoke("peek", &[Value::I32(j)])));
+        }
+        match &first {
+            None => {
+                for (k, j) in [0, 1, 4096, MAX_N - 1].iter().enumerate() {
+                    assert_eq!(
+                        log[k + 1],
+                        format!("ok:{:016x}", j),
+                        "{name}: store a[{j}] must be visible after the trap"
+                    );
+                }
+                first = Some((name, log));
+            }
+            Some((f, want)) => assert_eq!(
+                want, &log,
+                "`{f}` and `{name}` disagree on pre-trap visibility"
+            ),
+        }
+    }
+}
+
+/// Calls inside the hot loop: the mid tier must save caller-saved homes
+/// before and reload them after every call, so the interprocedural
+/// module (whose `go` calls `fill` and `len`) agrees across tiers at
+/// the same boundaries.
+#[test]
+fn midtier_calls_preserve_homes() {
+    let m = multi_function_module();
+    for strategy in [BoundsStrategy::Trap, BoundsStrategy::Clamp] {
+        for n in [0, 1, K, MAX_N] {
+            let got = agreed(&m, strategy, n, "multi-function in bounds");
+            let want = if n == 0 {
+                format!("ok:{:016x}", K - 1)
+            } else {
+                format!("ok:{:016x}", (n - 1) + (K - 1))
+            };
+            assert_eq!(got, want, "{strategy:?} n={n}");
+        }
+    }
+    assert!(
+        agreed(&m, BoundsStrategy::Trap, MAX_N + 1, "multi-function oob").starts_with("trap:"),
+        "callee loop traps one element past the end"
+    );
+}
+
+/// A module with more hot integer locals than there are register homes
+/// (3 callee-saved + 2 caller-saved): `go(n)` accumulates 8 loop-carried
+/// counters (counter `l` gains `l` per iteration), so at least three
+/// must stay slot-homed. Returns `sum_{l=1..8} l*n = 36*n`.
+fn spill_pressure_module() -> Module {
+    let mut m = Module::new();
+    m.types.push(FuncType {
+        params: vec![ValType::I32],
+        results: vec![ValType::I32],
+    });
+    m.memory = Some(MemoryType {
+        limits: Limits {
+            min: 1,
+            max: Some(1),
+        },
+    });
+    // Locals: 0 = n (param), 1..=8 = counters, 9 = i.
+    let mut body = vec![
+        Instr::Block(BlockType::Empty),
+        Instr::LocalGet(0),
+        Instr::I32Eqz,
+        Instr::BrIf(0),
+        Instr::Loop(BlockType::Empty),
+    ];
+    for l in 1..=8u32 {
+        body.extend([
+            Instr::LocalGet(l),
+            Instr::I32Const(l as i32),
+            Instr::I32Add,
+            Instr::LocalSet(l),
+        ]);
+    }
+    body.extend([
+        Instr::LocalGet(9),
+        Instr::I32Const(1),
+        Instr::I32Add,
+        Instr::LocalTee(9),
+        Instr::LocalGet(0),
+        Instr::I32LtU,
+        Instr::BrIf(0),
+        Instr::End,
+        Instr::End,
+    ]);
+    // Sum the counters.
+    body.push(Instr::LocalGet(1));
+    for l in 2..=8u32 {
+        body.extend([Instr::LocalGet(l), Instr::I32Add]);
+    }
+    body.push(Instr::End);
+    m.functions.push(Function {
+        type_idx: 0,
+        locals: vec![ValType::I32; 9],
+        body,
+        name: Some("go".into()),
+    });
+    m.exports.push(Export {
+        name: "go".into(),
+        kind: ExportKind::Func(0),
+    });
+    lb_wasm::validate(&m).expect("module validates");
+    m
+}
+
+/// Spill pressure: with 9 hot integer locals and 5 register homes, the
+/// mix of register- and slot-homed locals must compute the same sums as
+/// the reference engines.
+#[test]
+fn midtier_spill_pressure_agrees() {
+    let m = spill_pressure_module();
+    for n in [0, 1, 2, 1000] {
+        let got = agreed(&m, BoundsStrategy::Trap, n, "spill pressure");
+        let want = format!("ok:{:016x}", 36u64 * n as u64);
+        assert_eq!(got, want, "n={n}");
+    }
+}
+
+/// A function whose first `local.set` is dead (overwritten before any
+/// read): the mid tier elides it, and `jit.midtier.dead_stores_elided`
+/// says so — while the observable result is unchanged.
+#[test]
+fn midtier_dead_store_elision_is_invisible_and_counted() {
+    let mut m = Module::new();
+    m.types.push(FuncType {
+        params: vec![ValType::I32],
+        results: vec![ValType::I32],
+    });
+    m.memory = Some(MemoryType {
+        limits: Limits {
+            min: 1,
+            max: Some(1),
+        },
+    });
+    m.functions.push(Function {
+        type_idx: 0,
+        locals: vec![ValType::I32],
+        body: vec![
+            Instr::I32Const(17),
+            Instr::LocalSet(1), // dead: overwritten before any read
+            Instr::LocalGet(0),
+            Instr::I32Const(25),
+            Instr::I32Add,
+            Instr::LocalSet(1),
+            Instr::LocalGet(1),
+            Instr::End,
+        ],
+        name: Some("go".into()),
+    });
+    m.exports.push(Export {
+        name: "go".into(),
+        kind: ExportKind::Func(0),
+    });
+    lb_wasm::validate(&m).expect("module validates");
+
+    let dead = lb_telemetry::counter("jit.midtier.dead_stores_elided");
+    let before = dead.get();
+    for n in [0, 1, -25, i32::MAX] {
+        let got = agreed(&m, BoundsStrategy::Trap, n, "dead store");
+        let want = format!("ok:{:016x}", (n.wrapping_add(25) as u32) as u64);
+        assert_eq!(got, want, "n={n}");
+    }
+    assert!(
+        dead.get() > before,
+        "the mid tier must report the elided dead store"
+    );
+}
+
+/// The mid tier's register homes actually fire on the hot loop: the
+/// reload-elision counter moves when compiling and running under `Mid`.
+#[test]
+fn midtier_reload_elision_is_counted() {
+    let m = dynamic_bound_module();
+    let reloads = lb_telemetry::counter("jit.midtier.reloads_elided");
+    let before = reloads.get();
+    let engine = JitEngine::new(JitProfile::wasmtime().with_midtier(true));
+    let loaded = engine.load(&m).expect("module loads");
+    let config = MemoryConfig::new(BoundsStrategy::Trap, 1, 1).with_reserve(1 << 22);
+    let mut inst = loaded
+        .instantiate(&config, &Linker::new())
+        .expect("instantiate");
+    assert!(inst.invoke("go", &[Value::I32(7)]).is_ok());
+    assert!(
+        reloads.get() > before,
+        "register-homed locals must elide their slot reloads"
+    );
+}

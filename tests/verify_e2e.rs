@@ -52,6 +52,7 @@ fn sweep_module(name: &str, module: &Module, totals: &mut SweepTotals) {
         for (opt, with_plan) in [
             (OptLevel::None, false),
             (OptLevel::Basic, true),
+            (OptLevel::Mid, true),
             (OptLevel::Full, true),
             (OptLevel::Full, false),
         ] {
@@ -76,6 +77,20 @@ fn sweep_module(name: &str, module: &Module, totals: &mut SweepTotals) {
             let mut verify_hoisted = 0u64;
             for (di, code) in codes.iter().enumerate() {
                 let func_plan = (with_plan && opt != OptLevel::None).then(|| &plan.funcs[di]);
+                // The verifier re-derives the mid tier's register homes
+                // from the same pure inputs codegen used.
+                let homes = (opt == OptLevel::Mid).then(|| {
+                    lb_jit::regalloc::allocate(
+                        module,
+                        &meta.funcs[di],
+                        &module.functions[di].body,
+                        func_plan,
+                    )
+                    .homes()
+                    .iter()
+                    .map(|&(l, r)| (l, r.0))
+                    .collect()
+                });
                 let report = verify_function(&FuncInput {
                     func_index: di,
                     code,
@@ -85,6 +100,7 @@ fn sweep_module(name: &str, module: &Module, totals: &mut SweepTotals) {
                     plan: func_plan,
                     mem_min_bytes,
                     reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES as u64,
+                    homes,
                 });
                 assert!(
                     report.findings.is_empty(),
@@ -152,7 +168,7 @@ fn all_kernels_verify_with_zero_findings() {
 
     // The sweep must actually have exercised elision: the analysis plans
     // and the peephole both fire on these kernels.
-    assert_eq!(totals.configs, 32 * 5 * 4);
+    assert_eq!(totals.configs, 32 * 5 * 5);
     assert!(totals.sites > 0, "kernels contain memory accesses");
     assert!(
         totals.elided > 0,

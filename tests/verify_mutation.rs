@@ -222,6 +222,7 @@ fn verify(ctx: &Ctx<'_>, code: &[u8]) -> lb_verify::FuncReport {
         plan: None,
         mem_min_bytes: ctx.mem_min_bytes,
         reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES as u64,
+        homes: None,
     })
 }
 
@@ -323,6 +324,10 @@ fn validator_detects_safety_breaking_mutants() {
 /// Byte spans of one hoisted preheader guard in compiled code, anchored
 /// on its unique `cmp r11, 0x7FFF_FFFF` range pre-check.
 struct HoistGuardSpans {
+    /// `(offset, len, inst)` of the bound load into r11 — `mov r11d, reg`
+    /// when the bound local lives in a register home, `mov r11d,
+    /// [rbp+disp]` when it is read from its spill slot.
+    bound: Option<(usize, usize, Inst)>,
     /// `(offset, len)` of the optional `add r11, addend`, plus whether
     /// the immediate is encoded as imm32 (vs imm8).
     add: Option<(usize, usize, bool)>,
@@ -384,7 +389,22 @@ fn find_hoist_guards(spans: &[(usize, usize, Inst)]) -> Vec<HoistGuardSpans> {
             i += 1;
             continue;
         }
+        // The bound load precedes the range pre-check, behind an optional
+        // `sub r11, 1` (strict bounds).
+        let mut b = i;
+        if b > 0
+            && matches!(spans[b - 1].2,
+                Inst::AluRi { w: W::W64, op: Alu::Sub, d, v: 1 } if d.0 == SCRATCH)
+        {
+            b -= 1;
+        }
+        let bound = b.checked_sub(1).map(|p| spans[p]).filter(|&(.., inst)| {
+            matches!(inst, Inst::MovRr { w: W::W32, d, .. } if d.0 == SCRATCH)
+                || matches!(inst,
+                    Inst::MovRm { w: W::W32, d, m } if d.0 == SCRATCH && m.base == Reg::RBP)
+        });
         out.push(HoistGuardSpans {
+            bound,
             add,
             size_cmp: (coff, clen),
             size_ja: (joff, jlen),
@@ -394,7 +414,7 @@ fn find_hoist_guards(spans: &[(usize, usize, Inst)]) -> Vec<HoistGuardSpans> {
     out
 }
 
-/// The three hoisted-guard corruption classes, all safety-breaking:
+/// The hoisted-guard corruption classes, all safety-breaking:
 ///
 /// * `hoist-guard-nop` — NOP the preheader's `cmp r11, [r15+8]; ja slow`:
 ///   the guard never routes to the checked slow copy, so any bound up to
@@ -405,6 +425,12 @@ fn find_hoist_guards(spans: &[(usize, usize, Inst)]) -> Vec<HoistGuardSpans> {
 /// * `hoist-target-swap` — invert the final `ja` (`ja` → `jbe`): the
 ///   version selection is swapped, so a failing guard falls through into
 ///   the check-free fast copy instead of the per-access-checked slow one.
+/// * `regalloc-bound-reg-swap` — read the guard's bound from a different
+///   register home: the shape of a register allocator assigning (or
+///   clobbering into) the wrong home, so the guard proves a bound the
+///   loop never uses.
+/// * `regalloc-slot-swap` — repoint a spill-slot bound load one frame
+///   slot down: the allocator-bug analogue for slot-homed bounds.
 fn enumerate_hoist_mutants(code: &[u8], spans: &[(usize, usize, Inst)]) -> Vec<Mutant> {
     let mut out = Vec::new();
     for g in find_hoist_guards(spans) {
@@ -430,6 +456,56 @@ fn enumerate_hoist_mutants(code: &[u8], spans: &[(usize, usize, Inst)]) -> Vec<M
             // 0F 87 (ja) -> 0F 86 (jbe): second opcode byte.
             patches: vec![(g.size_ja.0 + 1, vec![code[g.size_ja.0 + 1] ^ 0x01])],
         });
+        // Register-allocator corruption classes: repoint the guard's
+        // bound load at a *different* local's home or spill slot, the
+        // machine shape of an allocator bug. The guard then proves a
+        // bound the loop never uses.
+        match g.bound {
+            Some((boff, blen, Inst::MovRr { w, d, s })) => {
+                // Clobbered guard register: read the bound from the
+                // neighboring register (rbx↔rdx, r12↔r13, r8↔r9 — all
+                // stay valid encodings of the same length).
+                let mut patched = Vec::new();
+                lb_verify::isa::encode(
+                    &Inst::MovRr {
+                        w,
+                        d,
+                        s: Reg(s.0 ^ 1),
+                    },
+                    &mut patched,
+                );
+                if patched.len() == blen {
+                    out.push(Mutant {
+                        class: "regalloc-bound-reg-swap",
+                        patches: vec![(boff, patched)],
+                    });
+                }
+            }
+            Some((boff, blen, Inst::MovRm { w, d, m })) => {
+                // Spill-slot swap: shift the bound read one slot down —
+                // another local's frame slot under every layout this
+                // module can have.
+                let mut patched = Vec::new();
+                lb_verify::isa::encode(
+                    &Inst::MovRm {
+                        w,
+                        d,
+                        m: lb_verify::isa::Mem {
+                            disp: m.disp - 8,
+                            ..m
+                        },
+                    },
+                    &mut patched,
+                );
+                if patched.len() == blen {
+                    out.push(Mutant {
+                        class: "regalloc-slot-swap",
+                        patches: vec![(boff, patched)],
+                    });
+                }
+            }
+            _ => {}
+        }
     }
     out
 }
@@ -456,7 +532,7 @@ fn validator_detects_hoisted_guard_corruption() {
             .map_or(0, |m| u64::from(m.limits.min) * PAGE_SIZE as u64);
 
         for strategy in [BoundsStrategy::Trap, BoundsStrategy::Clamp] {
-            for opt in [OptLevel::Basic, OptLevel::Full] {
+            for opt in [OptLevel::Basic, OptLevel::Mid, OptLevel::Full] {
                 let params = CompileParams {
                     module,
                     metas: &meta.funcs,
@@ -468,6 +544,20 @@ fn validator_detects_hoisted_guard_corruption() {
                 };
                 for di in 0..module.functions.len() {
                     let code = compile_function(params, di);
+                    // The mid tier's register homes, recomputed exactly as
+                    // the verifier-in-the-JIT does.
+                    let homes: Option<Vec<(u32, u8)>> = (opt == OptLevel::Mid).then(|| {
+                        lb_jit::regalloc::allocate(
+                            module,
+                            &meta.funcs[di],
+                            &module.functions[di].body,
+                            Some(&plan.funcs[di]),
+                        )
+                        .homes()
+                        .iter()
+                        .map(|&(l, r)| (l, r.0))
+                        .collect()
+                    });
                     let clean = verify_function(&FuncInput {
                         func_index: di,
                         code: &code,
@@ -477,6 +567,7 @@ fn validator_detects_hoisted_guard_corruption() {
                         plan: Some(&plan.funcs[di]),
                         mem_min_bytes,
                         reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES as u64,
+                        homes: homes.clone(),
                     });
                     assert!(
                         clean.findings.is_empty(),
@@ -497,6 +588,7 @@ fn validator_detects_hoisted_guard_corruption() {
                             plan: Some(&plan.funcs[di]),
                             mem_min_bytes,
                             reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES as u64,
+                            homes: homes.clone(),
                         });
                         let e = by_class.entry(mutant.class).or_insert((0, 0));
                         e.0 += 1;
@@ -514,7 +606,13 @@ fn validator_detects_hoisted_guard_corruption() {
         }
     }
 
-    for class in ["hoist-guard-nop", "hoist-bound-weaken", "hoist-target-swap"] {
+    for class in [
+        "hoist-guard-nop",
+        "hoist-bound-weaken",
+        "hoist-target-swap",
+        "regalloc-bound-reg-swap",
+        "regalloc-slot-swap",
+    ] {
         let (total, detected) = by_class.get(class).copied().unwrap_or((0, 0));
         println!("  {class}: {detected}/{total}");
         assert!(total > 0, "{class}: no mutants generated");
