@@ -32,6 +32,13 @@
 //!    validator's instruction model honest. The one deliberate exception
 //!    (the signal handler recognizing a `ud2` at the fault pc) is
 //!    allowlisted with its justification.
+//! 6. **Telemetry name registry** — every `counter("…")`/`histogram("…")`
+//!    string literal in the tree must appear in
+//!    `scripts/telemetry_names.tsv`, and every registry entry must still
+//!    have a call site. Telemetry names are an interface (the harness's
+//!    JSONL columns, the bench JSON, dashboards parse them); the registry
+//!    makes adding or renaming one a reviewable diff instead of a silent
+//!    drift between producer and consumer.
 //!
 //! Failures name `file:line` so the offending code is one click away.
 
@@ -458,6 +465,110 @@ fn machine_code_bytes_only_in_asm_and_verify() {
         "raw x86 opcode bytes outside asm.rs/lb-verify (use `Asm` to emit, \
          `lb_verify::decode` to parse, or extend OPCODE_ALLOWLIST with \
          justification):\n{}",
+        violations.join("\n")
+    );
+}
+
+/// Extract every `counter("name")`/`histogram("name")` literal from
+/// `text` (whole-text scan, so a name wrapped to the next line still
+/// counts), as (line, kind, name).
+fn telemetry_literals(text: &str) -> Vec<(usize, &'static str, String)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    for kind in ["counter", "histogram"] {
+        let needle = format!("{kind}(");
+        let mut start = 0;
+        while let Some(i) = text[start..].find(&needle) {
+            let at = start + i;
+            start = at + needle.len();
+            // Word boundary before: `.counter(` / `::counter(` /
+            // `counter(` yes, `chained_counter(` no.
+            if at > 0 {
+                let c = bytes[at - 1] as char;
+                if c.is_alphanumeric() || c == '_' {
+                    continue;
+                }
+            }
+            // A literal argument: skip whitespace, expect `"…"`.
+            let rest = text[at + needle.len()..].trim_start();
+            let Some(q) = rest.strip_prefix('"') else {
+                continue;
+            };
+            let Some(end) = q.find('"') else {
+                continue;
+            };
+            let line = text[..at].lines().count();
+            out.push((line.max(1), kind, q[..end].to_string()));
+        }
+    }
+    out
+}
+
+#[test]
+fn telemetry_names_are_registered() {
+    let root = workspace_root();
+    let registry_path = root.join("scripts/telemetry_names.tsv");
+    let registry_text = fs::read_to_string(&registry_path)
+        .unwrap_or_else(|e| panic!("read scripts/telemetry_names.tsv: {e}"));
+    let mut registry = std::collections::BTreeMap::new();
+    for (ln, line) in registry_text.lines().enumerate() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let (Some(name), Some(kind), None) = (cols.next(), cols.next(), cols.next()) else {
+            panic!(
+                "scripts/telemetry_names.tsv:{}: expected name<TAB>kind",
+                ln + 1
+            );
+        };
+        assert!(
+            kind == "counter" || kind == "histogram",
+            "scripts/telemetry_names.tsv:{}: unknown kind `{kind}`",
+            ln + 1
+        );
+        registry.insert((name.to_string(), kind.to_string()), false);
+    }
+    assert!(registry.len() > 50, "registry suspiciously small");
+
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests"] {
+        rust_sources(&root.join(dir), &mut files);
+    }
+    let mut violations = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(&root)
+            .expect("file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The linter's own extraction patterns would match themselves.
+        if rel == "crates/analysis/tests/repo_lint.rs" {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(f) else {
+            continue;
+        };
+        for (ln, kind, name) in telemetry_literals(&text) {
+            match registry.get_mut(&(name.clone(), kind.to_string())) {
+                Some(seen) => *seen = true,
+                None => violations.push(format!(
+                    "{rel}:{ln}: {kind} `{name}` missing from scripts/telemetry_names.tsv"
+                )),
+            }
+        }
+    }
+    for ((name, kind), seen) in &registry {
+        if !seen {
+            violations.push(format!(
+                "scripts/telemetry_names.tsv: {kind} `{name}` has no call site left — remove it"
+            ));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "telemetry name registry out of sync (add new names to \
+         scripts/telemetry_names.tsv, prune dead ones):\n{}",
         violations.join("\n")
     );
 }

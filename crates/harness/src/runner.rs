@@ -477,6 +477,17 @@ fn run_once(bench: &Benchmark, spec: &RunSpec) -> Result<RunResult, RunFailure> 
             "checks_hoisted",
             telemetry.counter("jit.checks.hoisted").to_string(),
         ),
+        // The mid tier's IR dataflow pass: sites elided because a
+        // dominating guard already covers them, and sites whose guard
+        // was fused into a single compare-against-limit.
+        (
+            "checks_gvn_elided",
+            telemetry.counter("jit.checks.gvn_elided").to_string(),
+        ),
+        (
+            "checks_fused",
+            telemetry.counter("jit.checks.fused").to_string(),
+        ),
         // Translation validation (only nonzero when LB_VERIFY is set):
         // sites the validator proved and anything it could not.
         (

@@ -64,6 +64,15 @@ pub struct CompileParams<'a> {
     /// back to the legacy per-basic-block peephole (kept for differential
     /// testing).
     pub plans: Option<&'a lb_analysis::ModulePlan>,
+    /// Run the IR dataflow guard optimizations (`crate::dataflow`):
+    /// dominance-based redundant-guard elimination and guard/access
+    /// fusion. Consulted at the mid tier under the trap strategy only;
+    /// supersedes the legacy peephole there.
+    pub guardopt: bool,
+    /// The module's fused-guard extent table
+    /// ([`crate::dataflow::module_extents`]); the runtime programs the
+    /// same table into `VmCtx::limit_extents`. Empty disables fusion.
+    pub limit_extents: &'a [u64],
 }
 
 /// Telemetry counters for bounds-check decisions, cached because counter
@@ -73,6 +82,8 @@ struct CheckCounters {
     hoisted: lb_telemetry::Counter,
     emitted: lb_telemetry::Counter,
     static_oob: lb_telemetry::Counter,
+    gvn_elided: lb_telemetry::Counter,
+    fused: lb_telemetry::Counter,
 }
 
 fn check_counters() -> &'static CheckCounters {
@@ -82,6 +93,8 @@ fn check_counters() -> &'static CheckCounters {
         hoisted: lb_telemetry::counter("jit.checks.hoisted"),
         emitted: lb_telemetry::counter("jit.checks.emitted"),
         static_oob: lb_telemetry::counter("jit.checks.static_oob"),
+        gvn_elided: lb_telemetry::counter("jit.checks.gvn_elided"),
+        fused: lb_telemetry::counter("jit.checks.fused"),
     })
 }
 
@@ -183,6 +196,14 @@ struct Gen<'a> {
     n_pinned: usize,
     /// Mid-tier allocation plan (register homes, dead stores). `Mid` only.
     midplan: Option<crate::regalloc::MidPlan>,
+    /// IR dataflow guard decisions by wasm pc (`Mid` + trap + guardopt
+    /// only; empty otherwise). When non-empty the legacy peephole is
+    /// superseded.
+    guardopt: HashMap<u32, lb_analysis::GuardOpt>,
+    /// Whether the guard-optimization pass ran for this function (even if
+    /// it produced no decisions — still disables the legacy peephole so
+    /// on/off runs differ only by the dataflow pass itself).
+    guardopt_on: bool,
     /// Caller-saved registers withheld from the allocation pools because
     /// they serve as mid-tier homes.
     reserved: Vec<Reg>,
@@ -231,6 +252,14 @@ pub fn compile_function_mapped(
     let plan = p.plans.and_then(|mp| mp.funcs.get(defined_idx));
     let midplan = (p.opt == OptLevel::Mid)
         .then(|| crate::regalloc::allocate(p.module, fmeta, &func.body, plan));
+    let guardopt_on = p.guardopt && p.opt == OptLevel::Mid && p.strategy == BoundsStrategy::Trap;
+    let guardopt: HashMap<u32, lb_analysis::GuardOpt> = if guardopt_on {
+        crate::dataflow::decide(p.module, fmeta, &func.body, plan, p.limit_extents)
+            .into_iter()
+            .collect()
+    } else {
+        HashMap::new()
+    };
     let reserved: Vec<Reg> = midplan.as_ref().map_or(Vec::new(), |mp| {
         mp.caller_saved().iter().map(|&(_, r)| r).collect()
     });
@@ -264,6 +293,8 @@ pub fn compile_function_mapped(
         pinned: HashMap::new(),
         n_pinned: 0,
         midplan,
+        guardopt,
+        guardopt_on,
         reserved,
         pc_map: Vec::with_capacity(func.body.len()),
     };
@@ -950,33 +981,49 @@ impl<'a> Gen<'a> {
                     Hoisted,
                     Check,
                     Dead,
+                    /// IR dataflow proved a dominating guard covers this
+                    /// access: emit nothing.
+                    Gvn,
+                    /// Fuse the guard with the access: one compare against
+                    /// the module limit table, no flag-setup `lea`.
+                    Fuse(u8),
                 }
-                let act = match plan_kind {
+                // IR dataflow decisions (mid tier, guardopt on) take
+                // precedence; they exist only for sites the plan marked
+                // `Emit` (or plan-less sites) outside versioned ranges.
+                let dec = self.guardopt.get(&(self.cur_pc as u32)).copied();
+                let act = match (dec, plan_kind) {
+                    (Some(lb_analysis::GuardOpt::GvnElide), _) => Act::Gvn,
+                    (Some(lb_analysis::GuardOpt::Fuse(slot)), _) => Act::Fuse(slot),
                     // Both elisions are sound under trap: in-bounds is
                     // proven against the declared minimum memory, and a
                     // dominating check has already trapped any OOB path.
-                    Some(CheckKind::ElideInBounds | CheckKind::ElideDominated) => Act::Skip,
+                    (_, Some(CheckKind::ElideInBounds | CheckKind::ElideDominated)) => Act::Skip,
                     // Fast-copy sites are covered by the preheader guard;
                     // the slow copy — and a loop body reached only through
                     // dead-code revival, where no guard ran — re-emits the
                     // full check.
-                    Some(CheckKind::ElideHoisted) => {
+                    (_, Some(CheckKind::ElideHoisted)) => {
                         if self.in_fast_copy() {
                             Act::Hoisted
                         } else {
                             Act::Check
                         }
                     }
-                    Some(CheckKind::StaticOob) => Act::Dead,
-                    Some(CheckKind::Emit) => Act::Check,
-                    None => {
+                    (_, Some(CheckKind::StaticOob)) => Act::Dead,
+                    // The plan never carries `ElideDominatedIr` (it is the
+                    // dataflow pass's kind); treat it as `Emit` if seen.
+                    (_, Some(CheckKind::Emit | CheckKind::ElideDominatedIr)) => Act::Check,
+                    (_, None) => {
                         // Legacy per-basic-block peephole (Full): if an
                         // earlier check on the same (local, shift) origin
                         // covered at least this addend+extent, the access
                         // cannot newly go out of bounds. Kept as the
-                        // fallback mode for differential testing.
+                        // fallback mode for differential testing; the IR
+                        // dataflow pass supersedes it when active.
                         let mut skip = false;
-                        if matches!(self.p.opt, OptLevel::Full | OptLevel::Mid) {
+                        if !self.guardopt_on && matches!(self.p.opt, OptLevel::Full | OptLevel::Mid)
+                        {
                             if let Some((l, sh, add)) = origin {
                                 let key = (l, sh);
                                 let need = add + extent;
@@ -999,6 +1046,19 @@ impl<'a> Gen<'a> {
                 match act {
                     Act::Skip => c.elided.inc(),
                     Act::Hoisted => c.hoisted.inc(),
+                    Act::Gvn => c.gvn_elided.inc(),
+                    Act::Fuse(slot) => {
+                        // Fused guard: `addr < mem_limits[slot]` iff
+                        // `addr + extent <= mem_size` (the limit saturates
+                        // to 0 when the memory is smaller than the extent,
+                        // making the check always-trap). One compare, one
+                        // branch, no scratch `lea`.
+                        c.fused.inc();
+                        let m = Mem::base(Reg::R15, ctx_off::MEM_LIMITS + 8 * i32::from(slot));
+                        self.a.cmp_rm(W::W64, addr, m);
+                        let t = self.trap_label(TrapKind::OutOfBounds);
+                        self.a.jcc(Cc::Ae, t);
+                    }
                     Act::Dead => {
                         // Provably out of bounds: trap unconditionally.
                         // The access code that follows is unreachable but

@@ -87,6 +87,12 @@ pub struct JitProfile {
     /// Let the analysis synthesize loop-preheader guards and version the
     /// covered loops (no effect with `analysis` off).
     pub hoisting: bool,
+    /// Run the IR dataflow guard optimizations (`crate::dataflow`) at the
+    /// mid tier under the trap strategy: dominance-based redundant-guard
+    /// elimination and guard/access fusion. No effect at other tiers or
+    /// strategies. The `LB_GUARDOPT=0` environment knob force-disables it
+    /// process-wide.
+    pub guardopt: bool,
     /// Target tier of the background recompile when `tiered` (the
     /// `LB_TIER` knob swaps this between `Full` and `Mid`).
     pub tier_target: OptLevel,
@@ -106,6 +112,15 @@ impl JitProfile {
     /// and A/B benchmarks).
     pub fn with_hoisting(mut self, on: bool) -> JitProfile {
         self.hoisting = on;
+        self
+    }
+
+    /// Toggle the mid tier's IR dataflow guard optimizations (GVN-based
+    /// elision + guard/access fusion; on by default — turning it off
+    /// restores the exact pre-dataflow emission, for differential testing
+    /// and A/B benchmarks).
+    pub fn with_guardopt(mut self, on: bool) -> JitProfile {
+        self.guardopt = on;
         self
     }
 
@@ -133,6 +148,7 @@ impl JitProfile {
             gc_pause: false,
             analysis: true,
             hoisting: true,
+            guardopt: true,
             tier_target: OptLevel::Full,
         }
     }
@@ -148,6 +164,7 @@ impl JitProfile {
             gc_pause: false,
             analysis: true,
             hoisting: true,
+            guardopt: true,
             tier_target: OptLevel::Full,
         }
     }
@@ -163,6 +180,7 @@ impl JitProfile {
             gc_pause: true,
             analysis: true,
             hoisting: true,
+            guardopt: true,
             tier_target: OptLevel::Full,
         }
     }
@@ -237,7 +255,17 @@ pub struct JitModule {
     /// Bounds-check plan from `lb-analysis` (absent when the profile
     /// disables analysis).
     plan: Option<Arc<lb_analysis::ModulePlan>>,
+    /// Fused-guard extent table ([`crate::dataflow::module_extents`]),
+    /// programmed into every instance's `VmCtx::limit_extents`.
+    extents: Vec<u64>,
     code: Mutex<HashMap<BoundsStrategy, Arc<StrategyCode>>>,
+}
+
+/// Process-wide guard-optimization kill switch: `LB_GUARDOPT=0` (or
+/// `off`) disables the dataflow pass regardless of profile knobs.
+fn guardopt_env() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| !matches!(std::env::var("LB_GUARDOPT").as_deref(), Ok("0") | Ok("off")))
 }
 
 impl std::fmt::Debug for JitModule {
@@ -275,6 +303,7 @@ impl Engine for JitEngine {
             };
             Arc::new(lb_analysis::analyze_module_with(module, &meta, &cfg))
         });
+        let extents = crate::dataflow::module_extents(module);
         Ok(Arc::new(JitModule {
             module: module.clone(),
             meta,
@@ -282,6 +311,7 @@ impl Engine for JitEngine {
             pauser: self.pauser(),
             canon_types,
             plan,
+            extents,
             code: Mutex::new(HashMap::new()),
         }))
     }
@@ -303,6 +333,7 @@ impl JitModule {
         opt: OptLevel,
         funcptrs: &FuncPtrs,
     ) -> (Vec<u8>, Vec<usize>, Vec<usize>, Vec<lb_prof::FuncRange>) {
+        let guardopt = self.profile.guardopt && guardopt_env();
         let params = CompileParams {
             module: &self.module,
             metas: &self.meta.funcs,
@@ -311,6 +342,8 @@ impl JitModule {
             safepoints: self.profile.safepoints,
             funcptrs_base: funcptrs.base_addr(),
             plans: self.plan.as_deref(),
+            guardopt,
+            limit_extents: &self.extents,
         };
         let ni = self.module.num_imported_funcs() as usize;
         let mut blob = Vec::new();
@@ -331,6 +364,7 @@ impl JitModule {
                     self.plan.as_deref(),
                     strategy,
                     opt,
+                    guardopt,
                     di,
                     &code,
                 );
@@ -419,6 +453,8 @@ impl JitModule {
         let safepoints = self.profile.safepoints;
         let target = self.profile.tier_target;
         let plan = self.plan.clone();
+        let guardopt = self.profile.guardopt && guardopt_env();
+        let extents = self.extents.clone();
         std::thread::Builder::new()
             .name("lb-tierup".into())
             .spawn(move || {
@@ -439,6 +475,8 @@ impl JitModule {
                         safepoints,
                         funcptrs_base: sc.funcptrs.base_addr(),
                         plans: plan.as_deref(),
+                        guardopt,
+                        limit_extents: &extents,
                     };
                     let t0 = lb_telemetry::clock::now_ns();
                     let (code, pc_map) = compile_function_mapped(params, di);
@@ -450,6 +488,7 @@ impl JitModule {
                             plan.as_deref(),
                             strategy,
                             target,
+                            guardopt,
                             di,
                             &code,
                         );
@@ -538,7 +577,11 @@ impl LoadedModule for JitModule {
             pauser: self.pauser.clone(),
         });
 
-        let ctx = Box::new(VmCtx {
+        let mut limit_extents = [0usize; crate::runtime::N_LIMIT_SLOTS];
+        for (slot, &e) in self.extents.iter().enumerate() {
+            limit_extents[slot] = e as usize;
+        }
+        let mut ctx = Box::new(VmCtx {
             mem_base: inner
                 .memory
                 .as_ref()
@@ -555,7 +598,10 @@ impl LoadedModule for JitModule {
                 .as_ref()
                 .map(|p| p.flag_ptr())
                 .unwrap_or(std::ptr::null()),
+            mem_limits: [0; crate::runtime::N_LIMIT_SLOTS],
+            limit_extents,
         });
+        ctx.refresh_limits();
 
         let mut inst = JitInstance {
             module_name_cache: HashMap::new(),
@@ -647,6 +693,7 @@ impl JitInstance {
         self.ctx.stack_limit = (&marker as *const u8 as usize).saturating_sub(WASM_STACK_BUDGET);
         if let Some(m) = self.inner.memory.as_ref() {
             self.ctx.mem_size = m.committed();
+            self.ctx.refresh_limits();
         }
 
         let ctx_ptr: *mut VmCtx = &mut *self.ctx;

@@ -14,6 +14,10 @@
 //!   or peephole)
 //! * `verify.proven_hoisted` — fast-loop-body sites proven by a matched
 //!   loop-preheader guard (mirrors `jit.checks.hoisted`)
+//! * `verify.proven_gvn` — IR-dataflow elisions re-proven from a dominating
+//!   machine-level fact (mirrors `jit.checks.gvn_elided`)
+//! * `verify.proven_fused` — fused compare-and-trap guards proven exact
+//!   against the per-extent limit table (mirrors `jit.checks.fused`)
 //! * `verify.findings` — everything that did not prove
 
 use crate::codegen::OptLevel;
@@ -49,6 +53,8 @@ struct VerifyCounters {
     guarded: lb_telemetry::Counter,
     elided: lb_telemetry::Counter,
     hoisted: lb_telemetry::Counter,
+    gvn: lb_telemetry::Counter,
+    fused: lb_telemetry::Counter,
     findings: lb_telemetry::Counter,
 }
 
@@ -59,6 +65,8 @@ fn counters() -> &'static VerifyCounters {
         guarded: lb_telemetry::counter("verify.proven_guarded"),
         elided: lb_telemetry::counter("verify.proven_elided"),
         hoisted: lb_telemetry::counter("verify.proven_hoisted"),
+        gvn: lb_telemetry::counter("verify.proven_gvn"),
+        fused: lb_telemetry::counter("verify.proven_fused"),
         findings: lb_telemetry::counter("verify.findings"),
     })
 }
@@ -74,6 +82,7 @@ pub fn verify_emitted(
     plan: Option<&lb_analysis::ModulePlan>,
     strategy: BoundsStrategy,
     opt: OptLevel,
+    guardopt: bool,
     defined_idx: usize,
     code: &[u8],
 ) -> FuncReport {
@@ -106,6 +115,23 @@ pub fn verify_emitted(
         .map(|&(l, r)| (l, r.0))
         .collect()
     });
+    // Re-run the guard-optimization pass on the wasm, not the machine code:
+    // the decisions tell the verifier which *site kinds* to expect, while
+    // each elision/fusion must still be re-proven from emitted instructions.
+    let (limit_extents, guardopt_decisions) =
+        if guardopt && opt == OptLevel::Mid && strategy == BoundsStrategy::Trap {
+            let extents = crate::dataflow::module_extents(module);
+            let decisions = crate::dataflow::decide(
+                module,
+                &meta.funcs[defined_idx],
+                &module.functions[defined_idx].body,
+                func_plan,
+                &extents,
+            );
+            (Some(extents), Some(decisions))
+        } else {
+            (None, None)
+        };
     let report = verify_function(&FuncInput {
         func_index: defined_idx,
         code,
@@ -116,12 +142,16 @@ pub fn verify_emitted(
         mem_min_bytes,
         reserve_bytes: lb_core::DEFAULT_RESERVE_BYTES as u64,
         homes,
+        limit_extents,
+        guardopt: guardopt_decisions,
     });
     let c = counters();
     c.sites.add(report.sites_checked);
     c.guarded.add(report.proven_guarded);
     c.elided.add(report.proven_elided);
     c.hoisted.add(report.proven_hoisted);
+    c.gvn.add(report.proven_gvn);
+    c.fused.add(report.proven_fused);
     c.findings.add(report.findings.len() as u64);
     if !report.findings.is_empty() {
         for f in &report.findings {

@@ -104,6 +104,13 @@ fn is_ctx_field(m: &Mem, disp: i32) -> bool {
     m.base == CTX_REG && m.index.is_none() && m.disp == disp
 }
 
+/// A bounds compare against the context struct: the classic `mem_size`
+/// field, or (fused guards) a slot of the per-extent limit table.
+fn is_bounds_cmp(m: &Mem, mem_size_disp: i32) -> bool {
+    is_ctx_field(m, mem_size_disp)
+        || (m.base == CTX_REG && m.index.is_none() && crate::absint::limit_slot(m.disp).is_some())
+}
+
 /// True for the address-materialization instructions that may precede a
 /// check's compare: `lea scratch, [addr+ext]`, or the wide-extent form
 /// `movabs scratch, ext` / `add scratch, addr`.
@@ -136,7 +143,7 @@ pub fn classify_function(
     for (_, inst) in &insts {
         let class = match inst {
             Inst::Ud2Trap { .. } => InstClass::TrapPath,
-            Inst::CmpRm { m, .. } if is_ctx_field(m, mem_size_disp) => InstClass::GuardCompare,
+            Inst::CmpRm { m, .. } if is_bounds_cmp(m, mem_size_disp) => InstClass::GuardCompare,
             _ => match mem_of(inst) {
                 Some(m) if m.base == MEM_BASE_REG => InstClass::MemoryAccess,
                 _ => InstClass::Compute,
@@ -146,23 +153,31 @@ pub fn classify_function(
     }
 
     // Pass 2a: widen trap-strategy guards. The compare was found by its
-    // `[r15 + mem_size]` operand; fold in the address setup before it and
-    // the `ja trap` after it.
+    // `[r15 + mem_size]` (or limit-table) operand; fold in the address
+    // setup before it and the `ja`/`jae trap` after it. Fused guards
+    // compare the index register directly — no setup precedes them.
     for i in 0..n {
         if classes[i] != InstClass::GuardCompare {
             continue;
         }
-        let mut j = i;
-        while j > 0 && classes[j - 1] == InstClass::Compute && is_addr_setup(&insts[j - 1].1) {
-            classes[j - 1] = InstClass::GuardCompare;
-            j -= 1;
-            // At most two setup instructions (movabs + add) precede.
-            if i - j == 2 {
-                break;
+        let classic = matches!(&insts[i].1,
+            Inst::CmpRm { m, .. } if is_ctx_field(m, mem_size_disp));
+        if classic {
+            let mut j = i;
+            while j > 0 && classes[j - 1] == InstClass::Compute && is_addr_setup(&insts[j - 1].1) {
+                classes[j - 1] = InstClass::GuardCompare;
+                j -= 1;
+                // At most two setup instructions (movabs + add) precede.
+                if i - j == 2 {
+                    break;
+                }
             }
         }
         if i + 1 < n {
-            if let Inst::Jcc { cc: Cc::A, .. } = insts[i + 1].1 {
+            if let Inst::Jcc {
+                cc: Cc::A | Cc::Ae, ..
+            } = insts[i + 1].1
+            {
                 classes[i + 1] = InstClass::GuardCompare;
             }
         }
@@ -383,6 +398,57 @@ mod tests {
                 InstClass::MemoryAccess,
             ]
         );
+    }
+
+    #[test]
+    fn fused_limit_compare_is_guard() {
+        // The fused guard: cmp rcx, [r15+64]; jae trap; mov eax, [r14+rcx].
+        // No lea precedes it, and the branch is `jae`, not `ja`.
+        let code = bytes(&[
+            Inst::CmpRm {
+                w: W::W64,
+                d: Reg::RCX,
+                m: Mem::base(Reg::R15, 64),
+            },
+            Inst::Jcc { cc: Cc::Ae, rel: 0 },
+            Inst::MovRm {
+                w: W::W32,
+                d: Reg::RAX,
+                m: Mem {
+                    base: Reg::R14,
+                    index: Some((Reg::RCX, 1)),
+                    disp: 0,
+                },
+            },
+            Inst::Ret,
+        ]);
+        let cl = classify_function(&code, MEM_SIZE).unwrap();
+        let got: Vec<InstClass> = cl.iter().map(|c| c.class).collect();
+        assert_eq!(
+            got,
+            vec![
+                InstClass::GuardCompare,
+                InstClass::GuardCompare,
+                InstClass::MemoryAccess,
+                InstClass::Compute,
+            ]
+        );
+    }
+
+    #[test]
+    fn ctx_compare_past_limit_table_stays_compute() {
+        // A compare against a context displacement beyond the limit table
+        // (64 + 8*8 = 128) is not a bounds check.
+        let code = bytes(&[
+            Inst::CmpRm {
+                w: W::W64,
+                d: Reg::RCX,
+                m: Mem::base(Reg::R15, 128),
+            },
+            Inst::Ret,
+        ]);
+        let cl = classify_function(&code, MEM_SIZE).unwrap();
+        assert_eq!(cl[0].class, InstClass::Compute);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod isa;
 pub mod report;
 
 pub use classify::{class_at, classify_function, ClassifiedInst, InstClass};
-pub use expected::{expected_sites, ExpectedSite};
+pub use expected::{expected_sites, expected_sites_guardopt, ExpectedSite};
 pub use report::{Finding, FindingKind, FuncReport};
 
 use absint::{BoundSrc, IdxObs, MachineOp, SiteObs};
@@ -67,6 +67,18 @@ pub struct FuncInput<'a> {
     /// (`lb-jit`'s `regalloc::allocate` is a pure function of them).
     /// `None` for every other tier.
     pub homes: Option<Vec<(u32, u8)>>,
+    /// The module's fused-guard extent table, recomputed by the caller
+    /// (`lb-jit`'s `dataflow::module_extents` is a pure function of the
+    /// module). `None` outside the guard-optimizing mid tier, which makes
+    /// every limit-table compare an unknown flag state.
+    pub limit_extents: Option<Vec<u64>>,
+    /// The guard-optimizing mid tier's per-site decisions as
+    /// `(wasm pc, decision)` pairs, recomputed by the caller from the wasm
+    /// (`lb-jit`'s `dataflow::decide` is a pure function of its inputs).
+    /// Decisions shape *expectations* only — every elision and fusion is
+    /// still re-proven from the emitted instructions. `None` for every
+    /// other configuration.
+    pub guardopt: Option<Vec<(u32, lb_analysis::GuardOpt)>>,
 }
 
 /// Verify one compiled function against its wasm body.
@@ -86,7 +98,12 @@ pub fn verify_function(input: &FuncInput<'_>) -> FuncReport {
         .map(|t| *t == ValType::I32)
         .collect();
 
-    let ma = absint::analyze(input.func_index, input.code, &int_params);
+    let ma = absint::analyze(
+        input.func_index,
+        input.code,
+        &int_params,
+        input.limit_extents.as_deref().unwrap_or(&[]),
+    );
     let undecodable = ma
         .findings
         .iter()
@@ -97,7 +114,13 @@ pub fn verify_function(input: &FuncInput<'_>) -> FuncReport {
         return report;
     }
 
-    let expected = expected::expected_sites(input.body, input.meta, input.strategy, input.plan);
+    let expected = expected::expected_sites_guardopt(
+        input.body,
+        input.meta,
+        input.strategy,
+        input.plan,
+        input.guardopt.as_deref(),
+    );
     report.sites_checked = expected.len() as u64;
     if expected.len() != ma.sites.len() {
         report.findings.push(Finding {
@@ -270,6 +293,76 @@ fn classify(input: &FuncInput<'_>, site: &Site, obs: &SiteObs, report: &mut Func
         }
         CheckKind::Emit => classify_emit(input, site, obs, disp, bytes, report),
         CheckKind::ElideHoisted => classify_hoisted(input, site, obs, report),
+        CheckKind::ElideDominatedIr => classify_gvn(input, site, obs, disp, bytes, report),
+    }
+}
+
+/// Prove an IR-dataflow elision. Unlike [`CheckKind::ElideDominated`]
+/// (whose dominator can be a machine-invisible static proof), the IR
+/// pass's dominating guard always executed a compare, so its machine fact
+/// must still be observable here — fresh or stale. The decision itself is
+/// never trusted: a forged `GvnElide` with no real dominating guard lands
+/// in this arm and fails to prove.
+fn classify_gvn(
+    input: &FuncInput<'_>,
+    site: &Site,
+    obs: &SiteObs,
+    disp: u64,
+    bytes: u64,
+    report: &mut FuncReport,
+) {
+    if !obs.reachable {
+        // Unreachable code cannot fault.
+        report.proven_gvn += 1;
+        return;
+    }
+    let Some(idx) = &obs.idx else {
+        report.proven_gvn += 1;
+        return;
+    };
+    let (need, fact) = match idx {
+        IdxObs::Sym { add, fact, .. } => (add + disp + bytes, fact),
+        IdxObs::Const { v, fact } => (v + disp + bytes, fact),
+        IdxObs::Clamped { .. } | IdxObs::MemSizeMinus => {
+            finding(
+                report,
+                input,
+                obs.off,
+                FindingKind::BadElisionProof {
+                    detail: format!(
+                        "IR-elided site has a clamp-shaped index at wasm pc {}",
+                        site.pc
+                    ),
+                },
+            );
+            return;
+        }
+    };
+    match fact {
+        Some((covered, _)) if *covered >= need => report.proven_gvn += 1,
+        Some((covered, _)) => finding(
+            report,
+            input,
+            obs.off,
+            FindingKind::UnguardedAccess {
+                detail: format!(
+                    "IR-elided site: dominating fact covers {covered} bytes, \
+                     access needs {need} at wasm pc {}",
+                    site.pc
+                ),
+            },
+        ),
+        None => finding(
+            report,
+            input,
+            obs.off,
+            FindingKind::UnguardedAccess {
+                detail: format!(
+                    "IR-elided site has no dominating machine fact at wasm pc {}",
+                    site.pc
+                ),
+            },
+        ),
     }
 }
 
@@ -438,8 +531,14 @@ fn classify_emit(
                     Some((covered, fresh)) if *covered >= add + disp + bytes => {
                         if *fresh {
                             // Guarded at this site (the check codegen just
-                            // emitted).
-                            report.proven_guarded += 1;
+                            // emitted). A fused site's fresh fact comes
+                            // from the limit-table compare and counts
+                            // separately.
+                            if site.fused.is_some() {
+                                report.proven_fused += 1;
+                            } else {
+                                report.proven_guarded += 1;
+                            }
                         } else {
                             // Covered by an earlier check — the peephole.
                             report.proven_elided += 1;
@@ -473,7 +572,11 @@ fn classify_emit(
                     match fact {
                         Some((covered, fresh)) if *covered >= need => {
                             if *fresh {
-                                report.proven_guarded += 1;
+                                if site.fused.is_some() {
+                                    report.proven_fused += 1;
+                                } else {
+                                    report.proven_guarded += 1;
+                                }
                             } else {
                                 report.proven_elided += 1;
                             }

@@ -132,6 +132,13 @@ pub struct FuncReport {
     /// Fast-loop-body sites proven safe by a loop-preheader guard whose
     /// machine fact dominates the access (mirrors `jit.checks.hoisted`).
     pub proven_hoisted: u64,
+    /// Sites the IR dataflow pass elided, each re-proven from a dominating
+    /// machine-level guard fact — never from the pass's own claim (mirrors
+    /// `jit.checks.gvn_elided`).
+    pub proven_gvn: u64,
+    /// Fused compare-and-trap sites proven exact against the limit-table
+    /// extent the verifier recomputed (mirrors `jit.checks.fused`).
+    pub proven_fused: u64,
     /// Everything that could not be proven.
     pub findings: Vec<Finding>,
 }
@@ -143,6 +150,8 @@ impl FuncReport {
         self.proven_guarded += other.proven_guarded;
         self.proven_elided += other.proven_elided;
         self.proven_hoisted += other.proven_hoisted;
+        self.proven_gvn += other.proven_gvn;
+        self.proven_fused += other.proven_fused;
         self.findings.extend(other.findings);
     }
 }

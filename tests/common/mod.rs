@@ -95,6 +95,109 @@ pub fn dynamic_bound_module() -> Module {
     m
 }
 
+fn one_func_module(
+    params: Vec<ValType>,
+    results: Vec<ValType>,
+    locals: Vec<ValType>,
+    body: Vec<Instr>,
+) -> Module {
+    let mut m = Module::new();
+    m.types.push(FuncType { params, results });
+    m.memory = Some(MemoryType {
+        limits: Limits {
+            min: 1,
+            max: Some(2),
+        },
+    });
+    m.functions.push(Function {
+        type_idx: 0,
+        locals,
+        body,
+        name: Some("go".into()),
+    });
+    m.exports.push(Export {
+        name: "go".into(),
+        kind: ExportKind::Func(0),
+    });
+    lb_wasm::validate(&m).expect("module validates");
+    m
+}
+
+/// `go(t, x) -> i32`: a read-modify-write on `a[t]` followed by a
+/// re-read — three same-address, same-extent accesses through local 0.
+/// The IR dataflow pass checks the first and elides the other two
+/// (`GvnElide`): the canonical redundant-guard shape.
+pub fn rmw_module() -> Module {
+    one_func_module(
+        vec![ValType::I32, ValType::I32],
+        vec![ValType::I32],
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::LocalGet(0),
+            Instr::I32Load(MemArg::offset(A_BASE)),
+            Instr::LocalGet(1),
+            Instr::I32Add,
+            Instr::I32Store(MemArg::offset(A_BASE)),
+            Instr::LocalGet(0),
+            Instr::I32Load(MemArg::offset(A_BASE)),
+            Instr::End,
+        ],
+    )
+}
+
+/// `go(t, x) -> i32`: store at `a[t]`, *redefine* `t` (`local.set`),
+/// store at the new `a[t]`. The redefinition kills the first guard's
+/// fact, so the second store must keep its own check — the kill-site
+/// shape the dataflow pass must honour.
+pub fn redefine_module() -> Module {
+    one_func_module(
+        vec![ValType::I32, ValType::I32],
+        vec![ValType::I32],
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::I32Store(MemArg::offset(A_BASE)),
+            Instr::LocalGet(0),
+            Instr::I32Const(64),
+            Instr::I32Add,
+            Instr::LocalSet(0),
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::I32Store(MemArg::offset(A_BASE)),
+            Instr::LocalGet(0),
+            Instr::End,
+        ],
+    )
+}
+
+/// `go(t, x) -> i32`: store at `a[t]`, `memory.grow`, store at `a[t]`
+/// again, read it back. The grow (an `IrOp::Call` in the IR) kills every
+/// guard fact, so the second store re-checks; the final read is then
+/// elided against the *second* store's guard.
+pub fn grow_between_module() -> Module {
+    one_func_module(
+        vec![ValType::I32, ValType::I32],
+        vec![ValType::I32],
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::I32Store(MemArg::offset(A_BASE)),
+            Instr::I32Const(1),
+            Instr::MemoryGrow,
+            Instr::Drop,
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::I32Store(MemArg::offset(A_BASE)),
+            Instr::LocalGet(0),
+            Instr::I32Load(MemArg::offset(A_BASE)),
+            Instr::End,
+        ],
+    )
+}
+
 /// Three-function module exercising the interprocedural layers at once:
 /// exported `go(n)` calls internal `fill(m)` (whose bound joins a ⊤
 /// argument, so its loop is versioned) and sizes a second loop with
